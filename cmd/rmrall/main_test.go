@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunQuick(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(true)
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	var out []byte
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{"E1:", "E2:", "E4:", "E6:", "E12:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

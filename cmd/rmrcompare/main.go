@@ -1,0 +1,54 @@
+// Command rmrcompare regenerates experiment E4: the cross-algorithm
+// comparison over workload mixes. Every algorithm (the A_f family plus the
+// Section-6 baselines) runs the same seeded random-schedule workloads on
+// the CC simulator; the table reports per-passage reader/writer RMR means,
+// reader tail cost, and total coherence traffic.
+//
+// Usage:
+//
+//	rmrcompare [-n 16] [-m 2] [-seeds 1,2,3] [-protocol wt|wb]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+)
+
+func main() {
+	nFlag := flag.Int("n", 16, "number of readers")
+	mFlag := flag.Int("m", 2, "number of writers")
+	seedsFlag := flag.String("seeds", "1,2,3", "comma-separated scheduler seeds")
+	protoFlag := flag.String("protocol", "wt", "coherence protocol: wt or wb")
+	flag.Parse()
+
+	if err := run(*nFlag, *mFlag, *seedsFlag, *protoFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "rmrcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, m int, seedList, protocol string) error {
+	if n < 1 || m < 1 {
+		return fmt.Errorf("need n >= 1 and m >= 1, got n=%d m=%d", n, m)
+	}
+	seeds, err := cliutil.ParseSeeds(seedList)
+	if err != nil {
+		return err
+	}
+	proto, err := cliutil.ParseProtocol(protocol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E4: algorithm comparison, n=%d m=%d, %s, %d seeds, random schedules\n",
+		n, m, proto, len(seeds))
+	_, table, err := experiments.E4Baselines(n, m, seeds, proto)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table)
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errRun := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), errRun
+}
+
+func TestRunSmall(t *testing.T) {
+	out, err := capture(t, func() error { return run(4, 1, "1", "wt") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E4:", "af-log", "centralized", "faa-phasefair", "mutex-rw"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if _, err := capture(t, func() error { return run(0, 1, "1", "wt") }); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := capture(t, func() error { return run(4, 1, "zzz", "wt") }); err == nil {
+		t.Error("bad seeds accepted")
+	}
+	if _, err := capture(t, func() error { return run(4, 1, "1", "x") }); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errRun := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), errRun
+}
+
+func TestRunSmall(t *testing.T) {
+	out, err := capture(t, func() error { return run("4,9", "wt") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E2:", "af-1", "flag-array", "r (iters)", "lemma1 viol"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWriteBack(t *testing.T) {
+	if _, err := capture(t, func() error { return run("4", "wb") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if _, err := capture(t, func() error { return run("", "wt") }); err == nil {
+		t.Error("empty n accepted")
+	}
+	if _, err := capture(t, func() error { return run("4", "nope") }); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}

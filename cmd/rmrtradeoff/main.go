@@ -1,0 +1,132 @@
+// Command rmrtradeoff regenerates the Theorem-18 tradeoff tables
+// (experiments E1, E3 and E5 from DESIGN.md): worst-case per-passage RMR
+// counts of the A_f family measured on the CC simulator, swept over n and
+// the tradeoff parameter f.
+//
+// Usage:
+//
+//	rmrtradeoff [-n 8,32,128,512] [-protocol wt|wb|both] [-corollary] [-m 1,4,16,64]
+//
+// With -protocol both it prints the E5 write-through vs write-back
+// comparison; with -corollary it additionally prints the Corollary 6/7
+// tables (E3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	nFlag := flag.String("n", "8,32,128,512", "comma-separated reader counts")
+	mFlag := flag.String("m", "1,4,16,64", "comma-separated writer counts for -corollary")
+	protoFlag := flag.String("protocol", "wt", "coherence protocol: wt, wb or both")
+	corollary := flag.Bool("corollary", false, "also print the Corollary 6/7 tables (E3)")
+	dsm := flag.Bool("dsm", false, "also print the CC vs DSM model contrast (E8)")
+	wl := flag.Bool("wl", false, "also print the WL mutex substrate comparison (E10)")
+	fit := flag.Bool("fit", false, "also print least-squares shape fits over the grid (E12)")
+	flag.Parse()
+
+	if *fit {
+		ns, err := cliutil.ParseInts(*nFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmrtradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Println("E12: Theorem-18 shapes as least-squares fits over the E1 grid")
+		_, table, err := experiments.E12ShapeFits(ns, sim.WriteThrough)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmrtradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+	}
+
+	if *wl {
+		ms, err := cliutil.ParseInts(*mFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmrtradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Println("E10: A_f writer costs across WL substrates (writers-only workload)")
+		_, table, err := experiments.E10MutexSubstrates(ms)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmrtradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+	}
+
+	if *dsm {
+		ns, err := cliutil.ParseInts(*nFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmrtradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Println("E8: CC (write-through) vs DSM per-passage RMRs")
+		_, table, err := experiments.E8ModelContrast(ns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmrtradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+	}
+
+	if err := run(*nFlag, *mFlag, *protoFlag, *corollary); err != nil {
+		fmt.Fprintln(os.Stderr, "rmrtradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nList, mList, protocol string, corollary bool) error {
+	ns, err := cliutil.ParseInts(nList)
+	if err != nil {
+		return err
+	}
+
+	if protocol == "both" {
+		fmt.Println("E5: A_f tradeoff under write-through vs write-back (max per-passage RMRs)")
+		_, table, err := experiments.E5Protocols(ns)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	} else {
+		proto, err := cliutil.ParseProtocol(protocol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("E1: A_f tradeoff (Theorem 18), %s, single writer, max per-passage RMRs\n", proto)
+		_, table, err := experiments.E1Tradeoff(ns, proto)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+
+	if corollary {
+		fmt.Println("E3a: Corollary 6 — max(writer entry, reader exit) RMR vs log2 n (adversarial)")
+		_, nTable, err := experiments.E3MaxBound(ns)
+		if err != nil {
+			return err
+		}
+		fmt.Println(nTable)
+
+		ms, err := cliutil.ParseInts(mList)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E3b: Corollary 7 — writer passage RMR vs log2 m (writers only)")
+		_, mTable, err := experiments.E3WriterMutex(ms)
+		if err != nil {
+			return err
+		}
+		fmt.Println(mTable)
+	}
+	return nil
+}

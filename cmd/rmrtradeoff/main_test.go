@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errRun := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), errRun
+}
+
+func TestRunE1(t *testing.T) {
+	out, err := capture(t, func() error { return run("4,8", "1,2", "wt", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1:", "af-1", "af-n", "writer entry RMR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBothProtocols(t *testing.T) {
+	out, err := capture(t, func() error { return run("4,8", "1", "both", false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E5:") || !strings.Contains(out, "WB") {
+		t.Errorf("E5 table missing:\n%s", out)
+	}
+}
+
+func TestRunCorollary(t *testing.T) {
+	out, err := capture(t, func() error { return run("4,8", "1,2", "wb", true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E3a") || !strings.Contains(out, "E3b") {
+		t.Errorf("corollary tables missing:\n%s", out)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if _, err := capture(t, func() error { return run("x", "1", "wt", false) }); err == nil {
+		t.Error("bad n accepted")
+	}
+	if _, err := capture(t, func() error { return run("4", "1", "bogus", false) }); err == nil {
+		t.Error("bad protocol accepted")
+	}
+	if _, err := capture(t, func() error { return run("4", "y", "wt", true) }); err == nil {
+		t.Error("bad m accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command rwbench regenerates experiment E7: native (real goroutines,
+// sync/atomic) throughput of the A_f family, the baselines, and the
+// standard library's sync.RWMutex across workload mixes. Absolute numbers
+// depend on the host; the shape to look for is that read-mostly workloads
+// scale for locks with reader parallelism and collapse for the serializing
+// ones.
+//
+// Usage:
+//
+//	rwbench [-readers 8] [-writers 2] [-dur 200ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/native"
+	"repro/internal/tablefmt"
+	"repro/internal/workload"
+)
+
+// locker is the common face of reader handles, writer handles and
+// sync.RWMutex views.
+type locker interface {
+	Lock()
+	Unlock()
+}
+
+func main() {
+	readers := flag.Int("readers", 8, "reader goroutines")
+	writers := flag.Int("writers", 2, "writer goroutines")
+	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
+	flag.Parse()
+
+	if err := run(*readers, *writers, *dur); err != nil {
+		fmt.Fprintln(os.Stderr, "rwbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nReaders, nWriters int, dur time.Duration) error {
+	if nReaders < 1 || nWriters < 1 {
+		return fmt.Errorf("need at least one reader and one writer")
+	}
+	fmt.Printf("E7: native throughput, %d readers + %d writers, %v per cell (passages/sec, higher is better)\n",
+		nReaders, nWriters, dur)
+
+	mixes := []workload.Mix{workload.ReadHeavy, workload.ReadMostly, workload.Balanced}
+	headers := []string{"algorithm"}
+	for _, mix := range mixes {
+		headers = append(headers, mix.Name)
+	}
+	table := tablefmt.New(headers...)
+
+	for _, fac := range experiments.AllFactories() {
+		lock, err := native.NewLock(fac.New(), nReaders, nWriters)
+		if err != nil {
+			return err
+		}
+		cells := []string{fac.Name}
+		for _, mix := range mixes {
+			rls := make([]locker, nReaders)
+			wls := make([]locker, nWriters)
+			for i := range rls {
+				rls[i] = lock.Reader(i)
+			}
+			for i := range wls {
+				wls[i] = lock.Writer(i)
+			}
+			ops := measure(rls, wls, mix, dur)
+			cells = append(cells, fmt.Sprintf("%.0f", float64(ops)/dur.Seconds()))
+		}
+		table.AddRow(cells...)
+	}
+
+	// sync.RWMutex reference.
+	var mu sync.RWMutex
+	cells := []string{"sync.RWMutex"}
+	for _, mix := range mixes {
+		rls := make([]locker, nReaders)
+		wls := make([]locker, nWriters)
+		for i := range rls {
+			rls[i] = mu.RLocker()
+		}
+		for i := range wls {
+			wls[i] = &mu
+		}
+		ops := measure(rls, wls, mix, dur)
+		cells = append(cells, fmt.Sprintf("%.0f", float64(ops)/dur.Seconds()))
+	}
+	table.AddRow(cells...)
+
+	fmt.Println(table)
+	return nil
+}
+
+// measure runs reader and writer goroutines against their handles until
+// the deadline and returns the total number of completed passages. Writers
+// throttle themselves to approximate the mix's write share.
+func measure(readers, writers []locker, mix workload.Mix, dur time.Duration) int64 {
+	var stop atomic.Bool
+	var total atomic.Int64
+	var wg sync.WaitGroup
+
+	// Convert the mix into a writer duty cycle: per writer passage,
+	// readers collectively complete about readShare/writeShare passages;
+	// writers emulate this by spinning on a local counter between
+	// passages.
+	writeShare := 1 - mix.ReadFraction
+	pauseIters := int(mix.ReadFraction / writeShare * float64(len(readers)) * 4)
+
+	for _, h := range readers {
+		h := h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := int64(0)
+			for !stop.Load() {
+				h.Lock()
+				h.Unlock()
+				ops++
+			}
+			total.Add(ops)
+		}()
+	}
+	for _, h := range writers {
+		h := h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := int64(0)
+			sink := 0
+			for !stop.Load() {
+				h.Lock()
+				sink++
+				h.Unlock()
+				ops++
+				for i := 0; i < pauseIters && !stop.Load(); i++ {
+					sink += i // spin between write passages
+				}
+			}
+			_ = sink
+			total.Add(ops)
+		}()
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return total.Load()
+}

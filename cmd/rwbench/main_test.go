@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errRun := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), errRun
+}
+
+func TestRunTinyDuration(t *testing.T) {
+	out, err := capture(t, func() error { return run(2, 1, 5*time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E7:", "af-log", "sync.RWMutex", "read-heavy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadPopulation(t *testing.T) {
+	if _, err := capture(t, func() error { return run(0, 1, time.Millisecond) }); err == nil {
+		t.Error("zero readers accepted")
+	}
+}

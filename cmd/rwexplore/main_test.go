@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errRun := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), errRun
+}
+
+func TestRunExhaustsTinyTree(t *testing.T) {
+	out, err := capture(t, func() error { return run("faa-phasefair", 1, 1, 1, 1, 100000, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exhausted the schedule tree") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunCap(t *testing.T) {
+	out, err := capture(t, func() error { return run("af-log", 1, 1, 1, 1, 7, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cap reached") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunUnknownAlg(t *testing.T) {
+	if _, err := capture(t, func() error { return run("nope", 1, 1, 1, 1, 10, false) }); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

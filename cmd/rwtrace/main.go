@@ -1,0 +1,133 @@
+// Command rwtrace runs a reader-writer lock scenario on the CC simulator
+// and dumps the execution as a lane-per-process timeline plus per-process
+// RMR accounts — the debugging view for any of the repository's
+// algorithms.
+//
+// Usage:
+//
+//	rwtrace [-alg af-log] [-n 3] [-m 1] [-rp 1] [-wp 1] [-seed 7]
+//	        [-protocol wt|wb|dsm] [-events 80] [-hide-sections]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/tablefmt"
+	"repro/internal/trace"
+	"repro/internal/tracefmt"
+)
+
+func main() {
+	algFlag := flag.String("alg", "af-log", "algorithm name")
+	n := flag.Int("n", 3, "readers")
+	m := flag.Int("m", 1, "writers")
+	rp := flag.Int("rp", 1, "passages per reader")
+	wp := flag.Int("wp", 1, "passages per writer")
+	seed := flag.Int64("seed", 7, "random scheduler seed")
+	protoFlag := flag.String("protocol", "wt", "wt, wb or dsm")
+	events := flag.Int("events", 80, "max events to print (tail kept)")
+	hideSections := flag.Bool("hide-sections", false, "omit section transitions")
+	flag.Parse()
+
+	if err := run(*algFlag, *n, *m, *rp, *wp, *seed, *protoFlag, *events, *hideSections); err != nil {
+		fmt.Fprintln(os.Stderr, "rwtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func parseProtocol(s string) (sim.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "wt":
+		return sim.WriteThrough, nil
+	case "wb":
+		return sim.WriteBack, nil
+	case "dsm":
+		return sim.DSM, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+func run(alg string, n, m, rp, wp int, seed int64, protocol string, maxEvents int, hideSections bool) error {
+	var fac *experiments.Factory
+	for _, f := range experiments.ExtendedFactories() {
+		if f.Name == alg {
+			f := f
+			fac = &f
+			break
+		}
+	}
+	if fac == nil {
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	proto, err := parseProtocol(protocol)
+	if err != nil {
+		return err
+	}
+
+	var rec trace.Recorder
+	rep := spec.Run(fac.New(), spec.Scenario{
+		NReaders: n, NWriters: m,
+		ReaderPassages: rp, WriterPassages: wp,
+		Protocol:  proto,
+		Scheduler: sched.NewRandom(seed),
+		Observer:  rec.Observe,
+	})
+	fmt.Printf("%s: %s — %d steps", rep.Algorithm, rep.Scenario, rep.Steps)
+	if rep.OK() {
+		fmt.Println(", no violations")
+	} else {
+		fmt.Printf("\nPROBLEMS:\n%s", rep.Failures())
+	}
+
+	table := tablefmt.New("process", "role", "total RMR", "steps", "worst passage RMR")
+	for rid, acct := range rep.ReaderAccounts {
+		mx := acct.MaxPassage()
+		table.AddRow(fmt.Sprintf("p%d", rid), "reader",
+			tablefmt.Itoa(acct.TotalRMR), tablefmt.Itoa(acct.TotalSteps),
+			tablefmt.Itoa(mx.EntryRMR+mx.CSRMR+mx.ExitRMR))
+	}
+	for wid, acct := range rep.WriterAccounts {
+		mx := acct.MaxPassage()
+		table.AddRow(fmt.Sprintf("p%d", n+wid), "writer",
+			tablefmt.Itoa(acct.TotalRMR), tablefmt.Itoa(acct.TotalSteps),
+			tablefmt.Itoa(mx.EntryRMR+mx.CSRMR+mx.ExitRMR))
+	}
+	fmt.Println(table)
+
+	fmt.Println(tracefmt.Render(rec.Events(), tracefmt.Options{
+		NumProcs:     n + m,
+		MaxEvents:    maxEvents,
+		HideSections: hideSections,
+		VarName: func(v memmodel.Var) string {
+			if int(v) < len(rep.VarNames) {
+				return rep.VarNames[v]
+			}
+			return fmt.Sprintf("v%d", v)
+		},
+		ValueFormat: func(v memmodel.Var, val uint64) string {
+			name := ""
+			if int(v) < len(rep.VarNames) {
+				name = rep.VarNames[v]
+			}
+			switch {
+			case strings.HasPrefix(name, "C[") || strings.HasPrefix(name, "W["):
+				return fmt.Sprintf("%d", memmodel.VerSumSum(val))
+			case name == "RSIG" || strings.HasPrefix(name, "WSIG"):
+				seq, op := memmodel.UnpackSig(val)
+				return fmt.Sprintf("<%d,%d>", seq, op)
+			default:
+				return fmt.Sprintf("%d", val)
+			}
+		},
+	}))
+	return nil
+}

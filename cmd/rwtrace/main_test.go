@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errRun := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	var out []byte
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(out), errRun
+}
+
+func TestRunTimeline(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("af-log", 2, 1, 1, 1, 7, "wt", 40, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no violations", "worst passage RMR", "RSIG", "p0", "p2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDSM(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("flag-array", 2, 1, 1, 1, 3, "dsm", 20, true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if _, err := capture(t, func() error { return run("nope", 1, 1, 1, 1, 1, "wt", 10, false) }); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := capture(t, func() error { return run("af-log", 1, 1, 1, 1, 1, "zzz", 10, false) }); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() (int, error)) (string, int, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	code, errRun := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), code, errRun
+}
+
+func TestRunPasses(t *testing.T) {
+	out, code, err := capture(t, func() (int, error) { return run("1,2") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{"E6:", "mutual exclusion", "all claimed properties hold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadSeeds(t *testing.T) {
+	_, code, err := capture(t, func() (int, error) { return run("nope") })
+	if err == nil || code == 0 {
+		t.Error("bad seeds accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// kvstore: a read-mostly key-value store benchmarked across the A_f
+// tradeoff points on real goroutines.
+//
+// This is the workload the paper's introduction motivates: many readers,
+// few writers. The example runs the same store under every A_f
+// parameterization plus sync.RWMutex and prints passages/second — on a
+// read-mostly mix the reader-cheap end of the tradeoff (f = n) tends to
+// win natively, mirroring the simulator's RMR tables.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/native"
+)
+
+const (
+	nReaders = 6
+	nWriters = 1
+	runFor   = 150 * time.Millisecond
+	nKeys    = 64
+)
+
+type store struct {
+	data map[int]string
+}
+
+func run(f core.F) (float64, error) {
+	lock, err := native.NewLock(core.New(f), nReaders, nWriters)
+	if err != nil {
+		return 0, err
+	}
+	st := &store{data: make(map[int]string, nKeys)}
+	for k := 0; k < nKeys; k++ {
+		st.data[k] = "v0"
+	}
+
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+
+	for rid := 0; rid < nReaders; rid++ {
+		rid := rid
+		h := lock.Reader(rid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for k := rid; !stop.Load(); k++ {
+				h.Lock()
+				_ = st.data[k%nKeys]
+				h.Unlock()
+				local++
+			}
+			ops.Add(local)
+		}()
+	}
+	h := lock.Writer(0)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := int64(0)
+		for k := 0; !stop.Load(); k++ {
+			h.Lock()
+			st.data[k%nKeys] = fmt.Sprintf("v%d", k)
+			h.Unlock()
+			local++
+			// Keep writes rare: ~1% of traffic.
+			for i := 0; i < 100*nReaders && !stop.Load(); i++ {
+				_ = i
+			}
+		}
+		ops.Add(local)
+	}()
+
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+	return float64(ops.Load()) / runFor.Seconds(), nil
+}
+
+func main() {
+	fmt.Printf("kvstore: %d readers, %d writer, %v per configuration\n\n", nReaders, nWriters, runFor)
+	fmt.Printf("%-10s %-28s %s\n", "lock", "tradeoff point", "passages/sec")
+	for _, f := range core.StandardFs {
+		rate, err := run(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		point := fmt.Sprintf("writer ~%d, reader ~log %d", f.Groups(nReaders), f.GroupSize(nReaders))
+		fmt.Printf("af-%-7s %-28s %12.0f\n", f.Name, point, rate)
+	}
+
+	// sync.RWMutex reference.
+	rate := runSyncRWMutex()
+	fmt.Printf("%-10s %-28s %12.0f\n", "sync", "stdlib sync.RWMutex", rate)
+}
+
+func runSyncRWMutex() float64 {
+	var mu sync.RWMutex
+	st := &store{data: make(map[int]string, nKeys)}
+	for k := 0; k < nKeys; k++ {
+		st.data[k] = "v0"
+	}
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for rid := 0; rid < nReaders; rid++ {
+		rid := rid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for k := rid; !stop.Load(); k++ {
+				mu.RLock()
+				_ = st.data[k%nKeys]
+				mu.RUnlock()
+				local++
+			}
+			ops.Add(local)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := int64(0)
+		for k := 0; !stop.Load(); k++ {
+			mu.Lock()
+			st.data[k%nKeys] = "w"
+			mu.Unlock()
+			local++
+			for i := 0; i < 100*nReaders && !stop.Load(); i++ {
+				_ = i
+			}
+		}
+		ops.Add(local)
+	}()
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+	return float64(ops.Load()) / runFor.Seconds()
+}

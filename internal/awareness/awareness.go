@@ -1,0 +1,216 @@
+// Package awareness implements the knowledge formalism of the paper's
+// lower-bound proof (Section 3.2): process awareness sets AW(p, C↪E),
+// variable familiarity sets F(v, C↪E), and expanding steps
+// (Definitions 1-3), maintained incrementally over a stream of simulator
+// trace events.
+//
+// The sets are defined relative to an execution *fragment*: Reset marks the
+// fragment start C, after which AW(p) = {p} for every process and
+// F(v) = ∅ for every variable (this fragment-relativity is the paper's
+// extension over Attiya-Hendler awareness, needed to argue about knowledge
+// collected during the exit section only).
+//
+// Update rules, from Definitions 1-2:
+//
+//   - A reading step by p on v (read, await re-check, CAS — successful or
+//     not — and FAA) merges F(v) into AW(p).
+//   - A non-trivial write by p sets F(v) = AW(p).
+//   - A non-trivial CAS (or FAA) by p sets F(v) = AW(p) ∪ F(v); since the
+//     reading part already merged F(v) into AW(p), this equals the updated
+//     AW(p).
+//   - Trivial steps leave familiarity sets unchanged.
+//
+// A step is expanding if it strictly grows the executing process's
+// awareness set. Lemma 1 proves every expanding step incurs an RMR; the
+// tracker verifies this on the fly and records violations (there must be
+// none — the simulator's coherence accounting satisfies the lemma by
+// construction, and the test suite asserts it on random executions).
+package awareness
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Tracker maintains awareness and familiarity sets for one execution
+// fragment. It is not safe for concurrent use; feed it events from the
+// simulator's observer callback (which the runner invokes serially).
+type Tracker struct {
+	nProcs int
+	nVars  int
+
+	aw  []*bitset.Set // AW(p), indexed by process
+	fam []*bitset.Set // F(v), indexed by variable
+
+	// expanding[p] counts expanding steps executed by p since Reset.
+	expanding []int
+	// lemma1Violations records steps that were expanding but incurred no
+	// RMR (Lemma 1 says this cannot happen).
+	lemma1Violations []trace.Event
+}
+
+// New returns a tracker for nProcs processes and nVars shared variables,
+// with the fragment starting now.
+func New(nProcs, nVars int) *Tracker {
+	t := &Tracker{
+		nProcs:    nProcs,
+		nVars:     nVars,
+		aw:        make([]*bitset.Set, nProcs),
+		fam:       make([]*bitset.Set, nVars),
+		expanding: make([]int, nProcs),
+	}
+	for p := range t.aw {
+		t.aw[p] = bitset.New(nProcs)
+	}
+	for v := range t.fam {
+		t.fam[v] = bitset.New(nProcs)
+	}
+	t.Reset()
+	return t
+}
+
+// Reset starts a new fragment at the current configuration: AW(p) = {p},
+// F(v) = ∅, counters cleared.
+func (t *Tracker) Reset() {
+	for p, s := range t.aw {
+		s.Clear()
+		s.Add(p)
+	}
+	for _, s := range t.fam {
+		s.Clear()
+	}
+	for p := range t.expanding {
+		t.expanding[p] = 0
+	}
+	t.lemma1Violations = nil
+}
+
+// Observe applies one executed step to the sets. Section-change
+// pseudo-events are ignored.
+func (t *Tracker) Observe(e trace.Event) {
+	if e.SectionChange {
+		return
+	}
+	p := e.Proc
+	v := int(e.Var)
+
+	if e.IsReading() {
+		before := t.aw[p].Count()
+		t.aw[p].Union(t.fam[v])
+		if t.aw[p].Count() > before {
+			t.expanding[p]++
+			if !e.RMR {
+				t.lemma1Violations = append(t.lemma1Violations, e)
+			}
+		}
+	}
+	if e.IsWriting() && !e.Trivial {
+		switch e.Kind {
+		case memmodel.OpWrite:
+			// Definition 1 case 1: overwrite familiarity.
+			t.fam[v].Clear()
+			t.fam[v].Union(t.aw[p])
+		default:
+			// Definition 1 case 2 (CAS; FAA treated alike): extend
+			// familiarity. The reading part above already merged F(v)
+			// into AW(p), so F(v) := AW(p) realizes AW ∪ F.
+			t.fam[v].Clear()
+			t.fam[v].Union(t.aw[p])
+		}
+	}
+}
+
+// AW returns process p's awareness set. The returned set is live; callers
+// must not mutate it.
+func (t *Tracker) AW(p int) *bitset.Set { return t.aw[p] }
+
+// F returns variable v's familiarity set. The returned set is live.
+func (t *Tracker) F(v memmodel.Var) *bitset.Set { return t.fam[v] }
+
+// ExpandingSteps returns how many expanding steps p executed since Reset.
+func (t *Tracker) ExpandingSteps(p int) int { return t.expanding[p] }
+
+// Lemma1Violations returns the expanding steps that incurred no RMR; a
+// correct coherence model yields none.
+func (t *Tracker) Lemma1Violations() []trace.Event { return t.lemma1Violations }
+
+// M returns the paper's M(C↪E): the maximum cardinality over all awareness
+// and familiarity sets.
+func (t *Tracker) M() int {
+	m := 0
+	for _, s := range t.aw {
+		if c := s.Count(); c > m {
+			m = c
+		}
+	}
+	for _, s := range t.fam {
+		if c := s.Count(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// IsExpanding predicts whether executing the pending operation now would be
+// an expanding step: a reading step on a variable whose familiarity set is
+// not contained in the process's awareness set (for multi-variable awaits,
+// any such variable). Writes are never expanding (Fact 1).
+func (t *Tracker) IsExpanding(op sched.PendingOp) bool {
+	if op.Kind == memmodel.OpWrite {
+		return false
+	}
+	vars := op.Vars
+	if vars == nil {
+		vars = []memmodel.Var{op.Var}
+	}
+	for _, v := range vars {
+		if !t.fam[v].SubsetOf(t.aw[op.Proc]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Classify buckets a pending expanding operation for Lemma 2's batch
+// ordering: steps that will not change any value first (reads, awaits and
+// currently-trivial CASes), then writes, then value-changing CASes. The
+// value probe reports whether the op would change v's current value.
+type Class uint8
+
+const (
+	// ClassNonMutating covers reads, await re-checks and CAS/FAA steps
+	// that will not change the variable's current value.
+	ClassNonMutating Class = iota + 1
+	// ClassWrite covers plain writes.
+	ClassWrite
+	// ClassMutatingCAS covers CAS/FAA steps that will change the value.
+	ClassMutatingCAS
+)
+
+// Classify determines op's Lemma-2 bucket given the variable's current
+// value.
+func Classify(op sched.PendingOp, current uint64) Class {
+	switch op.Kind {
+	case memmodel.OpRead, memmodel.OpAwait:
+		return ClassNonMutating
+	case memmodel.OpWrite:
+		if op.Arg == current {
+			return ClassNonMutating
+		}
+		return ClassWrite
+	case memmodel.OpCAS:
+		if op.CASExpected != current || op.Arg == current {
+			return ClassNonMutating // will fail or leave the value as is
+		}
+		return ClassMutatingCAS
+	case memmodel.OpFetchAdd:
+		if op.Arg == 0 {
+			return ClassNonMutating
+		}
+		return ClassMutatingCAS
+	default:
+		return ClassNonMutating
+	}
+}

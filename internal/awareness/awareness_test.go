@@ -1,0 +1,342 @@
+package awareness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func ev(proc int, kind memmodel.OpKind, v memmodel.Var, opts ...func(*trace.Event)) trace.Event {
+	e := trace.Event{Proc: proc, Kind: kind, Var: v, RMR: true}
+	if kind == memmodel.OpRead || kind == memmodel.OpAwait {
+		e.Trivial = true
+	}
+	for _, o := range opts {
+		o(&e)
+	}
+	return e
+}
+
+func swapped(e *trace.Event) { e.Swapped = true }
+func trivial(e *trace.Event) { e.Trivial = true }
+func noRMR(e *trace.Event)   { e.RMR = false }
+
+func TestInitialSets(t *testing.T) {
+	tr := New(3, 2)
+	for p := 0; p < 3; p++ {
+		if c := tr.AW(p).Count(); c != 1 || !tr.AW(p).Contains(p) {
+			t.Errorf("AW(%d) = %v, want {%d}", p, tr.AW(p), p)
+		}
+	}
+	for v := 0; v < 2; v++ {
+		if !tr.F(memmodel.Var(v)).Empty() {
+			t.Errorf("F(%d) not empty", v)
+		}
+	}
+	if tr.M() != 1 {
+		t.Errorf("M = %d, want 1", tr.M())
+	}
+}
+
+// TestWriteThenReadTransfersAwareness is the base information-flow case:
+// p0 writes v, p1 reads v, p1 becomes aware of p0.
+func TestWriteThenReadTransfersAwareness(t *testing.T) {
+	tr := New(2, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	if !tr.F(0).Contains(0) {
+		t.Fatal("F(v) missing writer after write")
+	}
+	tr.Observe(ev(1, memmodel.OpRead, 0))
+	if !tr.AW(1).Contains(0) {
+		t.Fatal("reader not aware of writer")
+	}
+	if tr.ExpandingSteps(1) != 1 {
+		t.Errorf("ExpandingSteps(1) = %d, want 1", tr.ExpandingSteps(1))
+	}
+	if tr.ExpandingSteps(0) != 0 {
+		t.Errorf("write counted as expanding")
+	}
+}
+
+// TestWriteOverwritesFamiliarity: Definition 1 case 1 — a later write
+// replaces F(v) with the new writer's awareness.
+func TestWriteOverwritesFamiliarity(t *testing.T) {
+	tr := New(3, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	tr.Observe(ev(1, memmodel.OpWrite, 0)) // p1 unaware of p0: overwrite
+	if tr.F(0).Contains(0) {
+		t.Fatal("write did not overwrite familiarity")
+	}
+	if !tr.F(0).Contains(1) {
+		t.Fatal("familiarity missing new writer")
+	}
+}
+
+// TestCASExtendsFamiliarity: Definition 1 case 2 — a successful CAS adds to
+// F(v) instead of replacing it.
+func TestCASExtendsFamiliarity(t *testing.T) {
+	tr := New(3, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	tr.Observe(ev(1, memmodel.OpCAS, 0, swapped))
+	if !tr.F(0).Contains(0) || !tr.F(0).Contains(1) {
+		t.Fatalf("F(v) = %v, want {0, 1}", tr.F(0))
+	}
+	// And the CAS's reading part made p1 aware of p0.
+	if !tr.AW(1).Contains(0) {
+		t.Fatal("CAS reading part did not expand awareness")
+	}
+}
+
+// TestFailedCASIsReadOnly: a failed CAS gains awareness but leaves
+// familiarity unchanged.
+func TestFailedCASIsReadOnly(t *testing.T) {
+	tr := New(3, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	tr.Observe(ev(1, memmodel.OpCAS, 0, trivial)) // failed: Swapped=false, Trivial=true
+	if !tr.AW(1).Contains(0) {
+		t.Fatal("failed CAS did not expand awareness")
+	}
+	if tr.F(0).Contains(1) {
+		t.Fatal("failed CAS changed familiarity")
+	}
+}
+
+// TestTrivialWriteLeavesFamiliarity: a trivial write does not update F.
+func TestTrivialWriteLeavesFamiliarity(t *testing.T) {
+	tr := New(3, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	tr.Observe(trace.Event{Proc: 1, Kind: memmodel.OpWrite, Var: 0, Trivial: true, RMR: true})
+	if !tr.F(0).Contains(0) || tr.F(0).Contains(1) {
+		t.Fatalf("trivial write changed F(v) = %v", tr.F(0))
+	}
+}
+
+// TestTransitiveAwareness: information flows p0 -> p1 -> p2 through two
+// variables.
+func TestTransitiveAwareness(t *testing.T) {
+	tr := New(3, 2)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	tr.Observe(ev(1, memmodel.OpRead, 0))  // p1 aware of p0
+	tr.Observe(ev(1, memmodel.OpWrite, 1)) // F(v1) = AW(p1) = {0,1}
+	tr.Observe(ev(2, memmodel.OpRead, 1))
+	if !tr.AW(2).Contains(0) || !tr.AW(2).Contains(1) {
+		t.Fatalf("AW(2) = %v, want {0,1,2}", tr.AW(2))
+	}
+	if tr.M() != 3 {
+		t.Errorf("M = %d, want 3", tr.M())
+	}
+}
+
+// TestLemma1Detection: an expanding step without RMR must be recorded as a
+// violation.
+func TestLemma1Detection(t *testing.T) {
+	tr := New(2, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	tr.Observe(ev(1, memmodel.OpRead, 0, noRMR))
+	if len(tr.Lemma1Violations()) != 1 {
+		t.Fatalf("violations = %d, want 1", len(tr.Lemma1Violations()))
+	}
+}
+
+// TestReset restores the fragment-start state.
+func TestReset(t *testing.T) {
+	tr := New(2, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	tr.Observe(ev(1, memmodel.OpRead, 0))
+	tr.Reset()
+	if tr.AW(1).Count() != 1 || !tr.F(0).Empty() || tr.ExpandingSteps(1) != 0 {
+		t.Fatal("Reset did not clear fragment state")
+	}
+}
+
+// TestObservation1Monotone: awareness sets only grow along an execution —
+// checked on a real simulated A_f run.
+func TestObservation1MonotoneOnRealRun(t *testing.T) {
+	const n, m = 4, 1
+	alg := core.New(core.FLog)
+	var tr *Tracker
+	prev := make([]int, n+m)
+	r := sim.New(sim.Config{
+		Scheduler: sched.NewRandom(5),
+		Observer: func(e trace.Event) {
+			if tr == nil || e.SectionChange {
+				return
+			}
+			tr.Observe(e)
+			for p := 0; p < n+m; p++ {
+				if c := tr.AW(p).Count(); c < prev[p] {
+					t.Errorf("AW(%d) shrank %d -> %d", p, prev[p], c)
+				} else {
+					prev[p] = c
+				}
+			}
+		},
+	})
+	if err := alg.Init(r, n, m); err != nil {
+		t.Fatal(err)
+	}
+	for rid := 0; rid < n; rid++ {
+		rid := rid
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < 2; i++ {
+				p.Section(memmodel.SecEntry)
+				alg.ReaderEnter(p, rid)
+				p.Section(memmodel.SecCS)
+				p.Section(memmodel.SecExit)
+				alg.ReaderExit(p, rid)
+				p.Section(memmodel.SecRemainder)
+			}
+		})
+	}
+	r.AddProc(func(p sim.Proc) {
+		for i := 0; i < 2; i++ {
+			p.Section(memmodel.SecEntry)
+			alg.WriterEnter(p, 0)
+			p.Section(memmodel.SecCS)
+			p.Section(memmodel.SecExit)
+			alg.WriterExit(p, 0)
+			p.Section(memmodel.SecRemainder)
+		}
+	})
+	tr = New(n+m, r.NumVars())
+	for p := range prev {
+		prev[p] = 1
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 1 must hold on the whole execution.
+	if v := tr.Lemma1Violations(); len(v) != 0 {
+		t.Errorf("Lemma 1 violated %d times, e.g. %v", len(v), v[0])
+	}
+}
+
+// TestIsExpandingPredictionMatches wires a predicting scheduler into a real
+// run: for the op actually executed, the prediction must equal the observed
+// awareness growth.
+func TestIsExpandingPredictionMatches(t *testing.T) {
+	const n, m = 3, 1
+	alg := core.New(core.FOne)
+	var tr *Tracker
+	var predicted map[int]bool
+	inner := sched.NewRandom(11)
+
+	mismatches := 0
+	r := sim.New(sim.Config{
+		Scheduler: predictingSched{inner: inner, predict: func(ops []sched.PendingOp) {
+			predicted = map[int]bool{}
+			for _, op := range ops {
+				predicted[op.Proc] = tr.IsExpanding(op)
+			}
+		}},
+		Observer: func(e trace.Event) {
+			if tr == nil || e.SectionChange {
+				return
+			}
+			before := tr.AW(e.Proc).Count()
+			tr.Observe(e)
+			actual := tr.AW(e.Proc).Count() > before
+			if want, ok := predicted[e.Proc]; ok && want != actual {
+				mismatches++
+			}
+		},
+	})
+	if err := alg.Init(r, n, m); err != nil {
+		t.Fatal(err)
+	}
+	for rid := 0; rid < n; rid++ {
+		rid := rid
+		r.AddProc(func(p sim.Proc) {
+			p.Section(memmodel.SecEntry)
+			alg.ReaderEnter(p, rid)
+			p.Section(memmodel.SecCS)
+			p.Section(memmodel.SecExit)
+			alg.ReaderExit(p, rid)
+			p.Section(memmodel.SecRemainder)
+		})
+	}
+	r.AddProc(func(p sim.Proc) {
+		p.Section(memmodel.SecEntry)
+		alg.WriterEnter(p, 0)
+		p.Section(memmodel.SecCS)
+		p.Section(memmodel.SecExit)
+		alg.WriterExit(p, 0)
+		p.Section(memmodel.SecRemainder)
+	})
+	tr = New(n+m, r.NumVars())
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mismatches != 0 {
+		t.Errorf("%d expanding predictions disagreed with observed expansion", mismatches)
+	}
+}
+
+// predictingSched snapshots predictions for all poised ops, then delegates.
+type predictingSched struct {
+	inner   sched.Scheduler
+	predict func([]sched.PendingOp)
+}
+
+func (s predictingSched) Name() string { return "predicting" }
+func (s predictingSched) Next(step int, poised []int) int {
+	return s.inner.Next(step, poised)
+}
+func (s predictingSched) NextOp(step int, poised []sched.PendingOp) int {
+	s.predict(poised)
+	ids := make([]int, len(poised))
+	for i, op := range poised {
+		ids[i] = op.Proc
+	}
+	return s.inner.Next(step, ids)
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      sched.PendingOp
+		current uint64
+		want    Class
+	}{
+		{"read", sched.PendingOp{Kind: memmodel.OpRead}, 5, ClassNonMutating},
+		{"await", sched.PendingOp{Kind: memmodel.OpAwait}, 5, ClassNonMutating},
+		{"write-changing", sched.PendingOp{Kind: memmodel.OpWrite, Arg: 6}, 5, ClassWrite},
+		{"write-trivial", sched.PendingOp{Kind: memmodel.OpWrite, Arg: 5}, 5, ClassNonMutating},
+		{"cas-will-fail", sched.PendingOp{Kind: memmodel.OpCAS, CASExpected: 4, Arg: 9}, 5, ClassNonMutating},
+		{"cas-will-swap", sched.PendingOp{Kind: memmodel.OpCAS, CASExpected: 5, Arg: 9}, 5, ClassMutatingCAS},
+		{"cas-same-value", sched.PendingOp{Kind: memmodel.OpCAS, CASExpected: 5, Arg: 5}, 5, ClassNonMutating},
+		{"faa", sched.PendingOp{Kind: memmodel.OpFetchAdd, Arg: 1}, 5, ClassMutatingCAS},
+		{"faa-zero", sched.PendingOp{Kind: memmodel.OpFetchAdd, Arg: 0}, 5, ClassNonMutating},
+	}
+	for _, c := range cases {
+		if got := Classify(c.op, c.current); got != c.want {
+			t.Errorf("%s: Classify = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestIsExpandingWriteNever: Fact 1 — only reading steps expand.
+func TestIsExpandingWriteNever(t *testing.T) {
+	tr := New(2, 1)
+	tr.Observe(ev(0, memmodel.OpWrite, 0))
+	op := sched.PendingOp{Proc: 1, Kind: memmodel.OpWrite, Var: 0}
+	if tr.IsExpanding(op) {
+		t.Error("write classified as expanding")
+	}
+	op.Kind = memmodel.OpRead
+	if !tr.IsExpanding(op) {
+		t.Error("read of unfamiliar variable not expanding")
+	}
+}

@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// all returns fresh instances of every baseline.
+func all() []memmodel.Algorithm {
+	return []memmodel.Algorithm{NewCentralized(), NewFlagArray(), NewPhaseFair(), NewMutexRW()}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{"centralized": true, "flag-array": true, "faa-phasefair": true, "mutex-rw": true}
+	for _, a := range all() {
+		if !want[a.Name()] {
+			t.Errorf("unexpected name %q", a.Name())
+		}
+	}
+}
+
+// TestBaselinePropertiesGrid checks mutual exclusion and completion for all
+// baselines across populations, protocols and seeds.
+func TestBaselinePropertiesGrid(t *testing.T) {
+	type popCase struct{ n, m int }
+	pops := []popCase{{1, 1}, {2, 1}, {4, 2}, {3, 3}, {6, 2}}
+	mks := []func() memmodel.Algorithm{
+		func() memmodel.Algorithm { return NewCentralized() },
+		func() memmodel.Algorithm { return NewFlagArray() },
+		func() memmodel.Algorithm { return NewPhaseFair() },
+		func() memmodel.Algorithm { return NewMutexRW() },
+	}
+	for _, mk := range mks {
+		for _, pop := range pops {
+			for _, protocol := range []sim.Protocol{sim.WriteThrough, sim.WriteBack} {
+				for _, seed := range []int64{1, 2, 3} {
+					alg := mk()
+					rep := spec.Run(alg, spec.Scenario{
+						NReaders: pop.n, NWriters: pop.m,
+						ReaderPassages: 3, WriterPassages: 2,
+						Protocol:  protocol,
+						Scheduler: sched.NewRandom(seed),
+						CSReads:   2,
+					})
+					if !rep.OK() {
+						t.Errorf("%s n=%d m=%d %v seed=%d:\n%s",
+							alg.Name(), pop.n, pop.m, protocol, seed, rep.Failures())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadersOverlapExceptMutexRW: algorithms claiming Concurrent Entering
+// (and the centralized lock, which allows overlap even if not wait-free)
+// must let readers share the CS; mutex-rw must not.
+func TestReadersOverlapExceptMutexRW(t *testing.T) {
+	for _, alg := range all() {
+		rep := spec.Run(alg, spec.Scenario{
+			NReaders: 5, NWriters: 1,
+			ReaderPassages: 2, WriterPassages: 0,
+			Scheduler: sched.NewRoundRobin(),
+			CSReads:   3,
+		})
+		if !rep.OK() {
+			t.Fatalf("%s: %s", alg.Name(), rep.Failures())
+		}
+		if alg.Name() == "mutex-rw" {
+			if rep.MaxConcurrentReaders != 1 {
+				t.Errorf("mutex-rw: MaxConcurrentReaders = %d, want 1", rep.MaxConcurrentReaders)
+			}
+			continue
+		}
+		if rep.MaxConcurrentReaders < 2 {
+			t.Errorf("%s: MaxConcurrentReaders = %d, want >= 2", alg.Name(), rep.MaxConcurrentReaders)
+		}
+	}
+}
+
+// TestFlagArrayWriterScansLinear pins the Theta(n) writer cost of the
+// flag-array design: writer entry RMRs grow linearly in n.
+func TestFlagArrayWriterScansLinear(t *testing.T) {
+	cost := func(n int) int {
+		rep := spec.Run(NewFlagArray(), spec.Scenario{
+			NReaders: n, NWriters: 1,
+			ReaderPassages: 0, WriterPassages: 1,
+			Scheduler: sched.LowestFirst{},
+		})
+		if !rep.OK() {
+			t.Fatalf("n=%d: %s", n, rep.Failures())
+		}
+		return rep.MaxWriterPassage.EntryRMR
+	}
+	c16, c64, c256 := cost(16), cost(64), cost(256)
+	if c64 < 3*c16 || c256 < 3*c64 {
+		t.Errorf("writer scan not linear: n=16:%d n=64:%d n=256:%d", c16, c64, c256)
+	}
+}
+
+// TestFlagArrayReaderConstant pins the O(1) reader cost.
+func TestFlagArrayReaderConstant(t *testing.T) {
+	cost := func(n int) int {
+		rep := spec.Run(NewFlagArray(), spec.Scenario{
+			NReaders: n, NWriters: 0,
+			ReaderPassages: 1, WriterPassages: 0,
+			Scheduler: sched.NewSticky(),
+		})
+		if !rep.OK() {
+			t.Fatalf("n=%d: %s", n, rep.Failures())
+		}
+		return rep.MaxReaderPassage.RMR()
+	}
+	if a, b := cost(4), cost(256); b > a {
+		t.Errorf("flag-array reader RMR grew with n: %d -> %d", a, b)
+	}
+}
+
+// TestPhaseFairConstantRMRSolo pins the FAA lock's O(1) solo costs for
+// both classes — the Bhatt-Jayanti comparison point: FAA circumvents the
+// Theorem 5 tradeoff.
+func TestPhaseFairConstantRMRSolo(t *testing.T) {
+	for _, n := range []int{4, 64, 512} {
+		rep := spec.Run(NewPhaseFair(), spec.Scenario{
+			NReaders: n, NWriters: 1,
+			ReaderPassages: 1, WriterPassages: 1,
+			Scheduler: sched.NewSticky(),
+		})
+		if !rep.OK() {
+			t.Fatalf("n=%d: %s", n, rep.Failures())
+		}
+		if got := rep.MaxReaderPassage.RMR(); got > 4 {
+			t.Errorf("n=%d: reader RMR = %d, want <= 4 (constant)", n, got)
+		}
+		if got := rep.MaxWriterPassage.RMR(); got > 8 {
+			t.Errorf("n=%d: writer RMR = %d, want <= 8 (constant)", n, got)
+		}
+	}
+}
+
+// TestPhaseFairAlternation checks the phase-fair property in a targeted
+// scenario: readers arriving while a writer holds the lock get in before a
+// second writer when both are waiting (reader phase between writer phases).
+func TestPhaseFairPhases(t *testing.T) {
+	for _, seed := range []int64{5, 9, 21} {
+		rep := spec.Run(NewPhaseFair(), spec.Scenario{
+			NReaders: 4, NWriters: 2,
+			ReaderPassages: 4, WriterPassages: 4,
+			Scheduler: sched.NewRandom(seed),
+			CSReads:   2,
+		})
+		if !rep.OK() {
+			t.Errorf("seed=%d: %s", seed, rep.Failures())
+		}
+	}
+}
+
+// TestCentralizedWriterDrainsReaders: a writer entering while readers hold
+// the lock must wait for all of them.
+func TestCentralizedWriterDrains(t *testing.T) {
+	for _, seed := range []int64{2, 7, 13} {
+		rep := spec.Run(NewCentralized(), spec.Scenario{
+			NReaders: 5, NWriters: 2,
+			ReaderPassages: 4, WriterPassages: 3,
+			Scheduler: sched.NewRandom(seed),
+			CSReads:   2,
+		})
+		if !rep.OK() {
+			t.Errorf("seed=%d: %s", seed, rep.Failures())
+		}
+	}
+}
+
+// TestPropsDeclarations sanity-checks the metadata the experiments rely on.
+func TestPropsDeclarations(t *testing.T) {
+	if !NewPhaseFair().Props().UsesFAA {
+		t.Error("phasefair must declare FAA")
+	}
+	if NewFlagArray().Props().UsesCAS {
+		t.Error("flag-array is read/write only")
+	}
+	if NewMutexRW().Props().ConcurrentEntering {
+		t.Error("mutex-rw must not claim Concurrent Entering")
+	}
+	if !NewFlagArray().Props().ConcurrentEntering {
+		t.Error("flag-array provides Concurrent Entering")
+	}
+}
+
+// TestWritersOnlyDegenerate: with no readers, every baseline behaves as a
+// mutual exclusion lock among writers.
+func TestWritersOnlyDegenerate(t *testing.T) {
+	for _, alg := range all() {
+		rep := spec.Run(alg, spec.Scenario{
+			NReaders: 0, NWriters: 3,
+			ReaderPassages: 0, WriterPassages: 3,
+			Scheduler: sched.NewRandom(3),
+		})
+		if !rep.OK() {
+			t.Errorf("%s writers-only: %s", alg.Name(), rep.Failures())
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memmodel"
+	"repro/internal/mutex"
+)
+
+// BRLock is the "big-reader" lock (the classic per-CPU reader-lock pattern
+// from the Linux kernel): every reader owns a private two-party mutex with
+// the writer side; a reader passage takes only its own mutex (O(1) RMR,
+// fully uncontended between readers), while a writer first serializes on
+// WL and then sweeps all n per-reader mutexes — Theta(n), like the
+// flag-array, but built from blocking sub-locks rather than a handshake.
+type BRLock struct {
+	n int
+	// perReader[rid] is a 2-slot Peterson instance: slot 0 = the reader,
+	// slot 1 = whichever writer holds WL.
+	perReader []*mutex.Tournament
+	wl        *mutex.Tournament
+}
+
+var _ memmodel.Algorithm = (*BRLock)(nil)
+
+// NewBRLock returns an uninitialized big-reader lock.
+func NewBRLock() *BRLock { return &BRLock{} }
+
+// Name implements memmodel.Algorithm.
+func (b *BRLock) Name() string { return "brlock" }
+
+// Init implements memmodel.Algorithm.
+func (b *BRLock) Init(a memmodel.Allocator, nReaders, nWriters int) error {
+	b.n = nReaders
+	b.perReader = make([]*mutex.Tournament, nReaders)
+	for rid := range b.perReader {
+		b.perReader[rid] = mutex.NewTournament(a, fmt.Sprintf("R[%d]", rid), 2)
+	}
+	b.wl = mutex.NewTournament(a, "WL", max(nWriters, 1))
+	return nil
+}
+
+// ReaderEnter takes the reader's own two-party mutex: O(1) RMRs.
+func (b *BRLock) ReaderEnter(p memmodel.Proc, rid int) { b.perReader[rid].Enter(p, 0) }
+
+// ReaderExit releases it.
+func (b *BRLock) ReaderExit(p memmodel.Proc, rid int) { b.perReader[rid].Exit(p, 0) }
+
+// WriterEnter serializes on WL, then sweeps every per-reader mutex.
+func (b *BRLock) WriterEnter(p memmodel.Proc, wid int) {
+	b.wl.Enter(p, wid)
+	for rid := 0; rid < b.n; rid++ {
+		b.perReader[rid].Enter(p, 1)
+	}
+}
+
+// WriterExit releases the sweep in reverse, then WL.
+func (b *BRLock) WriterExit(p memmodel.Proc, wid int) {
+	for rid := b.n - 1; rid >= 0; rid-- {
+		b.perReader[rid].Exit(p, 1)
+	}
+	b.wl.Exit(p, wid)
+}
+
+// Props implements memmodel.Algorithm.
+func (b *BRLock) Props() memmodel.Props {
+	return memmodel.Props{
+		// Peterson instances: reads/writes only.
+		ConcurrentEntering:   true,
+		ReaderStarvationFree: true, // each Peterson pair is starvation-free
+		PredictedReaderRMR:   func(_, _ int) float64 { return 3 },
+		PredictedWriterRMR: func(n, m int) float64 {
+			return float64(n) + math.Log2(float64(max(m, 2)))
+		},
+	}
+}
+
+// CourtoisR is the reader-preference lock of Courtois, Heymans & Parnas
+// (CACM 1971, "Problem 1"), the original readers-writers solution,
+// transliterated from semaphores to test-and-set locks (TAS release is
+// ownerless, which the hand-off of `w` from the first to the last reader
+// requires). Readers serialize briefly on rcMutex to maintain readcount;
+// the first reader in locks out writers, the last reader out releases
+// them. Writers starve under continuous readers — the behaviour the
+// paper's Section 6 describes for A_f, here in its original habitat.
+type CourtoisR struct {
+	rcMutex   *mutex.TAS
+	w         *mutex.TAS
+	readcount memmodel.Var
+}
+
+var _ memmodel.Algorithm = (*CourtoisR)(nil)
+
+// NewCourtoisR returns an uninitialized reader-preference Courtois lock.
+func NewCourtoisR() *CourtoisR { return &CourtoisR{} }
+
+// Name implements memmodel.Algorithm.
+func (c *CourtoisR) Name() string { return "courtois-r" }
+
+// Init implements memmodel.Algorithm.
+func (c *CourtoisR) Init(a memmodel.Allocator, _, _ int) error {
+	c.rcMutex = mutex.NewTAS(a, "rcMutex")
+	c.w = mutex.NewTAS(a, "w")
+	c.readcount = a.Alloc("readcount", 0)
+	return nil
+}
+
+// ReaderEnter implements the classic prologue.
+func (c *CourtoisR) ReaderEnter(p memmodel.Proc, _ int) {
+	c.rcMutex.Enter(p, 0)
+	rc := p.Read(c.readcount)
+	p.Write(c.readcount, rc+1)
+	if rc == 0 {
+		c.w.Enter(p, 0) // first reader locks out writers
+	}
+	c.rcMutex.Exit(p, 0)
+}
+
+// ReaderExit implements the classic epilogue.
+func (c *CourtoisR) ReaderExit(p memmodel.Proc, _ int) {
+	c.rcMutex.Enter(p, 0)
+	rc := p.Read(c.readcount)
+	p.Write(c.readcount, rc-1)
+	if rc == 1 {
+		c.w.Exit(p, 0) // last reader readmits writers
+	}
+	c.rcMutex.Exit(p, 0)
+}
+
+// WriterEnter takes the resource lock directly.
+func (c *CourtoisR) WriterEnter(p memmodel.Proc, _ int) { c.w.Enter(p, 0) }
+
+// WriterExit releases it.
+func (c *CourtoisR) WriterExit(p memmodel.Proc, _ int) { c.w.Exit(p, 0) }
+
+// Props implements memmodel.Algorithm.
+func (c *CourtoisR) Props() memmodel.Props {
+	return memmodel.Props{
+		UsesCAS: true, // TAS locks
+		// Readers serialize on rcMutex (TAS, unfair): no bounded entry.
+		ConcurrentEntering:   false,
+		ReaderStarvationFree: false,
+		PredictedReaderRMR:   func(_, _ int) float64 { return 8 },
+		PredictedWriterRMR:   func(_, _ int) float64 { return 4 },
+	}
+}
+
+// CourtoisW is the writer-preference lock of the same paper ("Problem 2"):
+// once a writer announces itself, arriving readers are held at the `r`
+// gate until all writers drain — the mirror-image fairness trade of
+// fairness.WriterPriority, built forty years earlier from five semaphores.
+type CourtoisW struct {
+	rcMutex    *mutex.TAS // protects readcount
+	wcMutex    *mutex.TAS // protects writecount
+	entryMutex *mutex.TAS // serializes readers at the gate (mutex3)
+	r          *mutex.TAS // reader gate, held collectively by writers
+	w          *mutex.TAS // resource lock
+	readcount  memmodel.Var
+	writecount memmodel.Var
+}
+
+var _ memmodel.Algorithm = (*CourtoisW)(nil)
+
+// NewCourtoisW returns an uninitialized writer-preference Courtois lock.
+func NewCourtoisW() *CourtoisW { return &CourtoisW{} }
+
+// Name implements memmodel.Algorithm.
+func (c *CourtoisW) Name() string { return "courtois-w" }
+
+// Init implements memmodel.Algorithm.
+func (c *CourtoisW) Init(a memmodel.Allocator, _, _ int) error {
+	c.rcMutex = mutex.NewTAS(a, "rcMutex")
+	c.wcMutex = mutex.NewTAS(a, "wcMutex")
+	c.entryMutex = mutex.NewTAS(a, "entryMutex")
+	c.r = mutex.NewTAS(a, "r")
+	c.w = mutex.NewTAS(a, "w")
+	c.readcount = a.Alloc("readcount", 0)
+	c.writecount = a.Alloc("writecount", 0)
+	return nil
+}
+
+// ReaderEnter passes the writer-preference gate, then registers.
+func (c *CourtoisW) ReaderEnter(p memmodel.Proc, _ int) {
+	c.entryMutex.Enter(p, 0) // at most one reader queues on r
+	c.r.Enter(p, 0)
+	c.rcMutex.Enter(p, 0)
+	rc := p.Read(c.readcount)
+	p.Write(c.readcount, rc+1)
+	if rc == 0 {
+		c.w.Enter(p, 0)
+	}
+	c.rcMutex.Exit(p, 0)
+	c.r.Exit(p, 0)
+	c.entryMutex.Exit(p, 0)
+}
+
+// ReaderExit deregisters.
+func (c *CourtoisW) ReaderExit(p memmodel.Proc, _ int) {
+	c.rcMutex.Enter(p, 0)
+	rc := p.Read(c.readcount)
+	p.Write(c.readcount, rc-1)
+	if rc == 1 {
+		c.w.Exit(p, 0)
+	}
+	c.rcMutex.Exit(p, 0)
+}
+
+// WriterEnter announces (first writer closes the reader gate), then takes
+// the resource.
+func (c *CourtoisW) WriterEnter(p memmodel.Proc, _ int) {
+	c.wcMutex.Enter(p, 0)
+	wc := p.Read(c.writecount)
+	p.Write(c.writecount, wc+1)
+	if wc == 0 {
+		c.r.Enter(p, 0) // first writer closes the reader gate
+	}
+	c.wcMutex.Exit(p, 0)
+	c.w.Enter(p, 0)
+}
+
+// WriterExit releases the resource and (as the last writer) the gate.
+func (c *CourtoisW) WriterExit(p memmodel.Proc, _ int) {
+	c.w.Exit(p, 0)
+	c.wcMutex.Enter(p, 0)
+	wc := p.Read(c.writecount)
+	p.Write(c.writecount, wc-1)
+	if wc == 1 {
+		c.r.Exit(p, 0) // last writer reopens the reader gate
+	}
+	c.wcMutex.Exit(p, 0)
+}
+
+// Props implements memmodel.Algorithm.
+func (c *CourtoisW) Props() memmodel.Props {
+	return memmodel.Props{
+		UsesCAS:              true,
+		ConcurrentEntering:   false, // readers serialize at the gate
+		ReaderStarvationFree: false, // writer preference
+		PredictedReaderRMR:   func(_, _ int) float64 { return 12 },
+		PredictedWriterRMR:   func(_, _ int) float64 { return 8 },
+	}
+}

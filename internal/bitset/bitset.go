@@ -1,0 +1,154 @@
+// Package bitset provides a dense, fixed-universe bitset used by the
+// awareness/familiarity machinery of the lower-bound proofs (Definitions 1-3
+// in the paper). Awareness sets are subsets of the process universe
+// {0, ..., n+m-1}, so a packed []uint64 representation is compact and makes
+// union and subset tests word-parallel.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a mutable bitset over a fixed universe. The zero value is an empty
+// set over an empty universe; use New for a sized universe.
+type Set struct {
+	words []uint64
+	n     int // universe size in bits
+}
+
+// New returns an empty set over the universe {0, ..., n-1}.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set. It panics if i is outside the universe, since
+// that always indicates a bug in the caller's process indexing.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Union adds every element of o to s (s |= o). The universes must have the
+// same size.
+func (s *Set) Union(o *Set) {
+	s.sameUniverse(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// SubsetOf reports whether every element of s is also in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	s.sameUniverse(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s *Set) Equal(o *Set) bool {
+	s.sameUniverse(o)
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements returns the members of the set in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.Elements() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: element " + strconv.Itoa(i) + " outside universe of size " + strconv.Itoa(s.n))
+	}
+}
+
+func (s *Set) sameUniverse(o *Set) {
+	if s.n != o.n {
+		panic("bitset: universe size mismatch: " + strconv.Itoa(s.n) + " vs " + strconv.Itoa(o.n))
+	}
+}

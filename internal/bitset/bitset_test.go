@@ -1,0 +1,204 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("set contains 64 after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count after double Add = %d, want 1", got)
+	}
+}
+
+func TestContainsOutsideUniverse(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Fatal("Contains returned true outside universe")
+	}
+}
+
+func TestAddPanicsOutsideUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add outside universe did not panic")
+		}
+	}()
+	New(4).Add(4)
+}
+
+func TestUnionSubset(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	a.Add(5)
+	a.Add(100)
+	b.Add(100)
+	b.Add(150)
+	if a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatal("unexpected subset relation")
+	}
+	a.Union(b)
+	if !b.SubsetOf(a) {
+		t.Fatal("b not subset of a after union")
+	}
+	want := []int{5, 100, 150}
+	got := a.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptySubsetOfEverything(t *testing.T) {
+	e := New(64)
+	full := New(64)
+	for i := 0; i < 64; i++ {
+		full.Add(i)
+	}
+	if !e.SubsetOf(full) || !e.SubsetOf(New(64)) {
+		t.Fatal("empty set not subset")
+	}
+	if !e.Empty() {
+		t.Fatal("Empty() false for empty set")
+	}
+	if full.Empty() {
+		t.Fatal("Empty() true for full set")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(70)
+	a.Add(69)
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Add(1)
+	if a.Contains(1) {
+		t.Fatal("mutating clone affected original")
+	}
+	a.Clear()
+	if !a.Empty() {
+		t.Fatal("Clear did not empty set")
+	}
+	if !c.Contains(69) {
+		t.Fatal("clearing original affected clone")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(100), New(100)
+	if !a.Equal(b) {
+		t.Fatal("two empty sets not equal")
+	}
+	a.Add(42)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Add(42)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched universes did not panic")
+		}
+	}()
+	New(10).Union(New(20))
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	if got := s.String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	s.Add(2)
+	s.Add(7)
+	if got := s.String(); got != "{2, 7}" {
+		t.Errorf("String = %q, want {2, 7}", got)
+	}
+}
+
+// TestUnionCountProperty checks |A ∪ B| <= |A| + |B| and A, B ⊆ A ∪ B on
+// random sets — the containment facts the awareness tracker depends on
+// (Observation 1's monotonicity reduces to these).
+func TestUnionCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		ca, cb := a.Count(), b.Count()
+		u := a.Clone()
+		u.Union(b)
+		return u.Count() <= ca+cb && a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestElementsSortedProperty checks Elements returns a strictly increasing
+// sequence consistent with Contains.
+func TestElementsSortedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		for i := 0; i < n/2; i++ {
+			s.Add(rng.Intn(n))
+		}
+		prev := -1
+		for _, e := range s.Elements() {
+			if e <= prev || !s.Contains(e) {
+				return false
+			}
+			prev = e
+		}
+		return len(s.Elements()) == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

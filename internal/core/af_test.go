@@ -1,0 +1,397 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func TestAFName(t *testing.T) {
+	if got := New(FLog).Name(); got != "af-log" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestAFInitTwiceFails(t *testing.T) {
+	r := sim.New(sim.Config{})
+	a := New(FOne)
+	if err := a.Init(r, 2, 1); err != nil {
+		t.Fatalf("first Init: %v", err)
+	}
+	if err := a.Init(r, 2, 1); err == nil {
+		t.Fatal("second Init did not fail")
+	}
+}
+
+func TestAFInitNegativePopulation(t *testing.T) {
+	r := sim.New(sim.Config{})
+	if err := New(FOne).Init(r, -1, 0); err == nil {
+		t.Fatal("negative population accepted")
+	}
+}
+
+// TestAFSequentialSmoke: one reader, one writer, strictly sequential
+// scheduling.
+func TestAFSequentialSmoke(t *testing.T) {
+	for _, f := range StandardFs {
+		rep := spec.Run(New(f), spec.Scenario{
+			NReaders: 1, NWriters: 1,
+			ReaderPassages: 3, WriterPassages: 3,
+			Scheduler: sched.NewSticky(),
+		})
+		if !rep.OK() {
+			t.Errorf("af-%s sequential: %s", f.Name, rep.Failures())
+		}
+	}
+}
+
+// TestAFPropertiesGrid is the main correctness matrix: every
+// parameterization, multiple populations, protocols, schedulers and seeds.
+// Completion proves deadlock freedom and non-starvation for the finite
+// workload; the monitor proves mutual exclusion.
+func TestAFPropertiesGrid(t *testing.T) {
+	type popCase struct{ n, m int }
+	pops := []popCase{{1, 1}, {2, 1}, {4, 1}, {3, 2}, {8, 2}, {5, 3}}
+	for _, f := range StandardFs {
+		for _, pop := range pops {
+			for _, protocol := range []sim.Protocol{sim.WriteThrough, sim.WriteBack} {
+				for _, seed := range []int64{1, 2, 3} {
+					rep := spec.Run(New(f), spec.Scenario{
+						NReaders: pop.n, NWriters: pop.m,
+						ReaderPassages: 3, WriterPassages: 2,
+						Protocol:  protocol,
+						Scheduler: sched.NewRandom(seed),
+						CSReads:   2,
+					})
+					if !rep.OK() {
+						t.Errorf("af-%s n=%d m=%d %v seed=%d:\n%s",
+							f.Name, pop.n, pop.m, protocol, seed, rep.Failures())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAFManySchedulers exercises biased schedulers that starve or favor
+// particular processes within the fairness limits of finite runs.
+func TestAFManySchedulers(t *testing.T) {
+	scheds := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewRoundRobin() },
+		func() sched.Scheduler { return sched.NewSticky() },
+		func() sched.Scheduler { return sched.HighestFirst{} },
+	}
+	for _, f := range []F{FOne, FLog, FLinear} {
+		for _, mk := range scheds {
+			rep := spec.Run(New(f), spec.Scenario{
+				NReaders: 4, NWriters: 2,
+				ReaderPassages: 2, WriterPassages: 2,
+				Scheduler: mk(),
+			})
+			if !rep.OK() {
+				t.Errorf("af-%s %s:\n%s", f.Name, rep.Scenario, rep.Failures())
+			}
+		}
+	}
+}
+
+// TestAFConcurrentEntering checks the Concurrent Entering property: with
+// all writers in the remainder section, readers overlap in the CS and each
+// completes its entry within a bound independent of scheduling.
+func TestAFConcurrentEntering(t *testing.T) {
+	for _, f := range StandardFs {
+		rep := spec.Run(New(f), spec.Scenario{
+			NReaders: 6, NWriters: 1,
+			ReaderPassages: 2, WriterPassages: 0, // writer never leaves remainder
+			Scheduler: sched.NewRoundRobin(),
+			CSReads:   3,
+		})
+		if !rep.OK() {
+			t.Fatalf("af-%s: %s", f.Name, rep.Failures())
+		}
+		if rep.MaxConcurrentReaders < 2 {
+			t.Errorf("af-%s: MaxConcurrentReaders = %d, want >= 2 (readers must overlap)",
+				f.Name, rep.MaxConcurrentReaders)
+		}
+		// Entry must be wait-free here: no Await re-checks, so entry steps
+		// stay within the O(log K) counter add plus a constant.
+		k := f.GroupSize(6)
+		logK := math.Log2(float64(k)) + 1
+		if limit := int(10*logK) + 12; rep.MaxReaderPassage.EntrySteps > limit {
+			t.Errorf("af-%s: entry steps %d exceed no-writer bound %d",
+				f.Name, rep.MaxReaderPassage.EntrySteps, limit)
+		}
+	}
+}
+
+// TestAFBoundedExit: exit sections never wait, so their step counts are
+// bounded by the O(log K) counter add plus helping constants for readers,
+// and by a constant plus O(log m) for writers.
+func TestAFBoundedExit(t *testing.T) {
+	for _, f := range StandardFs {
+		for _, seed := range []int64{4, 5} {
+			n, m := 8, 2
+			rep := spec.Run(New(f), spec.Scenario{
+				NReaders: n, NWriters: m,
+				ReaderPassages: 3, WriterPassages: 3,
+				Scheduler: sched.NewRandom(seed),
+			})
+			if !rep.OK() {
+				t.Fatalf("af-%s: %s", f.Name, rep.Failures())
+			}
+			k := f.GroupSize(n)
+			logK := math.Log2(float64(k)) + 1
+			// Reader exit: counter add (<=8 steps/level x ~logK levels) +
+			// RSIG read + helpWCS (2 counter reads + CAS).
+			readerLimit := int(16*logK) + 16
+			if got := rep.MaxReaderPassage.ExitSteps; got > readerLimit {
+				t.Errorf("af-%s seed=%d: reader exit steps %d > %d", f.Name, seed, got, readerLimit)
+			}
+			// Writer exit: 2 writes + tournament exit (log m writes).
+			writerLimit := 2 + 8
+			if got := rep.MaxWriterPassage.ExitSteps; got > writerLimit {
+				t.Errorf("af-%s seed=%d: writer exit steps %d > %d", f.Name, seed, got, writerLimit)
+			}
+		}
+	}
+}
+
+// TestAFTradeoffShape is the heart of Theorem 18: across the f sweep, the
+// writer's entry RMRs grow with f(n) while the reader's per-passage RMRs
+// shrink with log(n/f(n)). Low-contention scheduling isolates the
+// algorithmic cost from waiting cost.
+func TestAFTradeoffShape(t *testing.T) {
+	const n, m = 16, 1
+	type point struct {
+		name              string
+		writerRMR, reader int
+	}
+	var pts []point
+	for _, f := range StandardFs {
+		rep := spec.Run(New(f), spec.Scenario{
+			NReaders: n, NWriters: m,
+			ReaderPassages: 2, WriterPassages: 2,
+			Scheduler: sched.NewSticky(), // near-sequential: isolates solo cost
+		})
+		if !rep.OK() {
+			t.Fatalf("af-%s: %s", f.Name, rep.Failures())
+		}
+		pts = append(pts, point{f.Name, rep.MaxWriterPassage.EntryRMR, rep.MaxReaderPassage.RMR()})
+	}
+	// Writer entry RMR must grow monotonically (weakly) from f=1 to f=n,
+	// and spread by at least 4x end to end for n=16.
+	if pts[0].writerRMR > pts[len(pts)-1].writerRMR {
+		t.Errorf("writer entry RMR not increasing across f sweep: %+v", pts)
+	}
+	if pts[len(pts)-1].writerRMR < 2*pts[0].writerRMR {
+		t.Errorf("writer entry RMR spread too small: %+v", pts)
+	}
+	// Reader per-passage RMR must shrink (weakly) from f=1 to f=n.
+	if pts[0].reader < pts[len(pts)-1].reader {
+		t.Errorf("reader RMR not decreasing across f sweep: %+v", pts)
+	}
+}
+
+// TestAFWriterRMRLinearInGroups pins the Theta(f(n)) writer bound: under
+// quiescent readers, the writer's entry cost scales with the group count.
+func TestAFWriterRMRLinearInGroups(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		for _, f := range []F{FOne, FSqrt, FLinear} {
+			rep := spec.Run(New(f), spec.Scenario{
+				NReaders: n, NWriters: 1,
+				ReaderPassages: 0, WriterPassages: 1, // readers quiescent
+				Scheduler: sched.LowestFirst{},
+			})
+			if !rep.OK() {
+				t.Fatalf("af-%s n=%d: %s", f.Name, n, rep.Failures())
+			}
+			g := f.Groups(n)
+			got := rep.MaxWriterPassage.EntryRMR
+			// Entry: 1 wsig write + 1 C read + 1 wsig write per group,
+			// plus RSIG writes and WSEQ read; no mutex contention (m=1,
+			// empty tournament).
+			lo, hi := g, 4*g+6
+			if got < lo || got > hi {
+				t.Errorf("af-%s n=%d: writer entry RMR = %d, want in [%d,%d]", f.Name, n, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestAFReaderRMRLogInGroupSize pins the Theta(log(n/f(n))) reader bound
+// for solo passages.
+func TestAFReaderRMRLogInGroupSize(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		for _, f := range []F{FOne, FSqrt, FLinear} {
+			rep := spec.Run(New(f), spec.Scenario{
+				NReaders: n, NWriters: 1,
+				ReaderPassages: 1, WriterPassages: 0,
+				Scheduler: sched.NewSticky(),
+			})
+			if !rep.OK() {
+				t.Fatalf("af-%s n=%d: %s", f.Name, n, rep.Failures())
+			}
+			k := f.GroupSize(n)
+			logK := math.Log2(float64(k)) + 1
+			got := rep.MaxReaderPassage.RMR()
+			if limit := int(16*logK) + 10; got > limit {
+				t.Errorf("af-%s n=%d (K=%d): reader RMR = %d, want <= %d",
+					f.Name, n, k, got, limit)
+			}
+		}
+	}
+	// And the f=n endpoint must give O(1) readers: compare n=4 vs n=256.
+	costAt := func(n int) int {
+		rep := spec.Run(New(FLinear), spec.Scenario{
+			NReaders: n, NWriters: 1,
+			ReaderPassages: 1, WriterPassages: 0,
+			Scheduler: sched.NewSticky(),
+		})
+		if !rep.OK() {
+			t.Fatalf("af-n n=%d: %s", n, rep.Failures())
+		}
+		return rep.MaxReaderPassage.RMR()
+	}
+	if a, b := costAt(4), costAt(256); b > a {
+		t.Errorf("af-n reader RMR grew with n: %d -> %d (must be constant)", a, b)
+	}
+}
+
+// TestAFZeroPopulations: degenerate populations must not crash.
+func TestAFZeroPopulations(t *testing.T) {
+	rep := spec.Run(New(FLog), spec.Scenario{
+		NReaders: 0, NWriters: 2,
+		ReaderPassages: 0, WriterPassages: 3,
+		Scheduler: sched.NewRandom(1),
+	})
+	if !rep.OK() {
+		t.Errorf("writers-only: %s", rep.Failures())
+	}
+	rep = spec.Run(New(FLog), spec.Scenario{
+		NReaders: 4, NWriters: 0,
+		ReaderPassages: 3, WriterPassages: 0,
+		Scheduler: sched.NewRandom(1),
+	})
+	if !rep.OK() {
+		t.Errorf("readers-only: %s", rep.Failures())
+	}
+}
+
+// TestAFHeavyContention floods a small lock with passages under several
+// seeds, a stress test for the handshake's corner cases.
+func TestAFHeavyContention(t *testing.T) {
+	for _, seed := range []int64{11, 22, 33, 44} {
+		rep := spec.Run(New(FLog), spec.Scenario{
+			NReaders: 6, NWriters: 3,
+			ReaderPassages: 5, WriterPassages: 4,
+			Scheduler: sched.NewRandom(seed),
+			CSReads:   1,
+		})
+		if !rep.OK() {
+			t.Errorf("seed %d: %s", seed, rep.Failures())
+		}
+	}
+}
+
+// TestAFProps sanity-checks the declared metadata.
+func TestAFProps(t *testing.T) {
+	a := New(FLog)
+	props := a.Props()
+	if !props.UsesCAS || props.UsesFAA {
+		t.Error("A_f must use CAS and not FAA")
+	}
+	if !props.ConcurrentEntering || !props.ReaderStarvationFree {
+		t.Error("A_f claims Concurrent Entering and reader starvation freedom")
+	}
+	if props.PredictedReaderRMR(1024, 1) <= 0 || props.PredictedWriterRMR(1024, 4) <= 0 {
+		t.Error("predicted bounds must be positive")
+	}
+}
+
+// TestAFCASWordAblationCorrect: the ablated variant must still satisfy all
+// properties (the counter swap changes cost, not correctness).
+func TestAFCASWordAblationCorrect(t *testing.T) {
+	if got := NewWithCounter(FLog, CounterCASWord).Name(); got != "af-log+casword" {
+		t.Errorf("Name = %q", got)
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		rep := spec.Run(NewWithCounter(FLog, CounterCASWord), spec.Scenario{
+			NReaders: 5, NWriters: 2,
+			ReaderPassages: 3, WriterPassages: 2,
+			Scheduler: sched.NewRandom(seed),
+			CSReads:   2,
+		})
+		if !rep.OK() {
+			t.Errorf("seed %d: %s", seed, rep.Failures())
+		}
+	}
+}
+
+// TestAFUnderPCTSchedules exercises A_f under probabilistic concurrency
+// testing schedules (priority-based with random demotion points), which
+// reach orderings uniform random walks rarely produce.
+func TestAFUnderPCTSchedules(t *testing.T) {
+	for _, f := range []F{FOne, FLog, FLinear} {
+		for seed := int64(0); seed < 8; seed++ {
+			rep := spec.Run(New(f), spec.Scenario{
+				NReaders: 4, NWriters: 2,
+				ReaderPassages: 3, WriterPassages: 2,
+				Scheduler: sched.NewPCT(seed, 5, 5000),
+				CSReads:   2,
+				MaxSteps:  500000,
+			})
+			if !rep.OK() {
+				t.Errorf("af-%s PCT seed=%d:\n%s", f.Name, seed, rep.Failures())
+			}
+		}
+	}
+}
+
+// TestAFCellArrayAblationCorrect: the scan-counter variant must also
+// satisfy all properties.
+func TestAFCellArrayAblationCorrect(t *testing.T) {
+	if got := NewWithCounter(FLog, CounterCellArray).Name(); got != "af-log+cellarray" {
+		t.Errorf("Name = %q", got)
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		rep := spec.Run(NewWithCounter(FLog, CounterCellArray), spec.Scenario{
+			NReaders: 5, NWriters: 2,
+			ReaderPassages: 3, WriterPassages: 2,
+			Scheduler: sched.NewRandom(seed),
+			CSReads:   2,
+		})
+		if !rep.OK() {
+			t.Errorf("seed %d: %s", seed, rep.Failures())
+		}
+	}
+}
+
+// TestAFRandomParameterizations: A_f must be correct for ANY f, not just
+// the presets — the family is parameterized on an arbitrary function.
+// Random group-count tables stand in for arbitrary f.
+func TestAFRandomParameterizations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		groups := 1 + rng.Intn(9)
+		f := F{
+			Name: "rand" + strconv.Itoa(trial),
+			Fn:   func(int) int { return groups },
+		}
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(3)
+		rep := spec.Run(New(f), spec.Scenario{
+			NReaders: n, NWriters: m,
+			ReaderPassages: 2, WriterPassages: 2,
+			Scheduler: sched.NewRandom(rng.Int63()),
+			CSReads:   rng.Intn(3),
+		})
+		if !rep.OK() {
+			t.Errorf("trial %d (groups=%d n=%d m=%d): %s", trial, groups, n, m, rep.Failures())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// Example runs one reader and one writer passage of A_f inside the CC
+// simulator and prints the RMR bill, the quantity the paper's theorems
+// bound.
+func Example() {
+	alg := core.New(core.FLog)
+	r := sim.New(sim.Config{Protocol: sim.WriteThrough})
+	if err := alg.Init(r, 1, 1); err != nil {
+		panic(err)
+	}
+	r.AddProc(func(p sim.Proc) {
+		p.Section(memmodel.SecEntry)
+		alg.ReaderEnter(p, 0)
+		p.Section(memmodel.SecCS)
+		p.Section(memmodel.SecExit)
+		alg.ReaderExit(p, 0)
+		p.Section(memmodel.SecRemainder)
+	})
+	r.AddProc(func(p sim.Proc) {
+		p.Section(memmodel.SecEntry)
+		alg.WriterEnter(p, 0)
+		p.Section(memmodel.SecCS)
+		p.Section(memmodel.SecExit)
+		alg.WriterExit(p, 0)
+		p.Section(memmodel.SecRemainder)
+	})
+	if err := r.Start(); err != nil {
+		panic(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		panic(err)
+	}
+	reader := r.Account(0).MaxPassage()
+	writer := r.Account(1).MaxPassage()
+	fmt.Printf("reader passage: %d RMRs\n", reader.EntryRMR+reader.CSRMR+reader.ExitRMR)
+	fmt.Printf("writer passage: %d RMRs\n", writer.EntryRMR+writer.CSRMR+writer.ExitRMR)
+	// The default round-robin schedule interleaves the two passages, so
+	// both pay a little contention on top of their solo costs.
+	// Output:
+	// reader passage: 6 RMRs
+	// writer passage: 10 RMRs
+}
+
+// ExampleF_Groups shows how a parameterization maps reader counts to
+// group counts (the writer's RMR budget).
+func ExampleF_Groups() {
+	for _, f := range []core.F{core.FOne, core.FLog, core.FSqrt, core.FLinear} {
+		fmt.Printf("%-5s n=64 -> %d groups of %d\n", f.Name, f.Groups(64), f.GroupSize(64))
+	}
+	// Output:
+	// 1     n=64 -> 1 groups of 64
+	// log   n=64 -> 6 groups of 11
+	// sqrt  n=64 -> 8 groups of 8
+	// n     n=64 -> 64 groups of 1
+}

@@ -1,0 +1,100 @@
+// Package core implements the paper's primary contribution: the family A_f
+// of reader-writer lock algorithms (Algorithm 1, Section 4), parameterized
+// by f — the writer's RMR budget. For every f, writers incur Theta(f(n))
+// RMRs per passage (plus the O(log m) cost of the writers' mutex WL) and
+// readers incur Theta(log(n/f(n))) RMRs per passage, matching the
+// lower-bound tradeoff of Theorem 5 at every point.
+//
+// Readers are statically partitioned into f(n) groups of K = ceil(n/f(n))
+// processes. Each group i consolidates its state in two K-process f-array
+// counters: C[i], the number of group-i readers currently in a passage, and
+// W[i], the number of group-i readers waiting for the current writer.
+// Writers serialize on WL (a tournament mutex) and handshake with readers
+// through the signal words RSIG (writer -> readers) and WSIG[i] (group-i
+// readers -> writer), each holding a packed <sequence number, opcode> pair.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// F is the tradeoff parameter of the A_f family: Fn(n) is the number of
+// reader groups, which equals the writer's per-passage RMR budget (up to
+// constants). The paper's tradeoff says the reader's cost is then
+// Theta(log(n / Fn(n))).
+type F struct {
+	// Name labels the parameterization in algorithm names and tables
+	// (e.g. "af-log").
+	Name string
+	// Fn maps the number of readers to the number of groups. Values are
+	// clamped to [1, n] at Init time.
+	Fn func(n int) int
+}
+
+// Groups returns Fn(n) clamped to the valid range [1, max(n,1)].
+func (f F) Groups(n int) int {
+	g := f.Fn(n)
+	if g < 1 {
+		g = 1
+	}
+	if n >= 1 && g > n {
+		g = n
+	}
+	return g
+}
+
+// GroupSize returns K = ceil(n / groups), the per-group population, always
+// at least 1.
+func (f F) GroupSize(n int) int {
+	g := f.Groups(n)
+	if n <= 0 {
+		return 1
+	}
+	return (n + g - 1) / g
+}
+
+// Predefined tradeoff points. FOne minimizes writer cost (readers pay
+// log n); FLinear minimizes reader cost (the writer pays Theta(n),
+// recovering the flag-per-reader shape); the others interpolate.
+var (
+	// FOne is f(n) = 1: a single reader group.
+	FOne = F{Name: "1", Fn: func(int) int { return 1 }}
+
+	// FLog is f(n) = ceil(log2 n): the balanced point where readers and
+	// writers both pay Theta(log n).
+	FLog = F{Name: "log", Fn: func(n int) int {
+		if n <= 2 {
+			return 1
+		}
+		return int(math.Ceil(math.Log2(float64(n))))
+	}}
+
+	// FSqrt is f(n) = ceil(sqrt n).
+	FSqrt = F{Name: "sqrt", Fn: func(n int) int {
+		if n <= 1 {
+			return 1
+		}
+		return int(math.Ceil(math.Sqrt(float64(n))))
+	}}
+
+	// FHalf is f(n) = n/2: groups of two readers.
+	FHalf = F{Name: "half", Fn: func(n int) int { return (n + 1) / 2 }}
+
+	// FLinear is f(n) = n: singleton groups, constant reader RMRs.
+	FLinear = F{Name: "n", Fn: func(n int) int { return n }}
+)
+
+// StandardFs lists the predefined tradeoff points in increasing writer-cost
+// order; experiments sweep over it.
+var StandardFs = []F{FOne, FLog, FSqrt, FHalf, FLinear}
+
+// FByName returns the predefined parameterization with the given name.
+func FByName(name string) (F, error) {
+	for _, f := range StandardFs {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return F{}, fmt.Errorf("core: unknown f %q (want one of 1, log, sqrt, half, n)", name)
+}

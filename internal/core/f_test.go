@@ -1,0 +1,77 @@
+package core
+
+import "testing"
+
+func TestGroupsClamped(t *testing.T) {
+	cases := []struct {
+		f    F
+		n    int
+		want int
+	}{
+		{FOne, 100, 1},
+		{FOne, 1, 1},
+		{FLinear, 8, 8},
+		{FLinear, 1, 1},
+		{FHalf, 8, 4},
+		{FHalf, 1, 1},
+		{FLog, 2, 1},
+		{FLog, 1024, 10},
+		{FSqrt, 16, 4},
+		{FSqrt, 17, 5},
+		{FSqrt, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.f.Groups(c.n); got != c.want {
+			t.Errorf("%s.Groups(%d) = %d, want %d", c.f.Name, c.n, got, c.want)
+		}
+	}
+}
+
+func TestGroupSizeCoversAllReaders(t *testing.T) {
+	// Every reader id in [0,n) must map to a group index < Groups(n).
+	for _, f := range StandardFs {
+		for n := 1; n <= 200; n++ {
+			g, k := f.Groups(n), f.GroupSize(n)
+			if k < 1 {
+				t.Fatalf("%s: GroupSize(%d) = %d", f.Name, n, k)
+			}
+			if maxGroup := (n - 1) / k; maxGroup >= g {
+				t.Fatalf("%s n=%d: reader %d maps to group %d but only %d groups",
+					f.Name, n, n-1, maxGroup, g)
+			}
+		}
+	}
+}
+
+func TestGroupSizeTimesGroupsCoverN(t *testing.T) {
+	for _, f := range StandardFs {
+		for _, n := range []int{1, 2, 3, 7, 8, 100, 1000} {
+			if g, k := f.Groups(n), f.GroupSize(n); g*k < n {
+				t.Errorf("%s n=%d: groups(%d) * K(%d) < n", f.Name, n, g, k)
+			}
+		}
+	}
+}
+
+func TestFByName(t *testing.T) {
+	for _, f := range StandardFs {
+		got, err := FByName(f.Name)
+		if err != nil || got.Name != f.Name {
+			t.Errorf("FByName(%q) = %v, %v", f.Name, got.Name, err)
+		}
+	}
+	if _, err := FByName("bogus"); err == nil {
+		t.Error("FByName(bogus) did not error")
+	}
+}
+
+func TestGroupSizeZeroReaders(t *testing.T) {
+	for _, f := range StandardFs {
+		if got := f.GroupSize(0); got != 1 {
+			t.Errorf("%s.GroupSize(0) = %d, want 1", f.Name, got)
+		}
+		if got := f.Groups(0); got != 1 {
+			t.Errorf("%s.Groups(0) = %d, want 1", f.Name, got)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package counter implements the K-process shared counter objects used by
+// the paper's A_f algorithm (Section 4). Each readers-group consolidates
+// its presence (C[i]) and waiting (W[i]) counts in such a counter.
+//
+// The primary implementation, FArray, follows Jayanti's f-array
+// construction [15], converted from LL/SC to CAS as the paper notes is easy
+// [14]: a complete binary tree whose leaves hold per-process partial counts
+// and whose internal nodes cache subtree sums. An add updates the caller's
+// leaf and propagates along the leaf-to-root path with a double refresh at
+// every node — O(log K) steps — while a read just reads the root — O(1)
+// steps. Every tree node packs a 32-bit version tag with its 32-bit signed
+// sum so the refresh CAS is ABA-safe, which is exactly what the LL/SC to
+// CAS conversion requires.
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// Counter is a K-process counter object: Add may be called concurrently by
+// up to K processes, each owning a distinct slot in [0, K); Read may be
+// called by anyone (including non-slot-holders such as the writer in A_f).
+type Counter interface {
+	// Add atomically adds delta to the counter on behalf of slot.
+	Add(p memmodel.Proc, slot int, delta int32)
+	// Read returns the counter's current value.
+	Read(p memmodel.Proc) int32
+}
+
+// FArray is the Jayanti-style tree counter. See the package comment.
+type FArray struct {
+	k      int
+	leaves int
+	// nodes is a heap-layout complete binary tree: nodes[0] is the root,
+	// node i has children 2i+1 and 2i+2, and slot s's leaf is
+	// nodes[leaves-1+s]. Every node holds PackVerSum(version, sum).
+	nodes []memmodel.Var
+}
+
+var _ Counter = (*FArray)(nil)
+
+// NewFArray allocates an f-array counter for k slots. k must be positive.
+func NewFArray(a memmodel.Allocator, name string, k int) *FArray {
+	if k <= 0 {
+		panic(fmt.Sprintf("counter: k must be positive, got %d", k))
+	}
+	leaves := 1
+	for leaves < k {
+		leaves *= 2
+	}
+	return &FArray{
+		k:      k,
+		leaves: leaves,
+		nodes:  a.AllocN(name, 2*leaves-1, memmodel.PackVerSum(0, 0)),
+	}
+}
+
+// Slots returns the number of slots the counter was allocated for.
+func (c *FArray) Slots() int { return c.k }
+
+// Root returns the root node's variable. The counter's current value is
+// the signed sum packed into it; tests and staged drivers use it to
+// identify pending operations and inspect quiescent state.
+func (c *FArray) Root() memmodel.Var { return c.nodes[0] }
+
+// Add implements Counter. It performs O(log K) shared-memory steps: one
+// leaf update plus at most two refreshes per level on the leaf-to-root
+// path.
+func (c *FArray) Add(p memmodel.Proc, slot int, delta int32) {
+	if slot < 0 || slot >= c.k {
+		panic(fmt.Sprintf("counter: slot %d out of range [0,%d)", slot, c.k))
+	}
+	leaf := c.leaves - 1 + slot
+	// The leaf is written only by its owning slot, so a plain read-write
+	// pair updates it atomically with respect to other adders.
+	w := p.Read(c.nodes[leaf])
+	ver, sum := memmodel.UnpackVerSum(w)
+	p.Write(c.nodes[leaf], memmodel.PackVerSum(ver+1, sum+delta))
+	if leaf == 0 {
+		return // single-slot tree: the leaf is the root
+	}
+
+	for node := (leaf - 1) / 2; ; node = (node - 1) / 2 {
+		if !c.refresh(p, node) {
+			c.refresh(p, node)
+		}
+		if node == 0 {
+			return
+		}
+	}
+}
+
+// refresh recomputes node's sum from its children and installs it with a
+// version-bumping CAS. The double-refresh argument: if both of a
+// propagator's CAS attempts at a node fail, two other refreshes succeeded
+// during them, and the second must have read the children after the first's
+// CAS — hence after the propagator's leaf update — so the leaf update is
+// already reflected at the node.
+func (c *FArray) refresh(p memmodel.Proc, node int) bool {
+	old := p.Read(c.nodes[node])
+	oldVer, _ := memmodel.UnpackVerSum(old)
+	_, left := memmodel.UnpackVerSum(p.Read(c.nodes[2*node+1]))
+	_, right := memmodel.UnpackVerSum(p.Read(c.nodes[2*node+2]))
+	_, swapped := p.CAS(c.nodes[node], old, memmodel.PackVerSum(oldVer+1, left+right))
+	return swapped
+}
+
+// Read implements Counter: a single read of the root.
+func (c *FArray) Read(p memmodel.Proc) int32 {
+	return memmodel.VerSumSum(p.Read(c.nodes[0]))
+}
+
+// CellArray is the scan counter: one cell per slot, written only by its
+// owner. Add is O(1) (a read and a write of the own cell); Read scans all
+// K cells — the mirror image of the f-array's cost split, and the reason
+// the f-array exists: a writer that must read f(n) group counters pays
+// O(K) per read here, i.e. Theta(n) total regardless of f.
+//
+// Reads are not atomic snapshots (the scan observes each cell at a
+// different time), but every cell is single-writer and A_f's proofs only
+// need the scan-vs-program-order guarantees the ablation tests check
+// empirically.
+type CellArray struct {
+	k     int
+	cells []memmodel.Var
+}
+
+var _ Counter = (*CellArray)(nil)
+
+// NewCellArray allocates a scan counter for k slots.
+func NewCellArray(a memmodel.Allocator, name string, k int) *CellArray {
+	if k <= 0 {
+		panic(fmt.Sprintf("counter: k must be positive, got %d", k))
+	}
+	return &CellArray{k: k, cells: a.AllocN(name, k, memmodel.PackVerSum(0, 0))}
+}
+
+// Add implements Counter: an owner-only read-modify-write of slot's cell.
+func (c *CellArray) Add(p memmodel.Proc, slot int, delta int32) {
+	if slot < 0 || slot >= c.k {
+		panic(fmt.Sprintf("counter: slot %d out of range [0,%d)", slot, c.k))
+	}
+	ver, sum := memmodel.UnpackVerSum(p.Read(c.cells[slot]))
+	p.Write(c.cells[slot], memmodel.PackVerSum(ver+1, sum+delta))
+}
+
+// Read implements Counter: an O(K) scan.
+func (c *CellArray) Read(p memmodel.Proc) int32 {
+	var total int32
+	for _, cell := range c.cells {
+		total += memmodel.VerSumSum(p.Read(cell))
+	}
+	return total
+}
+
+// CASWord is the naive single-word counter: Add is a CAS retry loop on one
+// variable. Reads are O(1) and adds are O(1) steps when uncontended, but
+// every concurrent add invalidates every other process's cached copy, so
+// under contention it exhibits the invalidation storms the tree avoids.
+// It exists as an experimental contrast, not as a building block of A_f.
+type CASWord struct {
+	v memmodel.Var
+}
+
+var _ Counter = (*CASWord)(nil)
+
+// NewCASWord allocates a single-word CAS counter.
+func NewCASWord(a memmodel.Allocator, name string) *CASWord {
+	return &CASWord{v: a.Alloc(name, memmodel.PackVerSum(0, 0))}
+}
+
+// Add implements Counter; the slot is ignored.
+func (c *CASWord) Add(p memmodel.Proc, _ int, delta int32) {
+	for {
+		old := p.Read(c.v)
+		ver, sum := memmodel.UnpackVerSum(old)
+		if _, ok := p.CAS(c.v, old, memmodel.PackVerSum(ver+1, sum+delta)); ok {
+			return
+		}
+	}
+}
+
+// Read implements Counter.
+func (c *CASWord) Read(p memmodel.Proc) int32 {
+	return memmodel.VerSumSum(p.Read(c.v))
+}

@@ -1,0 +1,440 @@
+package counter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// runCounter executes body-programs against a fresh counter in the
+// simulator and returns the runner for inspection.
+func runCounter(t *testing.T, protocol sim.Protocol, s sched.Scheduler, build func(a memmodel.Allocator) Counter, progs func(c Counter) []sim.Program) *sim.Runner {
+	t.Helper()
+	r := sim.New(sim.Config{Protocol: protocol, Scheduler: s})
+	c := build(r)
+	for _, p := range progs(c) {
+		r.AddProc(p)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(r.Close)
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func newFArray(k int) func(a memmodel.Allocator) Counter {
+	return func(a memmodel.Allocator) Counter { return NewFArray(a, "C", k) }
+}
+
+func newCASWord() func(a memmodel.Allocator) Counter {
+	return func(a memmodel.Allocator) Counter { return NewCASWord(a, "C") }
+}
+
+func TestFArraySequential(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+		k := k
+		var final int32
+		runCounter(t, sim.WriteThrough, sched.LowestFirst{}, newFArray(k),
+			func(c Counter) []sim.Program {
+				return []sim.Program{func(p sim.Proc) {
+					for s := 0; s < k; s++ {
+						c.Add(p, s, int32(s+1))
+					}
+					if got := c.Read(p); got != int32(k*(k+1)/2) {
+						t.Errorf("k=%d: Read = %d, want %d", k, got, k*(k+1)/2)
+					}
+					for s := 0; s < k; s++ {
+						c.Add(p, s, -int32(s+1))
+					}
+					final = c.Read(p)
+				}}
+			})
+		if final != 0 {
+			t.Errorf("k=%d: final = %d, want 0", k, final)
+		}
+	}
+}
+
+// TestFArrayConcurrentExactTotal has each adder add a known amount; a
+// dedicated observer waits for quiescence and must then read the exact
+// total (quiescent accuracy of the tree).
+func TestFArrayConcurrentExactTotal(t *testing.T) {
+	const k = 6
+	for _, seed := range []int64{7, 8, 9} {
+		var got int32 = math.MinInt32
+		r := sim.New(sim.Config{Protocol: sim.WriteThrough, Scheduler: sched.NewRandom(seed)})
+		c := NewFArray(r, "C", k)
+		doneV := r.Alloc("done", 0)
+		for s := 0; s < k; s++ {
+			s := s
+			r.AddProc(func(p sim.Proc) {
+				for i := 0; i < 4; i++ {
+					c.Add(p, s, int32(s+1))
+				}
+				p.FetchAdd(doneV, 1)
+			})
+		}
+		r.AddProc(func(p sim.Proc) {
+			p.Await(doneV, func(x uint64) bool { return x == k })
+			got = c.Read(p)
+		})
+		if err := r.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		r.Close()
+		want := int32(4 * k * (k + 1) / 2)
+		if got != want {
+			t.Errorf("seed %d: quiescent Read = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// TestFArrayMonotoneUnderIncrements checks the linearizability-flavoured
+// property that when all adds are positive, no process ever observes the
+// counter decrease.
+func TestFArrayMonotoneUnderIncrements(t *testing.T) {
+	const k = 5
+	for _, seed := range []int64{1, 13, 99} {
+		r := sim.New(sim.Config{Scheduler: sched.NewRandom(seed)})
+		c := NewFArray(r, "C", k)
+		for s := 0; s < k; s++ {
+			s := s
+			r.AddProc(func(p sim.Proc) {
+				for i := 0; i < 6; i++ {
+					c.Add(p, s, 1)
+				}
+			})
+		}
+		r.AddProc(func(p sim.Proc) {
+			prev := int32(-1)
+			for i := 0; i < 60; i++ {
+				v := c.Read(p)
+				if v < prev {
+					t.Errorf("seed %d: observed decrease %d -> %d", seed, prev, v)
+				}
+				prev = v
+			}
+		})
+		if err := r.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		r.Close()
+	}
+}
+
+// TestFArrayNeverNegative checks that with inc-before-dec usage (the A_f
+// pattern: C[i].add(1) ... C[i].add(-1)), readers never observe a negative
+// count.
+func TestFArrayNeverNegative(t *testing.T) {
+	const k = 4
+	for _, seed := range []int64{3, 17} {
+		r := sim.New(sim.Config{Scheduler: sched.NewRandom(seed)})
+		c := NewFArray(r, "C", k)
+		for s := 0; s < k; s++ {
+			s := s
+			r.AddProc(func(p sim.Proc) {
+				for i := 0; i < 5; i++ {
+					c.Add(p, s, 1)
+					c.Add(p, s, -1)
+				}
+			})
+		}
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < 80; i++ {
+				if v := c.Read(p); v < 0 {
+					t.Errorf("seed %d: negative read %d", seed, v)
+				}
+			}
+		})
+		if err := r.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		r.Close()
+	}
+}
+
+// TestFArrayRMRBounds verifies the complexity claims the paper relies on:
+// Add is O(log K) steps and Read is O(1) steps/RMRs.
+func TestFArrayRMRBounds(t *testing.T) {
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		k := k
+		r := sim.New(sim.Config{Protocol: sim.WriteThrough, Scheduler: sched.LowestFirst{}})
+		c := NewFArray(r, "C", k)
+		r.AddProc(func(p sim.Proc) {
+			c.Add(p, k-1, 1)
+		})
+		r.AddProc(func(p sim.Proc) {
+			_ = c.Read(p)
+		})
+		if err := r.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		levels := 1
+		for 1<<levels < k {
+			levels++
+		}
+		// Add: leaf read+write plus <= 2 refreshes x 4 steps per level.
+		addSteps := r.Account(0).TotalSteps
+		if limit := 2 + 8*(levels+1); addSteps > limit {
+			t.Errorf("k=%d: Add took %d steps, want <= %d (O(log K))", k, addSteps, limit)
+		}
+		readSteps := r.Account(1).TotalSteps
+		if readSteps != 1 {
+			t.Errorf("k=%d: Read took %d steps, want 1", k, readSteps)
+		}
+		r.Close()
+	}
+}
+
+func TestCASWordSequential(t *testing.T) {
+	var got int32
+	runCounter(t, sim.WriteThrough, sched.LowestFirst{}, newCASWord(),
+		func(c Counter) []sim.Program {
+			return []sim.Program{func(p sim.Proc) {
+				c.Add(p, 0, 5)
+				c.Add(p, 0, -2)
+				got = c.Read(p)
+			}}
+		})
+	if got != 3 {
+		t.Errorf("Read = %d, want 3", got)
+	}
+}
+
+func TestCASWordConcurrent(t *testing.T) {
+	const k = 6
+	var got int32 = -1
+	r := sim.New(sim.Config{Scheduler: sched.NewRandom(5)})
+	c := NewCASWord(r, "C")
+	done := r.Alloc("done", 0)
+	for s := 0; s < k; s++ {
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < 10; i++ {
+				c.Add(p, 0, 1)
+			}
+			p.FetchAdd(done, 1)
+		})
+	}
+	r.AddProc(func(p sim.Proc) {
+		p.Await(done, func(x uint64) bool { return x == k })
+		got = c.Read(p)
+	})
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != k*10 {
+		t.Errorf("total = %d, want %d", got, k*10)
+	}
+}
+
+func TestNewFArrayPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFArray(k=0) did not panic")
+		}
+	}()
+	r := sim.New(sim.Config{})
+	NewFArray(r, "C", 0)
+}
+
+func TestAddPanicsOnBadSlot(t *testing.T) {
+	r := sim.New(sim.Config{})
+	c := NewFArray(r, "C", 2)
+	// The slot check fires before any memory operation, so no Proc is
+	// needed to exercise it.
+	for _, slot := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(slot=%d) did not panic", slot)
+				}
+			}()
+			c.Add(nil, slot, 1)
+		}()
+	}
+}
+
+// TestFArraySequentialModelProperty drives a random op sequence against
+// both the f-array (in the simulator) and a plain int model, requiring
+// identical read results in single-process executions.
+func TestFArraySequentialModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(9)
+		nOps := 1 + rng.Intn(40)
+		type op struct {
+			slot  int
+			delta int32
+			read  bool
+		}
+		ops := make([]op, nOps)
+		for i := range ops {
+			ops[i] = op{slot: rng.Intn(k), delta: int32(rng.Intn(11) - 5), read: rng.Intn(3) == 0}
+		}
+		r := sim.New(sim.Config{Scheduler: sched.LowestFirst{}})
+		c := NewFArray(r, "C", k)
+		okCh := true
+		r.AddProc(func(p sim.Proc) {
+			var model int32
+			for _, o := range ops {
+				if o.read {
+					if got := c.Read(p); got != model {
+						okCh = false
+						return
+					}
+				} else {
+					c.Add(p, o.slot, o.delta)
+					model += o.delta
+				}
+			}
+			if got := c.Read(p); got != model {
+				okCh = false
+			}
+		})
+		if err := r.Start(); err != nil {
+			return false
+		}
+		defer r.Close()
+		if err := r.Run(); err != nil {
+			return false
+		}
+		return okCh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newCellArray(k int) func(a memmodel.Allocator) Counter {
+	return func(a memmodel.Allocator) Counter { return NewCellArray(a, "C", k) }
+}
+
+func TestCellArraySequential(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 8} {
+		k := k
+		var final int32 = -1
+		runCounter(t, sim.WriteThrough, sched.LowestFirst{}, newCellArray(k),
+			func(c Counter) []sim.Program {
+				return []sim.Program{func(p sim.Proc) {
+					for s := 0; s < k; s++ {
+						c.Add(p, s, int32(s+1))
+					}
+					if got := c.Read(p); got != int32(k*(k+1)/2) {
+						t.Errorf("k=%d: Read = %d", k, got)
+					}
+					for s := 0; s < k; s++ {
+						c.Add(p, s, -int32(s+1))
+					}
+					final = c.Read(p)
+				}}
+			})
+		if final != 0 {
+			t.Errorf("k=%d: final = %d", k, final)
+		}
+	}
+}
+
+func TestCellArrayConcurrentExactTotal(t *testing.T) {
+	const k = 6
+	for _, seed := range []int64{2, 12} {
+		var got int32 = -1
+		r := sim.New(sim.Config{Scheduler: sched.NewRandom(seed)})
+		c := NewCellArray(r, "C", k)
+		done := r.Alloc("done", 0)
+		for s := 0; s < k; s++ {
+			s := s
+			r.AddProc(func(p sim.Proc) {
+				for i := 0; i < 4; i++ {
+					c.Add(p, s, 2)
+				}
+				p.FetchAdd(done, 1)
+			})
+		}
+		r.AddProc(func(p sim.Proc) {
+			p.Await(done, func(x uint64) bool { return x == k })
+			got = c.Read(p)
+		})
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		if got != 8*k {
+			t.Errorf("seed %d: total = %d, want %d", seed, got, 8*k)
+		}
+	}
+}
+
+// TestCellArrayCostSplit pins the mirrored complexity: O(1) add, O(K) read.
+func TestCellArrayCostSplit(t *testing.T) {
+	for _, k := range []int{4, 64, 256} {
+		r := sim.New(sim.Config{Protocol: sim.WriteThrough, Scheduler: sched.LowestFirst{}})
+		c := NewCellArray(r, "C", k)
+		r.AddProc(func(p sim.Proc) { c.Add(p, k-1, 1) })
+		r.AddProc(func(p sim.Proc) { _ = c.Read(p) })
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Account(0).TotalSteps; got != 2 {
+			t.Errorf("k=%d: Add steps = %d, want 2", k, got)
+		}
+		if got := r.Account(1).TotalSteps; got != k {
+			t.Errorf("k=%d: Read steps = %d, want %d", k, got, k)
+		}
+		r.Close()
+	}
+}
+
+func TestCellArrayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCellArray(0) did not panic")
+		}
+	}()
+	r := sim.New(sim.Config{})
+	NewCellArray(r, "C", 0)
+}
+
+func TestCellArrayAddSlotRange(t *testing.T) {
+	r := sim.New(sim.Config{})
+	c := NewCellArray(r, "C", 2)
+	for _, slot := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(slot=%d) did not panic", slot)
+				}
+			}()
+			c.Add(nil, slot, 1)
+		}()
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/tablefmt"
+)
+
+// E1Row is one point of the Theorem-18 tradeoff grid.
+type E1Row struct {
+	FName  string
+	N      int
+	Groups int
+	K      int
+	// WriterEntryRMR is the worst per-passage writer entry cost;
+	// Theorem 18 predicts Theta(f(n)) (plus O(log m) for the mutex).
+	WriterEntryRMR int
+	// ReaderPassRMR is the worst per-passage reader cost (entry+cs+exit);
+	// predicted Theta(log(n/f(n))).
+	ReaderPassRMR int
+	// ReaderExitRMR isolates the exit section, the quantity the
+	// lower-bound tradeoff speaks about.
+	ReaderExitRMR int
+	// PredWriter and PredReader are the paper's predicted shapes
+	// (f(n)+log2 m and log2 K + 1).
+	PredWriter, PredReader float64
+}
+
+// E1Tradeoff measures the A_f tradeoff across parameterizations and reader
+// counts under low-contention scheduling (which isolates the algorithmic
+// RMR cost the theorem bounds).
+func E1Tradeoff(ns []int, protocol sim.Protocol) ([]E1Row, *tablefmt.Table, error) {
+	var rows []E1Row
+	for _, fac := range AFFactories() {
+		for _, n := range ns {
+			rep := spec.Run(fac.New(), spec.Scenario{
+				NReaders: n, NWriters: 1,
+				ReaderPassages: 2, WriterPassages: 2,
+				Protocol:  protocol,
+				Scheduler: sched.NewSticky(),
+				MaxSteps:  20_000_000,
+			})
+			if !rep.OK() {
+				return nil, nil, &RunError{Exp: "E1", Alg: fac.Name, N: n, Detail: rep.Failures()}
+			}
+			props := fac.New().Props()
+			rows = append(rows, E1Row{
+				FName:          fac.F.Name,
+				N:              n,
+				Groups:         fac.F.Groups(n),
+				K:              fac.F.GroupSize(n),
+				WriterEntryRMR: rep.MaxWriterPassage.EntryRMR,
+				ReaderPassRMR:  rep.MaxReaderPassage.RMR(),
+				ReaderExitRMR:  rep.MaxReaderPassage.ExitRMR,
+				PredWriter:     props.PredictedWriterRMR(n, 1),
+				PredReader:     props.PredictedReaderRMR(n, 1),
+			})
+		}
+	}
+	return rows, e1Table(rows), nil
+}
+
+func e1Table(rows []E1Row) *tablefmt.Table {
+	t := tablefmt.New("f", "n", "groups", "K",
+		"writer entry RMR", "pred ~f+log m", "reader RMR", "reader exit RMR", "pred ~log K")
+	last := ""
+	for i, r := range rows {
+		if last != "" && r.FName != last {
+			t.AddRule()
+		}
+		_ = i
+		last = r.FName
+		t.AddRow("af-"+r.FName, tablefmt.Itoa(r.N), tablefmt.Itoa(r.Groups), tablefmt.Itoa(r.K),
+			tablefmt.Itoa(r.WriterEntryRMR), tablefmt.F1(r.PredWriter),
+			tablefmt.Itoa(r.ReaderPassRMR), tablefmt.Itoa(r.ReaderExitRMR), tablefmt.F1(r.PredReader))
+	}
+	return t
+}
+
+// RunError reports a failed experiment execution.
+type RunError struct {
+	Exp, Alg string
+	N        int
+	Detail   string
+}
+
+func (e *RunError) Error() string {
+	return e.Exp + ": " + e.Alg + " n=" + tablefmt.Itoa(e.N) + ": " + e.Detail
+}

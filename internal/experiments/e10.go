@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/tablefmt"
+)
+
+// E10Row compares WL substrates inside A_f: the Peterson tournament the
+// paper prescribes (O(log m) RMR, read/write only), the CLH queue lock
+// (O(1) with hardware swap; our CAS-emulated enqueue retries under
+// simultaneous arrivals), and the FAA ticket lock (O(1) steps but each
+// release wakes every waiter). Writers-only contention isolates WL.
+type E10Row struct {
+	Mutex string
+	M     int
+	// SoloRMR is the uncontended writer passage cost (n=1 reader idle).
+	SoloRMR int
+	// ContendedMeanRMR is the mean writer passage RMR with all m writers
+	// arriving together under round-robin.
+	ContendedMeanRMR float64
+	// ContendedMaxRMR is the worst passage.
+	ContendedMaxRMR int
+}
+
+var e10Kinds = []struct {
+	name string
+	kind core.MutexKind
+}{
+	{"tournament", core.MutexTournament},
+	{"clh", core.MutexCLH},
+	{"ticket", core.MutexTicket},
+}
+
+// E10MutexSubstrates measures A_f writer costs across WL substrates and
+// writer counts.
+func E10MutexSubstrates(ms []int) ([]E10Row, *tablefmt.Table, error) {
+	var rows []E10Row
+	for _, k := range e10Kinds {
+		for _, m := range ms {
+			solo := spec.Run(core.New(core.FOne, core.WithWriterMutex(k.kind)), spec.Scenario{
+				NReaders: 1, NWriters: m,
+				ReaderPassages: 0, WriterPassages: 2,
+				Scheduler: sched.NewSticky(),
+				Protocol:  sim.WriteThrough,
+				MaxSteps:  20_000_000,
+			})
+			if !solo.OK() {
+				return nil, nil, &RunError{Exp: "E10", Alg: k.name, N: m, Detail: solo.Failures()}
+			}
+			contended := spec.Run(core.New(core.FOne, core.WithWriterMutex(k.kind)), spec.Scenario{
+				NReaders: 1, NWriters: m,
+				ReaderPassages: 0, WriterPassages: 2,
+				Scheduler: sched.NewRoundRobin(),
+				Protocol:  sim.WriteThrough,
+				MaxSteps:  20_000_000,
+			})
+			if !contended.OK() {
+				return nil, nil, &RunError{Exp: "E10c", Alg: k.name, N: m, Detail: contended.Failures()}
+			}
+			var all []float64
+			for _, acct := range contended.WriterAccounts {
+				for _, pass := range acct.Passages {
+					all = append(all, float64(pass.RMR()))
+				}
+			}
+			rows = append(rows, E10Row{
+				Mutex:            k.name,
+				M:                m,
+				SoloRMR:          solo.MaxWriterPassage.RMR(),
+				ContendedMeanRMR: stats.Summarize(all).Mean,
+				ContendedMaxRMR:  contended.MaxWriterPassage.RMR(),
+			})
+		}
+	}
+	return rows, e10Table(rows), nil
+}
+
+func e10Table(rows []E10Row) *tablefmt.Table {
+	t := tablefmt.New("WL substrate", "m",
+		"solo writer RMR", "contended mean", "contended max")
+	last := ""
+	for _, r := range rows {
+		if last != "" && r.Mutex != last {
+			t.AddRule()
+		}
+		last = r.Mutex
+		t.AddRow(r.Mutex, tablefmt.Itoa(r.M),
+			tablefmt.Itoa(r.SoloRMR), tablefmt.F1(r.ContendedMeanRMR), tablefmt.Itoa(r.ContendedMaxRMR))
+	}
+	return t
+}

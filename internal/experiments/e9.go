@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/tablefmt"
+)
+
+// E9Row is one point of the counter ablation: the same A_f
+// parameterization with the paper's f-array group counters versus two
+// ablated counters. The f-array's O(log K)-add / O(1)-read split is the
+// ingredient that realizes Theorem 18 on both sides at once:
+//
+//   - CounterCASWord (O(1) uncontended add on one word) re-introduces
+//     invalidation storms and CAS retries: contended reader cost grows
+//     with concurrency instead of log K.
+//   - CounterCellArray (O(1) add, O(K) scan read) keeps readers cheap but
+//     shifts the cost to every counter *read*: the writer's group scans
+//     become Theta(n) regardless of f, collapsing the tradeoff to its
+//     f=n endpoint.
+type E9Row struct {
+	FName string
+	Kind  string
+	N     int
+	// ReaderMean/ReaderMax are per-passage reader RMRs under a contended
+	// round-robin schedule with no writer (reader-side cost).
+	ReaderMean float64
+	ReaderMax  int
+	// WriterEntryRMR is the solo writer entry cost (readers quiescent).
+	WriterEntryRMR int
+}
+
+var e9Kinds = []struct {
+	name string
+	kind core.CounterKind
+}{
+	{"f-array", core.CounterFArray},
+	{"cas-word", core.CounterCASWord},
+	{"cell-array", core.CounterCellArray},
+}
+
+// E9CounterAblation measures reader and writer costs for all three counter
+// kinds.
+func E9CounterAblation(ns []int) ([]E9Row, *tablefmt.Table, error) {
+	var rows []E9Row
+	for _, f := range []core.F{core.FOne, core.FLog} {
+		for _, k := range e9Kinds {
+			for _, n := range ns {
+				// Reader-side: all readers in lockstep (worst case for a
+				// shared word), no writer.
+				rep := spec.Run(core.NewWithCounter(f, k.kind), spec.Scenario{
+					NReaders: n, NWriters: 1,
+					ReaderPassages: 3, WriterPassages: 0,
+					Protocol:  sim.WriteThrough,
+					Scheduler: sched.NewRoundRobin(),
+					MaxSteps:  50_000_000,
+				})
+				if !rep.OK() {
+					return nil, nil, &RunError{Exp: "E9", Alg: "af-" + f.Name + "/" + k.name, N: n, Detail: rep.Failures()}
+				}
+				var all []float64
+				for _, acct := range rep.ReaderAccounts {
+					for _, pass := range acct.Passages {
+						all = append(all, float64(pass.RMR()))
+					}
+				}
+				// Writer-side: solo entry over quiescent readers.
+				wrep := spec.Run(core.NewWithCounter(f, k.kind), spec.Scenario{
+					NReaders: n, NWriters: 1,
+					ReaderPassages: 0, WriterPassages: 1,
+					Protocol:  sim.WriteThrough,
+					Scheduler: sched.LowestFirst{},
+					MaxSteps:  50_000_000,
+				})
+				if !wrep.OK() {
+					return nil, nil, &RunError{Exp: "E9w", Alg: "af-" + f.Name + "/" + k.name, N: n, Detail: wrep.Failures()}
+				}
+				rows = append(rows, E9Row{
+					FName: f.Name, Kind: k.name, N: n,
+					ReaderMean:     stats.Summarize(all).Mean,
+					ReaderMax:      rep.MaxReaderPassage.RMR(),
+					WriterEntryRMR: wrep.MaxWriterPassage.EntryRMR,
+				})
+			}
+		}
+	}
+	return rows, e9Table(rows), nil
+}
+
+func e9Table(rows []E9Row) *tablefmt.Table {
+	t := tablefmt.New("f", "counter", "n",
+		"reader RMR mean", "reader RMR max", "writer entry RMR")
+	last := ""
+	for _, r := range rows {
+		key := r.FName + "/" + r.Kind
+		if last != "" && key != last {
+			t.AddRule()
+		}
+		last = key
+		t.AddRow("af-"+r.FName, r.Kind, tablefmt.Itoa(r.N),
+			tablefmt.F1(r.ReaderMean), tablefmt.Itoa(r.ReaderMax),
+			tablefmt.Itoa(r.WriterEntryRMR))
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+// Package experiments defines the reproduction experiments E1-E7 from
+// DESIGN.md, one function per experiment. Each returns machine-readable
+// rows plus a rendered text table; the cmd/ binaries print the tables and
+// bench_test.go wraps the functions in testing.B targets so
+// `go test -bench=.` regenerates every artifact.
+//
+// The paper (PODC 2016, theory) has no numbered tables or measurement
+// figures; the experiments reproduce its quantitative *claims*:
+//
+//	E1  Theorem 18 upper bounds: writer Theta(f(n)), reader Theta(log(n/f)).
+//	E2  Theorem 5 lower-bound construction (Figure 1): iterations r,
+//	    expanding steps, Lemmas 1/2/4 checks.
+//	E3  Corollaries 6-7: max(writer-entry, reader-exit) = Omega(log n) and
+//	    the Omega(log m) writers-only bound.
+//	E4  Cross-algorithm comparison over workload mixes (Section 6).
+//	E5  Write-through vs write-back (Section 2: results hold for both).
+//	E6  Property matrix: Mutual Exclusion, progress, reader overlap,
+//	    Bounded Exit across algorithms and schedules (Section 5).
+//	E7  Native throughput sanity (bench_test.go and cmd/rwbench).
+package experiments
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/memmodel"
+)
+
+// Factory creates fresh algorithm instances; algorithms are single-use
+// (one Init per execution), so experiments construct one per run.
+type Factory struct {
+	// Name is the algorithm name the factory produces.
+	Name string
+	// New returns a fresh, uninitialized instance.
+	New func() memmodel.Algorithm
+	// F is the A_f parameterization, when the algorithm is an A_f member.
+	F core.F
+	// HasF reports whether F is meaningful.
+	HasF bool
+}
+
+// AFFactories returns factories for the standard A_f parameterizations.
+func AFFactories() []Factory {
+	out := make([]Factory, 0, len(core.StandardFs))
+	for _, f := range core.StandardFs {
+		f := f
+		out = append(out, Factory{
+			Name: "af-" + f.Name,
+			New:  func() memmodel.Algorithm { return core.New(f) },
+			F:    f,
+			HasF: true,
+		})
+	}
+	return out
+}
+
+// BaselineFactories returns factories for the comparison baselines: the
+// Section-6 discussion points plus the classic literature locks (Courtois
+// et al. 1971, the big-reader pattern).
+func BaselineFactories() []Factory {
+	return []Factory{
+		{Name: "centralized", New: func() memmodel.Algorithm { return baseline.NewCentralized() }},
+		{Name: "flag-array", New: func() memmodel.Algorithm { return baseline.NewFlagArray() }},
+		{Name: "faa-phasefair", New: func() memmodel.Algorithm { return baseline.NewPhaseFair() }},
+		{Name: "mutex-rw", New: func() memmodel.Algorithm { return baseline.NewMutexRW() }},
+		{Name: "brlock", New: func() memmodel.Algorithm { return baseline.NewBRLock() }},
+		{Name: "courtois-r", New: func() memmodel.Algorithm { return baseline.NewCourtoisR() }},
+		{Name: "courtois-w", New: func() memmodel.Algorithm { return baseline.NewCourtoisW() }},
+		{Name: "queue-rw", New: func() memmodel.Algorithm { return baseline.NewQueueRW() }},
+	}
+}
+
+// AllFactories returns A_f members followed by baselines.
+func AllFactories() []Factory {
+	return append(AFFactories(), BaselineFactories()...)
+}
+
+// ExtendedFactories returns AllFactories plus the ablation variants
+// (counter kinds, WL substrates) and the writer-priority composition —
+// everything the wide property matrix (E6) should certify.
+func ExtendedFactories() []Factory {
+	out := AllFactories()
+	out = append(out,
+		Factory{Name: "af-log+casword", New: func() memmodel.Algorithm {
+			return core.NewWithCounter(core.FLog, core.CounterCASWord)
+		}},
+		Factory{Name: "af-log+cellarray", New: func() memmodel.Algorithm {
+			return core.NewWithCounter(core.FLog, core.CounterCellArray)
+		}},
+		Factory{Name: "af-log+clhwl", New: func() memmodel.Algorithm {
+			return core.New(core.FLog, core.WithWriterMutex(core.MutexCLH))
+		}},
+		Factory{Name: "af-log+ticketwl", New: func() memmodel.Algorithm {
+			return core.New(core.FLog, core.WithWriterMutex(core.MutexTicket))
+		}},
+		Factory{Name: "af-log+wpri", New: func() memmodel.Algorithm {
+			return fairness.New(core.New(core.FLog))
+		}},
+	)
+	return out
+}

@@ -1,0 +1,109 @@
+// Package fairness addresses the paper's closing open problem: A_f (like
+// the baselines) lets writers starve when readers keep arriving
+// (Section 6: "Writers, however, may starve if there are always readers
+// performing passages"; finding tradeoff-optimal algorithms with better
+// fairness is left as future work).
+//
+// WriterPriority is a *composition*, not a modified protocol: it wraps any
+// reader-writer lock with a pre-gate in the reader's path. Writers bump a
+// pending count before entering the inner lock and drop it after exiting;
+// readers wait (local spin) for the count to reach zero before starting
+// the inner entry section. Because the gate executes logically in the
+// remainder section — before the inner algorithm's entry begins — it
+// cannot affect the inner lock's Mutual Exclusion, Bounded Exit or
+// deadlock freedom, and Concurrent Entering is preserved in the only case
+// where it is required (all writers in the remainder section implies the
+// gate is open). The costs are O(1) extra RMRs per passage for both
+// classes.
+//
+// The trade: writers can no longer starve behind reader churn (the gate
+// stalls new readers while a writer is pending), but reader
+// starvation-freedom is lost — under perpetual writer arrivals the gate
+// may never open. The staged tests demonstrate both directions. Matching
+// the paper's tradeoff with *two-sided* fairness remains open, as the
+// paper says.
+package fairness
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// WriterPriority wraps an inner reader-writer lock with a writer-pending
+// gate. Construct with New.
+type WriterPriority struct {
+	inner memmodel.Algorithm
+	// pend counts writers past the gate but not yet out of their exit
+	// section. Writers update it with CAS retry loops (the operation set
+	// stays read/write/CAS); retries are bounded by writer concurrency.
+	pend memmodel.Var
+}
+
+var _ memmodel.Algorithm = (*WriterPriority)(nil)
+
+// New wraps inner with writer priority.
+func New(inner memmodel.Algorithm) *WriterPriority {
+	return &WriterPriority{inner: inner}
+}
+
+// Name implements memmodel.Algorithm.
+func (w *WriterPriority) Name() string { return w.inner.Name() + "+wpri" }
+
+// Init implements memmodel.Algorithm.
+func (w *WriterPriority) Init(a memmodel.Allocator, nReaders, nWriters int) error {
+	if err := w.inner.Init(a, nReaders, nWriters); err != nil {
+		return fmt.Errorf("fairness: inner init: %w", err)
+	}
+	w.pend = a.Alloc("WPEND", 0)
+	return nil
+}
+
+// ReaderEnter waits at the gate until no writer is pending, then runs the
+// inner entry section. A writer arriving after the gate check is handled
+// by the inner lock as usual; the gate only prevents *streams* of readers
+// from keeping writers out forever.
+func (w *WriterPriority) ReaderEnter(p memmodel.Proc, rid int) {
+	p.Await(w.pend, func(x uint64) bool { return x == 0 })
+	w.inner.ReaderEnter(p, rid)
+}
+
+// ReaderExit runs the inner exit section; the gate has no reader-side
+// cleanup.
+func (w *WriterPriority) ReaderExit(p memmodel.Proc, rid int) {
+	w.inner.ReaderExit(p, rid)
+}
+
+// WriterEnter announces the writer at the gate, then runs the inner entry
+// section.
+func (w *WriterPriority) WriterEnter(p memmodel.Proc, wid int) {
+	for {
+		cur := p.Read(w.pend)
+		if _, ok := p.CAS(w.pend, cur, cur+1); ok {
+			break
+		}
+	}
+	w.inner.WriterEnter(p, wid)
+}
+
+// WriterExit runs the inner exit section, then retracts the announcement
+// (re-opening the gate when this was the last pending writer).
+func (w *WriterPriority) WriterExit(p memmodel.Proc, wid int) {
+	w.inner.WriterExit(p, wid)
+	for {
+		cur := p.Read(w.pend)
+		if _, ok := p.CAS(w.pend, cur, cur-1); ok {
+			return
+		}
+	}
+}
+
+// Props implements memmodel.Algorithm: the wrapper keeps the inner lock's
+// properties except reader starvation-freedom, which it deliberately
+// trades for writer priority.
+func (w *WriterPriority) Props() memmodel.Props {
+	props := w.inner.Props()
+	props.ReaderStarvationFree = false
+	props.UsesCAS = true
+	return props
+}

@@ -1,0 +1,128 @@
+// Package linearize checks counter histories for linearizability
+// (Wing-Gong style search with memoization). A_f's correctness proofs
+// treat C[i] and W[i] as atomic counters; the paper's f-array construction
+// is designed to be linearizable, and this checker validates that claim on
+// concurrent histories collected from the simulator — and, conversely,
+// exhibits the *non*-linearizable behaviour of the cell-array ablation's
+// scan reads.
+//
+// A history is a set of operations with real-time windows [Start, End]:
+// operation A happens before B iff A.End < B.Start. A history is
+// linearizable iff there is a total order extending happens-before in
+// which every Read returns the sum of the Adds ordered before it.
+package linearize
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Op is one completed counter operation with its observation window.
+// Windows may be over-approximations (earlier Start, later End): widening
+// windows only admits more linearizations, so a verdict of "not
+// linearizable" remains sound.
+type Op struct {
+	// Proc identifies the calling process (diagnostics only).
+	Proc int
+	// Start and End delimit the operation's real-time window; End >= Start.
+	Start, End int
+	// IsRead distinguishes reads from adds.
+	IsRead bool
+	// Delta is the amount added (adds only).
+	Delta int32
+	// Result is the value returned (reads only).
+	Result int32
+}
+
+func (o Op) String() string {
+	if o.IsRead {
+		return fmt.Sprintf("p%d Read()=%d @[%d,%d]", o.Proc, o.Result, o.Start, o.End)
+	}
+	return fmt.Sprintf("p%d Add(%d) @[%d,%d]", o.Proc, o.Delta, o.Start, o.End)
+}
+
+// MaxOps bounds the history size the checker accepts (the memoized search
+// is exponential in the worst case; 24 ops keeps it comfortably fast).
+const MaxOps = 24
+
+// CheckCounter reports whether the history is linearizable with respect to
+// a sequential counter starting at zero. It returns a witness order (op
+// indices into the input) when linearizable.
+func CheckCounter(ops []Op) (bool, []int, error) {
+	if len(ops) > MaxOps {
+		return false, nil, fmt.Errorf("linearize: history of %d ops exceeds limit %d", len(ops), MaxOps)
+	}
+	for i, o := range ops {
+		if o.End < o.Start {
+			return false, nil, fmt.Errorf("linearize: op %d has End < Start", i)
+		}
+	}
+	if len(ops) == 0 {
+		return true, nil, nil
+	}
+
+	// Sort by Start for a stable exploration order; keep original indices.
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ops[idx[a]].Start < ops[idx[b]].Start })
+
+	full := uint32(1)<<len(ops) - 1
+	// visited memoizes "remaining set is not linearizable from here": the
+	// running sum is a function of the applied add set, so the bitmask
+	// alone identifies the search state.
+	visited := make(map[uint32]bool)
+
+	var order []int
+	var dfs func(remaining uint32, sum int32) bool
+	dfs = func(remaining uint32, sum int32) bool {
+		if remaining == 0 {
+			return true
+		}
+		if visited[remaining] {
+			return false
+		}
+		// An op is a candidate next linearization point iff no other
+		// remaining op finished before it started.
+		minEnd := int(^uint(0) >> 1)
+		for r := remaining; r != 0; r &= r - 1 {
+			i := idx[bits.TrailingZeros32(r)]
+			if ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		for r := remaining; r != 0; r &= r - 1 {
+			bit := uint32(1) << bits.TrailingZeros32(r)
+			i := idx[bits.TrailingZeros32(r)]
+			if ops[i].Start > minEnd {
+				continue // some remaining op happens strictly before it
+			}
+			if ops[i].IsRead {
+				if ops[i].Result != sum {
+					continue
+				}
+				order = append(order, i)
+				if dfs(remaining&^bit, sum) {
+					return true
+				}
+				order = order[:len(order)-1]
+			} else {
+				order = append(order, i)
+				if dfs(remaining&^bit, sum+ops[i].Delta) {
+					return true
+				}
+				order = order[:len(order)-1]
+			}
+		}
+		visited[remaining] = true
+		return false
+	}
+
+	if dfs(full, 0) {
+		witness := append([]int(nil), order...)
+		return true, witness, nil
+	}
+	return false, nil, nil
+}

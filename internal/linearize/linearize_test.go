@@ -1,0 +1,133 @@
+package linearize
+
+import (
+	"testing"
+)
+
+func TestEmptyAndSequential(t *testing.T) {
+	ok, _, err := CheckCounter(nil)
+	if err != nil || !ok {
+		t.Fatalf("empty history: ok=%v err=%v", ok, err)
+	}
+	ops := []Op{
+		{Proc: 0, Start: 0, End: 1, Delta: 5},
+		{Proc: 0, Start: 2, End: 3, IsRead: true, Result: 5},
+		{Proc: 0, Start: 4, End: 5, Delta: -2},
+		{Proc: 0, Start: 6, End: 7, IsRead: true, Result: 3},
+	}
+	ok, witness, err := CheckCounter(ops)
+	if err != nil || !ok {
+		t.Fatalf("sequential history rejected: %v", err)
+	}
+	if len(witness) != len(ops) {
+		t.Fatalf("witness length %d", len(witness))
+	}
+}
+
+func TestOverlappingReadMaySeeEither(t *testing.T) {
+	// A read overlapping an add may return the value before or after it.
+	for _, result := range []int32{0, 7} {
+		ops := []Op{
+			{Proc: 0, Start: 0, End: 10, Delta: 7},
+			{Proc: 1, Start: 0, End: 10, IsRead: true, Result: result},
+		}
+		if ok, _, err := CheckCounter(ops); err != nil || !ok {
+			t.Errorf("result %d rejected: err=%v", result, err)
+		}
+	}
+	// But not an unrelated value.
+	ops := []Op{
+		{Proc: 0, Start: 0, End: 10, Delta: 7},
+		{Proc: 1, Start: 0, End: 10, IsRead: true, Result: 3},
+	}
+	if ok, _, _ := CheckCounter(ops); ok {
+		t.Error("impossible read value accepted")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// With only positive adds, a later read cannot observe less than an
+	// earlier read (both sequential).
+	ops := []Op{
+		{Proc: 0, Start: 0, End: 1, Delta: 1},
+		{Proc: 1, Start: 2, End: 3, IsRead: true, Result: 1},
+		{Proc: 1, Start: 4, End: 5, IsRead: true, Result: 0},
+	}
+	if ok, _, _ := CheckCounter(ops); ok {
+		t.Error("decreasing sequential reads accepted")
+	}
+}
+
+func TestMissedMiddleAddRejected(t *testing.T) {
+	// Add(1) completes strictly before Add(2) starts; a concurrent read
+	// returning 2 (the second add without the first) is the classic
+	// non-linearizable scan anomaly.
+	ops := []Op{
+		{Proc: 0, Start: 2, End: 3, Delta: 1},
+		{Proc: 1, Start: 5, End: 6, Delta: 2},
+		{Proc: 2, Start: 0, End: 10, IsRead: true, Result: 2},
+	}
+	if ok, _, _ := CheckCounter(ops); ok {
+		t.Error("scan anomaly accepted (read saw the second add but not the first)")
+	}
+	// Whereas 0, 1 and 3 are all legitimate.
+	for _, result := range []int32{0, 1, 3} {
+		ops[2].Result = result
+		if ok, _, _ := CheckCounter(ops); !ok {
+			t.Errorf("legitimate result %d rejected", result)
+		}
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Two sequential adds then a sequential read must see both.
+	ops := []Op{
+		{Proc: 0, Start: 0, End: 1, Delta: 1},
+		{Proc: 0, Start: 2, End: 3, Delta: 1},
+		{Proc: 1, Start: 4, End: 5, IsRead: true, Result: 1},
+	}
+	if ok, _, _ := CheckCounter(ops); ok {
+		t.Error("read missing a completed add accepted")
+	}
+}
+
+func TestWitnessIsValid(t *testing.T) {
+	ops := []Op{
+		{Proc: 0, Start: 0, End: 4, Delta: 2},
+		{Proc: 1, Start: 1, End: 5, IsRead: true, Result: 2},
+		{Proc: 2, Start: 2, End: 6, Delta: 3},
+		{Proc: 1, Start: 7, End: 8, IsRead: true, Result: 5},
+	}
+	ok, witness, err := CheckCounter(ops)
+	if err != nil || !ok {
+		t.Fatalf("history rejected: %v", err)
+	}
+	// Replay the witness sequentially.
+	var sum int32
+	seen := map[int]bool{}
+	for _, i := range witness {
+		if seen[i] {
+			t.Fatal("witness repeats an op")
+		}
+		seen[i] = true
+		if ops[i].IsRead {
+			if ops[i].Result != sum {
+				t.Fatalf("witness invalid: read %d at sum %d", ops[i].Result, sum)
+			}
+		} else {
+			sum += ops[i].Delta
+		}
+	}
+	if len(seen) != len(ops) {
+		t.Fatal("witness incomplete")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := CheckCounter(make([]Op, MaxOps+1)); err == nil {
+		t.Error("oversized history accepted")
+	}
+	if _, _, err := CheckCounter([]Op{{Start: 5, End: 2}}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}

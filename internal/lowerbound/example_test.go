@@ -1,0 +1,26 @@
+package lowerbound_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+)
+
+// Example runs the Theorem-5 adversarial construction against A_f with
+// f(n) = 1 and n = 27 readers: the iteration count r witnesses the
+// Omega(log3(n/f)) lower bound, and the writer ends aware of all readers
+// (Lemma 4).
+func Example() {
+	res, err := lowerbound.Run(core.New(core.FOne), 27, lowerbound.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("iterations r = %d (log3(27/1) = %.0f)\n", res.R, lowerbound.Log3Bound(27, 1))
+	fmt.Printf("writer aware of %d/27 readers\n", res.WriterAwareReaders)
+	fmt.Printf("Lemma 1 violations: %d\n", res.Lemma1Violations)
+	// Output:
+	// iterations r = 8 (log3(27/1) = 3)
+	// writer aware of 27/27 readers
+	// Lemma 1 violations: 0
+}

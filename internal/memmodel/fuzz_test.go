@@ -1,0 +1,33 @@
+package memmodel
+
+import "testing"
+
+// FuzzPackSig checks the signal-pair encoding is a bijection on its
+// domain under arbitrary inputs.
+func FuzzPackSig(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(42), uint8(7))
+	f.Add(uint64(1)<<60, uint8(3))
+	f.Fuzz(func(t *testing.T, seq uint64, op uint8) {
+		seq &= (1 << 61) - 1
+		op &= 7
+		gotSeq, gotOp := UnpackSig(PackSig(seq, op))
+		if gotSeq != seq || gotOp != op {
+			t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", seq, op, gotSeq, gotOp)
+		}
+	})
+}
+
+// FuzzPackVerSum checks the counter-node encoding round-trips for all
+// version/sum pairs, including negative sums.
+func FuzzPackVerSum(f *testing.F) {
+	f.Add(uint32(0), int32(0))
+	f.Add(uint32(1<<31), int32(-1))
+	f.Add(^uint32(0), int32(1<<31-1))
+	f.Fuzz(func(t *testing.T, ver uint32, sum int32) {
+		gotVer, gotSum := UnpackVerSum(PackVerSum(ver, sum))
+		if gotVer != ver || gotSum != sum {
+			t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", ver, sum, gotVer, gotSum)
+		}
+	})
+}

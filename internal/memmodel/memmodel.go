@@ -1,0 +1,251 @@
+// Package memmodel defines the abstract shared-memory machine model from
+// Hendler, "On the Complexity of Reader-Writer Locks" (PODC 2016), Section 2.
+//
+// Algorithms (locks, counters, mutexes) are written once against the Proc
+// interface and can then run on two interchangeable backends:
+//
+//   - internal/sim: a deterministic cache-coherent (CC) simulator that
+//     schedules one shared-memory step at a time and counts remote memory
+//     references (RMRs) exactly as the paper's model prescribes, and
+//   - internal/native: real sync/atomic words for hardware benchmarks.
+//
+// A step applies a read, write, CAS or fetch-and-add operation to a shared
+// variable. Reads and CASes are "reading steps"; writes, successful
+// value-changing CASes and fetch-and-adds are "writing steps". A step that
+// does not change the value of the variable it accesses is "trivial".
+// Busy-wait loops are expressed with Await/AwaitMulti, which model local
+// spinning on cached copies: the spinner is charged one RMR per
+// invalidation-triggered re-read of each spun-on variable.
+package memmodel
+
+// Var identifies a shared variable. Variables are allocated once, before an
+// execution starts, through an Allocator; algorithms address them by index.
+type Var int32
+
+// NoVar is the zero-ish sentinel for "no variable".
+const NoVar Var = -1
+
+// OpKind enumerates the shared-memory operations of the model.
+type OpKind uint8
+
+const (
+	// OpRead is a read step.
+	OpRead OpKind = iota + 1
+	// OpWrite is a write step.
+	OpWrite
+	// OpCAS is a compare-and-swap step. Per the paper, CAS(v, expected,
+	// new) changes v to new only if v == expected and returns the value of
+	// v prior to its application; it is both a reading and a writing step.
+	OpCAS
+	// OpFetchAdd is an atomic fetch-and-add step. The paper's algorithms
+	// do not use it; it exists for the FAA-based baseline locks the paper
+	// compares against (Section 6).
+	OpFetchAdd
+	// OpAwait is a local-spin wait: a read followed by blocking until the
+	// spun-on variable is invalidated and its new value satisfies the
+	// predicate.
+	OpAwait
+)
+
+// String returns the conventional lower-case name of the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	case OpFetchAdd:
+		return "faa"
+	case OpAwait:
+		return "await"
+	default:
+		return "unknown"
+	}
+}
+
+// Reading reports whether the operation is a reading step in the paper's
+// sense (reads and CASes; Await is a sequence of reads).
+func (k OpKind) Reading() bool {
+	return k == OpRead || k == OpCAS || k == OpAwait || k == OpFetchAdd
+}
+
+// Section labels the phase of a lock passage a process is currently in.
+// The simulator attributes every RMR to the section in which it occurs so
+// experiments can report exactly the quantities in the paper's theorems
+// (writer-entry RMRs, reader-exit RMRs, ...).
+type Section uint8
+
+const (
+	// SecRemainder is the remainder section (not in a passage).
+	SecRemainder Section = iota + 1
+	// SecEntry is the entry section of a passage.
+	SecEntry
+	// SecCS is the critical section.
+	SecCS
+	// SecExit is the exit section of a passage.
+	SecExit
+)
+
+// NumSections is the number of distinct Section values (plus one for the
+// zero value, which is never used); useful for array-indexed accounting.
+const NumSections = 5
+
+// String returns the section name.
+func (s Section) String() string {
+	switch s {
+	case SecRemainder:
+		return "remainder"
+	case SecEntry:
+		return "entry"
+	case SecCS:
+		return "cs"
+	case SecExit:
+		return "exit"
+	default:
+		return "unknown"
+	}
+}
+
+// Pred is a predicate over the value of a single shared variable. Predicates
+// passed to Await must be pure functions of the value.
+type Pred func(uint64) bool
+
+// MultiPred is a predicate over the values of several shared variables, in
+// the order they were passed to AwaitMulti. It must be a pure function of
+// the values.
+type MultiPred func([]uint64) bool
+
+// Proc is the per-process handle through which an algorithm performs shared
+// memory steps. A Proc is bound to exactly one process and must only be
+// used from that process's execution context.
+type Proc interface {
+	// ID returns the global process identifier, in [0, NumProcs).
+	ID() int
+
+	// Read performs a read step on v and returns its value.
+	Read(v Var) uint64
+
+	// Write performs a write step, setting v to x.
+	Write(v Var, x uint64)
+
+	// CAS performs a compare-and-swap step: if v's value equals old it is
+	// set to new. It returns the value v held immediately before the step
+	// and whether the swap was applied.
+	CAS(v Var, old, new uint64) (prev uint64, swapped bool)
+
+	// FetchAdd atomically adds delta (two's complement) to v and returns
+	// the previous value.
+	FetchAdd(v Var, delta uint64) (prev uint64)
+
+	// Await spins locally until pred holds for v's value, then returns
+	// that value. It models an "await" pseudo-code line: the process holds
+	// a cached copy and re-checks only when the copy is invalidated.
+	Await(v Var, pred Pred) uint64
+
+	// AwaitMulti spins locally on several variables at once until pred
+	// holds for their joint values, then returns those values. It models
+	// multi-variable spin loops such as Peterson's entry protocol.
+	AwaitMulti(vars []Var, pred MultiPred) []uint64
+
+	// Section declares that the process is now in section s. Backends use
+	// this for RMR attribution and property checking; it is not a shared
+	// memory step.
+	Section(s Section)
+}
+
+// Allocator allocates shared variables during algorithm setup, before any
+// process takes steps.
+type Allocator interface {
+	// Alloc allocates one shared variable with a debug name and an initial
+	// value.
+	Alloc(name string, init uint64) Var
+
+	// AllocN allocates n shared variables that share a name prefix, all
+	// with the same initial value.
+	AllocN(name string, n int, init uint64) []Var
+}
+
+// HomeAllocator is the optional extension implemented by backends that
+// model distributed shared memory (DSM), where every variable resides in
+// exactly one process's memory segment and accesses by other processes are
+// RMRs. The home process id uses the global numbering (readers first, then
+// writers — the spec harness convention). Backends without a locality
+// notion (the CC simulator protocols, the native backend) simply ignore
+// homes via the AllocHome helper's fallback.
+type HomeAllocator interface {
+	// AllocHome allocates a variable homed at process home.
+	AllocHome(name string, init uint64, home int) Var
+}
+
+// AllocHome allocates through a's HomeAllocator extension when present and
+// falls back to a plain Alloc otherwise. Algorithms use it to declare
+// variable locality without coupling to a backend.
+func AllocHome(a Allocator, name string, init uint64, home int) Var {
+	if ha, ok := a.(HomeAllocator); ok {
+		return ha.AllocHome(name, init, home)
+	}
+	return a.Alloc(name, init)
+}
+
+// Algorithm is a reader-writer lock written against the abstract model. An
+// Algorithm is instantiated for a fixed population of nReaders reader
+// processes and nWriters writer processes; process identities are stable
+// across passages (slot-based algorithms depend on this).
+//
+// The four passage methods must bracket the critical section with Section
+// calls: Enter methods are invoked with the process in SecEntry and must
+// leave it in SecCS; Exit methods are invoked in SecExit and must leave the
+// process in SecRemainder. The spec harness drives those transitions.
+type Algorithm interface {
+	// Name returns a short stable identifier (e.g. "af-log", "centralized").
+	Name() string
+
+	// Init allocates all shared state for the given population. It is
+	// called exactly once per execution, before any steps.
+	Init(a Allocator, nReaders, nWriters int) error
+
+	// ReaderEnter executes the reader entry section for reader rid
+	// (0 <= rid < nReaders) on behalf of process p.
+	ReaderEnter(p Proc, rid int)
+
+	// ReaderExit executes the reader exit section for reader rid.
+	ReaderExit(p Proc, rid int)
+
+	// WriterEnter executes the writer entry section for writer wid
+	// (0 <= wid < nWriters).
+	WriterEnter(p Proc, wid int)
+
+	// WriterExit executes the writer exit section for writer wid.
+	WriterExit(p Proc, wid int)
+
+	// Props describes the algorithm's claimed properties and predicted
+	// asymptotic RMR bounds; experiments and the spec harness consume it.
+	Props() Props
+}
+
+// Props declares an Algorithm's operation set, claimed properties, and
+// predicted RMR complexity, used by the spec harness (to know what to
+// assert) and the experiment tables (to print predicted columns).
+type Props struct {
+	// UsesCAS reports whether the algorithm issues CAS steps.
+	UsesCAS bool
+	// UsesFAA reports whether the algorithm issues fetch-and-add steps.
+	// The paper's tradeoff applies only to read/write/CAS algorithms; FAA
+	// algorithms (Bhatt-Jayanti style) can beat it.
+	UsesFAA bool
+	// ConcurrentEntering reports whether the algorithm claims the
+	// Concurrent Entering property (Section 2.1). Mutex-based RW locks do
+	// not.
+	ConcurrentEntering bool
+	// ReaderStarvationFree reports whether readers are guaranteed to
+	// complete passages while writers keep arriving.
+	ReaderStarvationFree bool
+	// PredictedReaderRMR returns the asymptotic per-passage reader RMR
+	// bound for n readers and m writers (the Theta shape, up to constant
+	// factors), or 0 if unspecified.
+	PredictedReaderRMR func(n, m int) float64
+	// PredictedWriterRMR is the analogous writer bound.
+	PredictedWriterRMR func(n, m int) float64
+}

@@ -1,0 +1,162 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpKindString(t *testing.T) {
+	cases := []struct {
+		k    OpKind
+		want string
+	}{
+		{OpRead, "read"},
+		{OpWrite, "write"},
+		{OpCAS, "cas"},
+		{OpFetchAdd, "faa"},
+		{OpAwait, "await"},
+		{OpKind(0), "unknown"},
+		{OpKind(99), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("OpKind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestOpKindReading(t *testing.T) {
+	cases := []struct {
+		k    OpKind
+		want bool
+	}{
+		{OpRead, true},
+		{OpCAS, true},
+		{OpAwait, true},
+		{OpFetchAdd, true},
+		{OpWrite, false},
+	}
+	for _, c := range cases {
+		if got := c.k.Reading(); got != c.want {
+			t.Errorf("OpKind %v Reading() = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestSectionString(t *testing.T) {
+	cases := []struct {
+		s    Section
+		want string
+	}{
+		{SecRemainder, "remainder"},
+		{SecEntry, "entry"},
+		{SecCS, "cs"},
+		{SecExit, "exit"},
+		{Section(0), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Section(%d).String() = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPackSigRoundTrip(t *testing.T) {
+	cases := []struct {
+		seq uint64
+		op  uint8
+	}{
+		{0, 0},
+		{1, 1},
+		{42, 7},
+		{1 << 60, 3},
+		{(1 << 61) - 1, 7},
+	}
+	for _, c := range cases {
+		w := PackSig(c.seq, c.op)
+		seq, op := UnpackSig(w)
+		if seq != c.seq || op != c.op {
+			t.Errorf("UnpackSig(PackSig(%d,%d)) = (%d,%d)", c.seq, c.op, seq, op)
+		}
+		if SigSeq(w) != c.seq {
+			t.Errorf("SigSeq mismatch for seq=%d", c.seq)
+		}
+		if SigOp(w) != c.op {
+			t.Errorf("SigOp mismatch for op=%d", c.op)
+		}
+	}
+}
+
+func TestPackSigRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, op uint8) bool {
+		seq &= (1 << 61) - 1
+		op &= 7
+		s, o := UnpackSig(PackSig(seq, op))
+		return s == seq && o == op
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackSigOpMasked(t *testing.T) {
+	// Opcodes above 7 are masked to their low 3 bits rather than
+	// corrupting the sequence field.
+	w := PackSig(5, 0xFF)
+	seq, op := UnpackSig(w)
+	if seq != 5 {
+		t.Errorf("seq corrupted: got %d, want 5", seq)
+	}
+	if op != 7 {
+		t.Errorf("op = %d, want 7", op)
+	}
+}
+
+func TestPackVerSumRoundTrip(t *testing.T) {
+	cases := []struct {
+		ver uint32
+		sum int32
+	}{
+		{0, 0},
+		{1, 1},
+		{7, -1},
+		{1 << 31, -(1 << 30)},
+		{^uint32(0), 1<<31 - 1},
+		{12345, -1 << 31},
+	}
+	for _, c := range cases {
+		w := PackVerSum(c.ver, c.sum)
+		ver, sum := UnpackVerSum(w)
+		if ver != c.ver || sum != c.sum {
+			t.Errorf("UnpackVerSum(PackVerSum(%d,%d)) = (%d,%d)", c.ver, c.sum, ver, sum)
+		}
+		if VerSumSum(w) != c.sum {
+			t.Errorf("VerSumSum mismatch for sum=%d", c.sum)
+		}
+	}
+}
+
+func TestPackVerSumRoundTripProperty(t *testing.T) {
+	f := func(ver uint32, sum int32) bool {
+		v, s := UnpackVerSum(PackVerSum(ver, sum))
+		return v == ver && s == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackSigDistinct(t *testing.T) {
+	// Distinct <seq, op> pairs must map to distinct words: the A_f
+	// handshake relies on CAS distinguishing them.
+	seen := make(map[uint64]struct{})
+	for seq := uint64(0); seq < 16; seq++ {
+		for op := uint8(0); op < 8; op++ {
+			w := PackSig(seq, op)
+			if _, dup := seen[w]; dup {
+				t.Fatalf("collision at seq=%d op=%d", seq, op)
+			}
+			seen[w] = struct{}{}
+		}
+	}
+}

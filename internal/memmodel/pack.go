@@ -1,0 +1,49 @@
+package memmodel
+
+// Value packing helpers.
+//
+// Several of the paper's shared variables hold pairs: RSIG and WSIG[i] hold
+// <sequence number, opcode> pairs, and the f-array counter nodes hold
+// <version, signed sum> pairs (the version tag makes the CAS-based double
+// refresh ABA-safe). Each pair is packed into a single 64-bit word so it can
+// be read, written and CAS'd atomically, matching the paper's single-word
+// variables.
+
+// sigOpBits is the number of low bits reserved for the opcode in a packed
+// signal word; sequence numbers use the remaining 61 bits.
+const sigOpBits = 3
+
+// sigOpMask extracts the opcode from a packed signal word.
+const sigOpMask = (1 << sigOpBits) - 1
+
+// PackSig packs a <seq, op> signal pair into one word. seq must fit in 61
+// bits, which a per-passage sequence number always does.
+func PackSig(seq uint64, op uint8) uint64 {
+	return seq<<sigOpBits | uint64(op)&sigOpMask
+}
+
+// UnpackSig splits a packed signal word into its <seq, op> pair.
+func UnpackSig(w uint64) (seq uint64, op uint8) {
+	return w >> sigOpBits, uint8(w & sigOpMask)
+}
+
+// SigSeq returns just the sequence number of a packed signal word.
+func SigSeq(w uint64) uint64 { return w >> sigOpBits }
+
+// SigOp returns just the opcode of a packed signal word.
+func SigOp(w uint64) uint8 { return uint8(w & sigOpMask) }
+
+// PackVerSum packs a counter-node <version, sum> pair: a 32-bit version tag
+// in the high half and a signed 32-bit partial sum (two's complement) in the
+// low half.
+func PackVerSum(ver uint32, sum int32) uint64 {
+	return uint64(ver)<<32 | uint64(uint32(sum))
+}
+
+// UnpackVerSum splits a packed counter node into its version and signed sum.
+func UnpackVerSum(w uint64) (ver uint32, sum int32) {
+	return uint32(w >> 32), int32(uint32(w))
+}
+
+// VerSumSum returns just the signed sum of a packed counter node.
+func VerSumSum(w uint64) int32 { return int32(uint32(w)) }

@@ -1,0 +1,193 @@
+package mutex
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func buildCLH(a memmodel.Allocator, m int) Lock    { return NewCLH(a, "L", m) }
+func buildTicket(a memmodel.Allocator, m int) Lock { return NewTicket(a, "L") }
+
+func TestCLHMutualExclusion(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 6} {
+		for _, seed := range []int64{1, 2, 3} {
+			checkMutualExclusion(t, buildCLH, m, 4, sched.NewRandom(seed), sim.WriteThrough)
+		}
+	}
+	checkMutualExclusion(t, buildCLH, 4, 4, sched.NewRoundRobin(), sim.WriteBack)
+	checkMutualExclusion(t, buildCLH, 4, 4, sched.HighestFirst{}, sim.WriteThrough)
+}
+
+func TestTicketMutualExclusion(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 6} {
+		for _, seed := range []int64{4, 5} {
+			checkMutualExclusion(t, buildTicket, m, 4, sched.NewRandom(seed), sim.WriteThrough)
+		}
+	}
+	checkMutualExclusion(t, buildTicket, 4, 4, sched.NewSticky(), sim.WriteBack)
+}
+
+// TestCLHSoloConstant: an uncontended CLH passage is O(1) steps.
+func TestCLHSoloConstant(t *testing.T) {
+	for _, m := range []int{1, 8, 64} {
+		r := sim.New(sim.Config{Protocol: sim.WriteThrough})
+		lock := NewCLH(r, "L", m)
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < 3; i++ {
+				lock.Enter(p, 0)
+				lock.Exit(p, 0)
+			}
+		})
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Per passage: node write + tail read + CAS + await check + exit
+		// write = 5 steps, independent of m.
+		if got := r.Account(0).TotalSteps; got != 15 {
+			t.Errorf("m=%d: 3 solo passages took %d steps, want 15", m, got)
+		}
+		r.Close()
+	}
+}
+
+// TestCLHFIFO: under a scheduler that admits both processes' enqueues
+// before any release, the lock is granted in arrival order.
+func TestCLHFIFO(t *testing.T) {
+	r := sim.New(sim.Config{Scheduler: sched.NewRoundRobin()})
+	lock := NewCLH(r, "L", 3)
+	order := r.Alloc("order", 0)
+	grab := func(slot int) sim.Program {
+		return func(p sim.Proc) {
+			lock.Enter(p, slot)
+			// Record acquisition order: order = order*8 + (slot+1).
+			cur := p.Read(order)
+			p.Write(order, cur*8+uint64(slot+1))
+			lock.Exit(p, slot)
+		}
+	}
+	r.AddProc(grab(0))
+	r.AddProc(grab(1))
+	r.AddProc(grab(2))
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Value(order)
+	// Round-robin admits p0, p1, p2 in order; FIFO must grant 1, 2, 3.
+	if got != (1*8+2)*8+3 {
+		t.Errorf("acquisition order code = %o (octal), want 123", got)
+	}
+}
+
+// TestCLHNodeRecycling: many passages per process must not corrupt the
+// node rotation.
+func TestCLHNodeRecycling(t *testing.T) {
+	checkMutualExclusion(t, buildCLH, 3, 12, sched.NewRandom(9), sim.WriteThrough)
+}
+
+// TestTicketFIFO: tickets are served in issue order.
+func TestTicketFIFO(t *testing.T) {
+	r := sim.New(sim.Config{Scheduler: sched.NewRoundRobin()})
+	lock := NewTicket(r, "L")
+	order := r.Alloc("order", 0)
+	grab := func(slot int) sim.Program {
+		return func(p sim.Proc) {
+			lock.Enter(p, slot)
+			cur := p.Read(order)
+			p.Write(order, cur*8+uint64(slot+1))
+			lock.Exit(p, slot)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		r.AddProc(grab(s))
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Value(order); got != (1*8+2)*8+3 {
+		t.Errorf("acquisition order code = %o (octal), want 123", got)
+	}
+}
+
+// TestTicketInvalidationStorm pins the known weakness of spinning on one
+// word: with w waiters, every release of the ticket lock invalidates and
+// wakes all of them (w await re-check RMRs), so waiting-phase RMRs grow
+// quadratically in the waiter count, while CLH waiters spin on distinct
+// predecessor nodes and wake exactly once each. (Total RMRs are a wash
+// here because our CLH emulates swap with a CAS retry loop, which has its
+// own arrival-time storm — an honest cost of the model's CAS-only swap.)
+func TestTicketInvalidationStorm(t *testing.T) {
+	awaitRMRs := func(build func(a memmodel.Allocator, m int) Lock, m int) int {
+		count := 0
+		r := sim.New(sim.Config{
+			Protocol:  sim.WriteThrough,
+			Scheduler: sched.NewRoundRobin(),
+			Observer: func(e trace.Event) {
+				if !e.SectionChange && e.Kind == memmodel.OpAwait && e.RMR {
+					count++
+				}
+			},
+		})
+		lock := build(r, m)
+		for slot := 0; slot < m; slot++ {
+			slot := slot
+			r.AddProc(func(p sim.Proc) {
+				lock.Enter(p, slot)
+				lock.Exit(p, slot)
+			})
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return count
+	}
+	const m = 12
+	ticket := awaitRMRs(buildTicket, m)
+	clh := awaitRMRs(buildCLH, m)
+	if ticket < 3*clh {
+		t.Errorf("ticket waiting RMRs (%d) should dwarf CLH's (%d) under %d-way contention", ticket, clh, m)
+	}
+	// CLH waiters wake at most a couple of times each.
+	if clh > 3*m {
+		t.Errorf("CLH waiting RMRs (%d) not linear in m=%d", clh, m)
+	}
+}
+
+func TestCLHSlotChecks(t *testing.T) {
+	r := sim.New(sim.Config{})
+	lock := NewCLH(r, "L", 2)
+	for _, slot := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Enter(slot=%d) did not panic", slot)
+				}
+			}()
+			lock.Enter(nil, slot)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCLH(0) did not panic")
+		}
+	}()
+	NewCLH(r, "L2", 0)
+}

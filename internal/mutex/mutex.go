@@ -1,0 +1,158 @@
+// Package mutex provides the m-process mutual exclusion locks the paper's
+// A_f algorithm builds on. Writers serialize on WL, which the paper
+// requires to be a starvation-free read/write mutex with Bounded Exit and
+// O(log m) RMR complexity per passage in the CC model (the paper cites
+// Yang-Anderson-style algorithms [21]).
+//
+// Tournament implements that requirement as the standard binary arbitration
+// tree of 2-process Peterson locks: each process climbs its leaf-to-root
+// path, winning a Peterson instance at every level. Spinning is local in
+// the CC model: while a process waits at a node, only its current rival
+// writes the node's variables, and Peterson's turn-taking bounds the number
+// of such writes (and hence invalidation-triggered re-reads) per rival
+// passage, so each level contributes O(1) RMRs and a passage costs
+// O(log m).
+//
+// TAS is a simple test-and-set lock (CAS + local-spin backoff) used as a
+// contrast baseline and in tests; it is deadlock-free but not
+// starvation-free.
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// Lock is an m-process mutual exclusion lock; each process owns a distinct
+// slot in [0, m).
+type Lock interface {
+	// Enter executes the entry section for slot; on return the caller
+	// holds the lock.
+	Enter(p memmodel.Proc, slot int)
+	// Exit executes the exit section for slot, releasing the lock. It
+	// completes in a bounded number of steps (Bounded Exit).
+	Exit(p memmodel.Proc, slot int)
+}
+
+// Tournament is the Peterson arbitration tree. See the package comment.
+type Tournament struct {
+	m      int
+	levels int
+	// Heap-numbered internal nodes 1..2^levels-1 (node 1 is the root).
+	// Index 0 is unused padding so parent(i) == i/2.
+	flag0 []memmodel.Var // side-0 competing flags
+	flag1 []memmodel.Var // side-1 competing flags
+	turn  []memmodel.Var
+}
+
+var _ Lock = (*Tournament)(nil)
+
+// NewTournament allocates a tournament lock for m slots. m must be
+// positive; m == 1 yields a trivial lock with empty entry and exit
+// sections.
+func NewTournament(a memmodel.Allocator, name string, m int) *Tournament {
+	if m <= 0 {
+		panic(fmt.Sprintf("mutex: m must be positive, got %d", m))
+	}
+	levels := 0
+	for 1<<levels < m {
+		levels++
+	}
+	nNodes := 1 << levels // internal nodes + 1 for the unused index 0
+	return &Tournament{
+		m:      m,
+		levels: levels,
+		flag0:  a.AllocN(name+".f0", nNodes, 0),
+		flag1:  a.AllocN(name+".f1", nNodes, 0),
+		turn:   a.AllocN(name+".turn", nNodes, 0),
+	}
+}
+
+// Slots returns the number of slots the lock was allocated for.
+func (t *Tournament) Slots() int { return t.m }
+
+// Levels returns the height of the arbitration tree.
+func (t *Tournament) Levels() int { return t.levels }
+
+// Enter implements Lock: climb the leaf-to-root path, winning the Peterson
+// instance at each node.
+func (t *Tournament) Enter(p memmodel.Proc, slot int) {
+	t.checkSlot(slot)
+	for node := (1 << t.levels) + slot; node > 1; node /= 2 {
+		parent := node / 2
+		side := node & 1
+		t.petersonEnter(p, parent, side)
+	}
+}
+
+// Exit implements Lock: release the path nodes top-down (root first), the
+// reverse of acquisition order. The exit section performs exactly
+// Levels() writes and no waiting, satisfying Bounded Exit.
+func (t *Tournament) Exit(p memmodel.Proc, slot int) {
+	t.checkSlot(slot)
+	// Recompute the leaf-to-root path, then release in reverse.
+	var path [64]int // node/side pairs packed as node<<1|side
+	n := 0
+	for node := (1 << t.levels) + slot; node > 1; node /= 2 {
+		path[n] = node
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		node := path[i]
+		t.petersonExit(p, node/2, node&1)
+	}
+}
+
+func (t *Tournament) petersonEnter(p memmodel.Proc, node, side int) {
+	my, rival := t.flag0[node], t.flag1[node]
+	if side == 1 {
+		my, rival = rival, my
+	}
+	p.Write(my, 1)
+	p.Write(t.turn[node], uint64(side))
+	p.AwaitMulti([]memmodel.Var{rival, t.turn[node]}, func(vs []uint64) bool {
+		return vs[0] == 0 || vs[1] != uint64(side)
+	})
+}
+
+func (t *Tournament) petersonExit(p memmodel.Proc, node, side int) {
+	my := t.flag0[node]
+	if side == 1 {
+		my = t.flag1[node]
+	}
+	p.Write(my, 0)
+}
+
+func (t *Tournament) checkSlot(slot int) {
+	if slot < 0 || slot >= t.m {
+		panic(fmt.Sprintf("mutex: slot %d out of range [0,%d)", slot, t.m))
+	}
+}
+
+// TAS is a test-and-set spin lock built from CAS with local-spin waiting.
+type TAS struct {
+	l memmodel.Var
+}
+
+var _ Lock = (*TAS)(nil)
+
+// NewTAS allocates a test-and-set lock.
+func NewTAS(a memmodel.Allocator, name string) *TAS {
+	return &TAS{l: a.Alloc(name, 0)}
+}
+
+// Enter implements Lock; the slot is ignored.
+func (t *TAS) Enter(p memmodel.Proc, _ int) {
+	for {
+		if _, ok := p.CAS(t.l, 0, 1); ok {
+			return
+		}
+		p.Await(t.l, func(x uint64) bool { return x == 0 })
+	}
+}
+
+// Exit implements Lock.
+func (t *TAS) Exit(p memmodel.Proc, _ int) {
+	p.Write(t.l, 0)
+}

@@ -1,0 +1,228 @@
+package mutex
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// checkMutualExclusion runs m processes doing passages that perform a
+// non-atomic read-modify-write on a shared cell inside the CS; any mutual
+// exclusion violation loses an update, which the final total detects. It
+// also serves as a progress check: the run completing at all means no
+// deadlock and no starvation within the step budget.
+func checkMutualExclusion(t *testing.T, build func(a memmodel.Allocator, m int) Lock, m, passages int, s sched.Scheduler, protocol sim.Protocol) {
+	t.Helper()
+	r := sim.New(sim.Config{Protocol: protocol, Scheduler: s})
+	lock := build(r, m)
+	cell := r.Alloc("cell", 0)
+	for slot := 0; slot < m; slot++ {
+		slot := slot
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < passages; i++ {
+				p.Section(memmodel.SecEntry)
+				lock.Enter(p, slot)
+				p.Section(memmodel.SecCS)
+				x := p.Read(cell)
+				p.Write(cell, x+1)
+				p.Section(memmodel.SecExit)
+				lock.Exit(p, slot)
+				p.Section(memmodel.SecRemainder)
+			}
+		})
+	}
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := uint64(m * passages)
+	if got := r.Value(cell); got != want {
+		t.Errorf("cell = %d, want %d (mutual exclusion violated: lost updates)", got, want)
+	}
+}
+
+func buildTournament(a memmodel.Allocator, m int) Lock { return NewTournament(a, "WL", m) }
+func buildTAS(a memmodel.Allocator, m int) Lock        { return NewTAS(a, "TAS") }
+
+func TestTournamentMutualExclusion(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 5, 8} {
+		for _, seed := range []int64{1, 2, 3} {
+			checkMutualExclusion(t, buildTournament, m, 4, sched.NewRandom(seed), sim.WriteThrough)
+		}
+	}
+}
+
+func TestTournamentMutualExclusionWriteBack(t *testing.T) {
+	for _, m := range []int{2, 4, 7} {
+		checkMutualExclusion(t, buildTournament, m, 3, sched.NewRandom(42), sim.WriteBack)
+	}
+}
+
+func TestTournamentRoundRobinAndSticky(t *testing.T) {
+	checkMutualExclusion(t, buildTournament, 4, 5, sched.NewRoundRobin(), sim.WriteThrough)
+	checkMutualExclusion(t, buildTournament, 4, 5, sched.NewSticky(), sim.WriteThrough)
+	checkMutualExclusion(t, buildTournament, 4, 5, sched.HighestFirst{}, sim.WriteThrough)
+}
+
+func TestTASMutualExclusion(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 6} {
+		checkMutualExclusion(t, buildTAS, m, 4, sched.NewRandom(7), sim.WriteThrough)
+	}
+}
+
+// TestTournamentSoloRMRLogarithmic verifies the O(log m) solo passage cost:
+// an uncontended passage performs Theta(levels) steps.
+func TestTournamentSoloRMRLogarithmic(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 16, 64, 256} {
+		r := sim.New(sim.Config{Protocol: sim.WriteThrough})
+		lock := NewTournament(r, "WL", m)
+		r.AddProc(func(p sim.Proc) {
+			p.Section(memmodel.SecEntry)
+			lock.Enter(p, 0)
+			p.Section(memmodel.SecCS)
+			p.Section(memmodel.SecExit)
+			lock.Exit(p, 0)
+			p.Section(memmodel.SecRemainder)
+		})
+		if err := r.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		levels := lock.Levels()
+		pass := r.Account(0).Passages[0]
+		// Entry: 2 writes + 2 await reads per level; exit: 1 write per
+		// level.
+		if limit := 4*levels + 1; pass.EntrySteps > limit {
+			t.Errorf("m=%d: entry steps %d > %d", m, pass.EntrySteps, limit)
+		}
+		if pass.ExitSteps != levels {
+			t.Errorf("m=%d: exit steps %d, want %d", m, pass.ExitSteps, levels)
+		}
+		r.Close()
+	}
+}
+
+// TestTournamentBoundedExit confirms the exit section never waits: exit
+// step count is exactly Levels() even under contention.
+func TestTournamentBoundedExit(t *testing.T) {
+	const m = 8
+	r := sim.New(sim.Config{Scheduler: sched.NewRandom(3)})
+	lock := NewTournament(r, "WL", m)
+	for slot := 0; slot < m; slot++ {
+		slot := slot
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < 3; i++ {
+				p.Section(memmodel.SecEntry)
+				lock.Enter(p, slot)
+				p.Section(memmodel.SecCS)
+				p.Section(memmodel.SecExit)
+				lock.Exit(p, slot)
+				p.Section(memmodel.SecRemainder)
+			}
+		})
+	}
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for slot := 0; slot < m; slot++ {
+		for _, pass := range r.Account(slot).Passages {
+			if pass.ExitSteps != lock.Levels() {
+				t.Errorf("slot %d: exit steps %d, want exactly %d", slot, pass.ExitSteps, lock.Levels())
+			}
+		}
+	}
+}
+
+// TestTournamentContendedRMRAmortized checks the CC local-spin claim: with
+// heavy contention, per-passage RMRs stay O(log m) on average rather than
+// exploding with spin time.
+func TestTournamentContendedRMRAmortized(t *testing.T) {
+	const m, passages = 8, 5
+	r := sim.New(sim.Config{Protocol: sim.WriteThrough, Scheduler: sched.NewRandom(17)})
+	lock := NewTournament(r, "WL", m)
+	for slot := 0; slot < m; slot++ {
+		slot := slot
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < passages; i++ {
+				p.Section(memmodel.SecEntry)
+				lock.Enter(p, slot)
+				p.Section(memmodel.SecCS)
+				p.Section(memmodel.SecExit)
+				lock.Exit(p, slot)
+				p.Section(memmodel.SecRemainder)
+			}
+		})
+	}
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	totalRMR := 0
+	for slot := 0; slot < m; slot++ {
+		totalRMR += r.Account(slot).TotalRMR
+	}
+	perPassage := float64(totalRMR) / float64(m*passages)
+	// Peterson tree: a passage loses at each of log2(m)=3 levels to a
+	// bounded number of rival turnovers. Allow a generous constant.
+	if limit := 20.0 * float64(lock.Levels()+1); perPassage > limit {
+		t.Errorf("amortized RMR per passage = %.1f, want <= %.1f", perPassage, limit)
+	}
+}
+
+func TestTournamentM1Trivial(t *testing.T) {
+	r := sim.New(sim.Config{})
+	lock := NewTournament(r, "WL", 1)
+	r.AddProc(func(p sim.Proc) {
+		lock.Enter(p, 0)
+		lock.Exit(p, 0)
+	})
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := r.Account(0).TotalSteps; got != 0 {
+		t.Errorf("m=1 passage took %d steps, want 0", got)
+	}
+}
+
+func TestNewTournamentPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTournament(m=0) did not panic")
+		}
+	}()
+	r := sim.New(sim.Config{})
+	NewTournament(r, "WL", 0)
+}
+
+func TestSlotRangeChecked(t *testing.T) {
+	r := sim.New(sim.Config{})
+	lock := NewTournament(r, "WL", 2)
+	for _, slot := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Enter(slot=%d) did not panic", slot)
+				}
+			}()
+			lock.Enter(nil, slot)
+		}()
+	}
+}

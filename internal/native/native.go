@@ -1,0 +1,137 @@
+// Package native executes the same algorithm code that runs in the CC
+// simulator on real hardware: shared variables become cache-line padded
+// sync/atomic words and awaits become spin loops that yield to the Go
+// scheduler. It exists for the throughput experiments (E7) and for the
+// example applications — RMRs are not observable here (the Go runtime and
+// hardware prefetchers obscure coherence traffic, which is exactly why the
+// quantitative experiments run on the simulator instead).
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/memmodel"
+)
+
+// paddedWord keeps each shared variable on its own cache line so false
+// sharing does not contaminate the throughput comparisons.
+type paddedWord struct {
+	v atomic.Uint64
+	_ [7]uint64 //nolint:unused // padding to a 64-byte stride
+}
+
+// Backend is a memmodel.Allocator whose variables are real atomic words.
+// Allocate everything (via the algorithm's Init), then create per-process
+// handles with Proc.
+type Backend struct {
+	slots  []*paddedWord
+	names  []string
+	sealed bool
+}
+
+var _ memmodel.Allocator = (*Backend)(nil)
+
+// NewBackend returns an empty backend.
+func NewBackend() *Backend { return &Backend{} }
+
+// Alloc implements memmodel.Allocator.
+func (b *Backend) Alloc(name string, init uint64) memmodel.Var {
+	if b.sealed {
+		panic("native: Alloc after Seal")
+	}
+	w := &paddedWord{}
+	w.v.Store(init)
+	b.slots = append(b.slots, w)
+	b.names = append(b.names, name)
+	return memmodel.Var(len(b.slots) - 1)
+}
+
+// AllocN implements memmodel.Allocator.
+func (b *Backend) AllocN(name string, n int, init uint64) []memmodel.Var {
+	vs := make([]memmodel.Var, n)
+	for i := range vs {
+		vs[i] = b.Alloc(fmt.Sprintf("%s[%d]", name, i), init)
+	}
+	return vs
+}
+
+// Seal forbids further allocation; handles may be created and used only
+// after sealing (allocation is not synchronized).
+func (b *Backend) Seal() { b.sealed = true }
+
+// Value peeks a variable (tests and assertions only).
+func (b *Backend) Value(v memmodel.Var) uint64 { return b.slots[v].v.Load() }
+
+// Proc returns the process handle for id. Each handle must be used by a
+// single goroutine at a time.
+func (b *Backend) Proc(id int) memmodel.Proc {
+	if !b.sealed {
+		panic("native: Proc before Seal")
+	}
+	return &proc{id: id, b: b}
+}
+
+type proc struct {
+	id int
+	b  *Backend
+}
+
+var _ memmodel.Proc = (*proc)(nil)
+
+// ID implements memmodel.Proc.
+func (p *proc) ID() int { return p.id }
+
+// Read implements memmodel.Proc.
+func (p *proc) Read(v memmodel.Var) uint64 { return p.b.slots[v].v.Load() }
+
+// Write implements memmodel.Proc.
+func (p *proc) Write(v memmodel.Var, x uint64) { p.b.slots[v].v.Store(x) }
+
+// CAS implements memmodel.Proc. When the swap fails, the returned previous
+// value is a fresh load rather than an atomic snapshot of the compare —
+// sufficient for every algorithm here, which uses the value only to retry
+// or to branch on the swapped flag.
+func (p *proc) CAS(v memmodel.Var, old, newVal uint64) (uint64, bool) {
+	if p.b.slots[v].v.CompareAndSwap(old, newVal) {
+		return old, true
+	}
+	return p.b.slots[v].v.Load(), false
+}
+
+// FetchAdd implements memmodel.Proc.
+func (p *proc) FetchAdd(v memmodel.Var, delta uint64) uint64 {
+	return p.b.slots[v].v.Add(delta) - delta
+}
+
+// Await implements memmodel.Proc: local spin with periodic yields.
+func (p *proc) Await(v memmodel.Var, pred memmodel.Pred) uint64 {
+	for spins := 1; ; spins++ {
+		if x := p.b.slots[v].v.Load(); pred(x) {
+			return x
+		}
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// AwaitMulti implements memmodel.Proc.
+func (p *proc) AwaitMulti(vars []memmodel.Var, pred memmodel.MultiPred) []uint64 {
+	vals := make([]uint64, len(vars))
+	for spins := 1; ; spins++ {
+		for i, v := range vars {
+			vals[i] = p.b.slots[v].v.Load()
+		}
+		if pred(vals) {
+			return vals
+		}
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Section implements memmodel.Proc; it is a no-op natively.
+func (p *proc) Section(memmodel.Section) {}

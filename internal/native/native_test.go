@@ -1,0 +1,279 @@
+package native
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/memmodel"
+)
+
+func TestBackendBasics(t *testing.T) {
+	b := NewBackend()
+	v := b.Alloc("v", 7)
+	vs := b.AllocN("arr", 3, 1)
+	b.Seal()
+	p := b.Proc(0)
+
+	if got := p.Read(v); got != 7 {
+		t.Errorf("Read = %d, want 7", got)
+	}
+	p.Write(v, 9)
+	if got := b.Value(v); got != 9 {
+		t.Errorf("Value = %d, want 9", got)
+	}
+	if prev, ok := p.CAS(v, 9, 10); !ok || prev != 9 {
+		t.Errorf("CAS success = (%d, %v)", prev, ok)
+	}
+	if _, ok := p.CAS(v, 9, 11); ok {
+		t.Error("CAS with stale expected succeeded")
+	}
+	if prev := p.FetchAdd(vs[0], 5); prev != 1 {
+		t.Errorf("FetchAdd prev = %d, want 1", prev)
+	}
+	if got := b.Value(vs[0]); got != 6 {
+		t.Errorf("after FetchAdd = %d, want 6", got)
+	}
+	if p.ID() != 0 {
+		t.Errorf("ID = %d", p.ID())
+	}
+	p.Section(memmodel.SecCS) // no-op must not panic
+}
+
+func TestAwaitNative(t *testing.T) {
+	b := NewBackend()
+	v := b.Alloc("v", 0)
+	b.Seal()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := b.Proc(1)
+		got := p.Await(v, func(x uint64) bool { return x == 3 })
+		if got != 3 {
+			t.Errorf("Await returned %d", got)
+		}
+	}()
+	p := b.Proc(0)
+	p.Write(v, 1)
+	p.Write(v, 3)
+	wg.Wait()
+}
+
+func TestAwaitMultiNative(t *testing.T) {
+	b := NewBackend()
+	a1 := b.Alloc("a", 0)
+	a2 := b.Alloc("b", 0)
+	b.Seal()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := b.Proc(1)
+		vals := p.AwaitMulti([]memmodel.Var{a1, a2}, func(vs []uint64) bool {
+			return vs[0] == 1 && vs[1] == 1
+		})
+		if vals[0] != 1 || vals[1] != 1 {
+			t.Errorf("AwaitMulti = %v", vals)
+		}
+	}()
+	p := b.Proc(0)
+	p.Write(a1, 1)
+	p.Write(a2, 1)
+	wg.Wait()
+}
+
+func TestAllocAfterSealPanics(t *testing.T) {
+	b := NewBackend()
+	b.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Alloc("late", 0)
+}
+
+func TestProcBeforeSealPanics(t *testing.T) {
+	b := NewBackend()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Proc(0)
+}
+
+// exercise runs a full native workload against a lock: writers make
+// non-atomic multi-word updates, readers verify consistency. Run under
+// -race this doubles as a happens-before check for the lock protocol.
+func exercise(t *testing.T, alg memmodel.Algorithm, nReaders, nWriters, passages int) {
+	t.Helper()
+	lock, err := NewLock(alg, nReaders, nWriters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two plain (non-atomic) words that must always be equal under the
+	// lock's protection.
+	var x, y int
+	var wg sync.WaitGroup
+	for rid := 0; rid < nReaders; rid++ {
+		h := lock.Reader(rid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < passages; i++ {
+				h.Lock()
+				if x != y {
+					t.Errorf("reader saw torn update: x=%d y=%d", x, y)
+				}
+				h.Unlock()
+			}
+		}()
+	}
+	for wid := 0; wid < nWriters; wid++ {
+		h := lock.Writer(wid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < passages; i++ {
+				h.Lock()
+				x++
+				y++
+				h.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := nWriters * passages; x != want || y != want {
+		t.Errorf("final x=%d y=%d, want %d (lost writer updates)", x, y, want)
+	}
+}
+
+func TestNativeAF(t *testing.T) {
+	for _, f := range []core.F{core.FOne, core.FLog, core.FSqrt, core.FLinear} {
+		f := f
+		t.Run("af-"+f.Name, func(t *testing.T) {
+			t.Parallel()
+			exercise(t, core.New(f), 4, 2, 200)
+		})
+	}
+}
+
+func TestNativeBaselines(t *testing.T) {
+	algs := []memmodel.Algorithm{
+		baseline.NewCentralized(),
+		baseline.NewFlagArray(),
+		baseline.NewPhaseFair(),
+		baseline.NewMutexRW(),
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			t.Parallel()
+			exercise(t, alg, 4, 2, 200)
+		})
+	}
+}
+
+func TestNativeReadersOnly(t *testing.T) {
+	lock, err := NewLock(core.New(core.FLog), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for rid := 0; rid < 8; rid++ {
+		h := lock.Reader(rid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Lock()
+				h.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLockHandleRangeChecks(t *testing.T) {
+	lock, err := NewLock(core.New(core.FOne), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lock.Name() != "af-1" || lock.NumReaders() != 2 || lock.NumWriters() != 1 {
+		t.Error("metadata wrong")
+	}
+	for _, fn := range []func(){
+		func() { lock.Reader(-1) },
+		func() { lock.Reader(2) },
+		func() { lock.Writer(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for out-of-range handle")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewLockNegativePopulation(t *testing.T) {
+	if _, err := NewLock(core.New(core.FOne), -1, 1); err == nil {
+		t.Fatal("negative population accepted")
+	}
+}
+
+// TestNativeWriterPriorityWrapper runs the fairness composition on real
+// goroutines under the race detector.
+func TestNativeWriterPriorityWrapper(t *testing.T) {
+	exercise(t, fairness.New(core.New(core.FLog)), 4, 2, 200)
+}
+
+// TestNativeMutexSubstrates runs the A_f WL ablations natively.
+func TestNativeMutexSubstrates(t *testing.T) {
+	for _, kind := range []core.MutexKind{core.MutexCLH, core.MutexTicket} {
+		kind := kind
+		t.Run(core.New(core.FLog, core.WithWriterMutex(kind)).Name(), func(t *testing.T) {
+			t.Parallel()
+			exercise(t, core.New(core.FLog, core.WithWriterMutex(kind)), 4, 2, 200)
+		})
+	}
+}
+
+// TestNativeCounterAblations runs the counter ablations natively.
+func TestNativeCounterAblations(t *testing.T) {
+	for _, kind := range []core.CounterKind{core.CounterCASWord, core.CounterCellArray} {
+		kind := kind
+		t.Run(core.NewWithCounter(core.FLog, kind).Name(), func(t *testing.T) {
+			t.Parallel()
+			exercise(t, core.NewWithCounter(core.FLog, kind), 4, 2, 200)
+		})
+	}
+}
+
+// TestNativeClassicBaselines runs the classic literature locks natively
+// under the race detector.
+func TestNativeClassicBaselines(t *testing.T) {
+	algs := []memmodel.Algorithm{
+		baseline.NewBRLock(),
+		baseline.NewCourtoisR(),
+		baseline.NewCourtoisW(),
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			t.Parallel()
+			exercise(t, alg, 4, 2, 200)
+		})
+	}
+}
+
+// TestNativeQueueRW runs the task-fair queue lock natively under -race.
+func TestNativeQueueRW(t *testing.T) {
+	exercise(t, baseline.NewQueueRW(), 4, 2, 200)
+}

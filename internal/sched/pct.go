@@ -1,0 +1,76 @@
+package sched
+
+import "math/rand"
+
+// PCT is a probabilistic concurrency testing scheduler in the style of
+// Burckhardt et al. (ASPLOS 2010): every process gets a random distinct
+// priority, the highest-priority poised process always runs, and at d
+// randomly pre-chosen step indices the currently running process is demoted
+// below everyone else. For a bug that requires d specific ordering points,
+// one PCT run finds it with probability >= 1/(n * k^(d-1)) (k = steps), so
+// modest seed sweeps give real coverage guarantees — unlike uniform random
+// walks, which squander probability on uninteresting interleavings.
+//
+// The spec tests use PCT seeds alongside uniform Random schedules; it is
+// also what rediscovers the HelpWCS order bug without staging (see
+// TestPCTFindsHelpWCSOrderBug).
+type PCT struct {
+	rng    *rand.Rand
+	depth  int
+	maxK   int
+	prio   map[int]int
+	change map[int]bool
+	floor  int // decreasing counter for demotions
+	next   int // increasing counter for initial priorities
+}
+
+// NewPCT returns a PCT scheduler with the given seed, number of priority
+// change points (bug depth - 1), and expected maximum step count.
+func NewPCT(seed int64, depth, maxSteps int) *PCT {
+	p := &PCT{
+		rng:    rand.New(rand.NewSource(seed)),
+		depth:  depth,
+		maxK:   maxSteps,
+		prio:   make(map[int]int),
+		change: make(map[int]bool),
+		floor:  -1,
+	}
+	for i := 0; i < depth; i++ {
+		p.change[p.rng.Intn(maxSteps)] = true
+	}
+	return p
+}
+
+// Name implements Scheduler.
+func (p *PCT) Name() string { return "pct" }
+
+// Next implements Scheduler.
+func (p *PCT) Next(step int, poised []int) int {
+	best := poised[0]
+	bestPrio := p.priority(best)
+	for _, q := range poised[1:] {
+		if pr := p.priority(q); pr > bestPrio {
+			best, bestPrio = q, pr
+		}
+	}
+	if p.change[step] {
+		// Demote the chosen process below everyone and re-pick.
+		p.prio[best] = p.floor
+		p.floor--
+		return p.Next(step+p.maxK, poised) // recurse without re-triggering
+	}
+	return best
+}
+
+// priority returns q's priority, assigning a random-ish distinct one on
+// first sight.
+func (p *PCT) priority(q int) int {
+	if pr, ok := p.prio[q]; ok {
+		return pr
+	}
+	// Random insertion order: draw a large random priority; collisions are
+	// broken by the poised scan order and are harmless.
+	pr := p.rng.Intn(1 << 30)
+	p.prio[q] = pr
+	return pr
+}

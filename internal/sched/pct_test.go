@@ -1,0 +1,63 @@
+package sched
+
+import "testing"
+
+func TestPCTPicksFromPoised(t *testing.T) {
+	p := NewPCT(1, 3, 1000)
+	poised := []int{0, 1, 2, 3}
+	for step := 0; step < 500; step++ {
+		got := p.Next(step, poised)
+		if got < 0 || got > 3 {
+			t.Fatalf("step %d: picked %d", step, got)
+		}
+	}
+}
+
+func TestPCTDeterministicPerSeed(t *testing.T) {
+	a, b := NewPCT(42, 2, 1000), NewPCT(42, 2, 1000)
+	poised := []int{0, 1, 2}
+	for step := 0; step < 300; step++ {
+		if x, y := a.Next(step, poised), b.Next(step, poised); x != y {
+			t.Fatalf("step %d: same seed diverged (%d vs %d)", step, x, y)
+		}
+	}
+}
+
+func TestPCTStickyBetweenChangePoints(t *testing.T) {
+	// With depth 0 there are no demotions: the same highest-priority
+	// process runs forever while poised.
+	p := NewPCT(7, 0, 1000)
+	poised := []int{0, 1, 2, 3}
+	first := p.Next(0, poised)
+	for step := 1; step < 200; step++ {
+		if got := p.Next(step, poised); got != first {
+			t.Fatalf("depth-0 PCT switched process at step %d (%d -> %d)", step, first, got)
+		}
+	}
+}
+
+func TestPCTDemotionsChangeLeader(t *testing.T) {
+	// With enough change points, the leader must change at least once
+	// across seeds.
+	changed := false
+	for seed := int64(0); seed < 10 && !changed; seed++ {
+		p := NewPCT(seed, 5, 100)
+		poised := []int{0, 1, 2, 3}
+		first := p.Next(0, poised)
+		for step := 1; step < 100; step++ {
+			if p.Next(step, poised) != first {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("PCT never changed leader despite demotion points")
+	}
+}
+
+func TestPCTName(t *testing.T) {
+	if NewPCT(1, 1, 10).Name() != "pct" {
+		t.Fatal("wrong name")
+	}
+}

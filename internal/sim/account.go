@@ -1,0 +1,113 @@
+package sim
+
+import "repro/internal/memmodel"
+
+// Passage records the cost of one completed passage (entry section,
+// critical section, exit section) of a process, in both RMRs and steps.
+// These are exactly the quantities the paper's theorems bound: Theorem 18
+// bounds EntryRMR+ExitRMR per passage, Theorem 5 lower-bounds the writer's
+// entry RMRs against the readers' exit RMRs.
+type Passage struct {
+	// EntryRMR, CSRMR and ExitRMR count remote memory references incurred
+	// in the respective section.
+	EntryRMR, CSRMR, ExitRMR int
+	// EntrySteps, CSSteps and ExitSteps count shared-memory steps
+	// (RMR-incurring or not) in the respective section.
+	EntrySteps, CSSteps, ExitSteps int
+}
+
+// RMR returns the passage's total RMR count across all sections.
+func (p Passage) RMR() int { return p.EntryRMR + p.CSRMR + p.ExitRMR }
+
+// Steps returns the passage's total step count across all sections.
+func (p Passage) Steps() int { return p.EntrySteps + p.CSSteps + p.ExitSteps }
+
+// Account accumulates per-process cost attribution for one execution.
+type Account struct {
+	// Proc is the process id the account belongs to.
+	Proc int
+	// TotalRMR counts all RMRs the process incurred.
+	TotalRMR int
+	// TotalSteps counts all shared-memory steps the process took.
+	TotalSteps int
+	// SectionRMR and SectionSteps break the totals down by section,
+	// indexed by memmodel.Section.
+	SectionRMR   [memmodel.NumSections]int
+	SectionSteps [memmodel.NumSections]int
+	// Passages lists every completed passage in order.
+	Passages []Passage
+
+	// open tracks the in-progress passage, if any.
+	open    Passage
+	inPass  bool
+	section memmodel.Section
+}
+
+func newAccount(proc int) *Account {
+	return &Account{Proc: proc, section: memmodel.SecRemainder}
+}
+
+// recordStep attributes one executed step to the current section.
+func (a *Account) recordStep(rmr bool) {
+	a.TotalSteps++
+	a.SectionSteps[a.section]++
+	if rmr {
+		a.TotalRMR++
+		a.SectionRMR[a.section]++
+	}
+	if !a.inPass {
+		return
+	}
+	switch a.section {
+	case memmodel.SecEntry:
+		a.open.EntrySteps++
+		if rmr {
+			a.open.EntryRMR++
+		}
+	case memmodel.SecCS:
+		a.open.CSSteps++
+		if rmr {
+			a.open.CSRMR++
+		}
+	case memmodel.SecExit:
+		a.open.ExitSteps++
+		if rmr {
+			a.open.ExitRMR++
+		}
+	}
+}
+
+// transition moves the process to section s, opening or closing passages
+// as needed.
+func (a *Account) transition(s memmodel.Section) {
+	if s == a.section {
+		return
+	}
+	if s == memmodel.SecEntry && !a.inPass {
+		a.open = Passage{}
+		a.inPass = true
+	}
+	if s == memmodel.SecRemainder && a.inPass {
+		a.Passages = append(a.Passages, a.open)
+		a.inPass = false
+	}
+	a.section = s
+}
+
+// Section returns the section the process is currently in.
+func (a *Account) Section() memmodel.Section { return a.section }
+
+// MaxPassage returns the element-wise maximum over all completed passages
+// (the worst-case per-passage costs), or a zero Passage if none completed.
+func (a *Account) MaxPassage() Passage {
+	var m Passage
+	for _, p := range a.Passages {
+		m.EntryRMR = max(m.EntryRMR, p.EntryRMR)
+		m.CSRMR = max(m.CSRMR, p.CSRMR)
+		m.ExitRMR = max(m.ExitRMR, p.ExitRMR)
+		m.EntrySteps = max(m.EntrySteps, p.EntrySteps)
+		m.CSSteps = max(m.CSSteps, p.CSSteps)
+		m.ExitSteps = max(m.ExitSteps, p.ExitSteps)
+	}
+	return m
+}

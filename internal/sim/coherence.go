@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/memmodel"
+)
+
+// Protocol selects the cache-coherence protocol whose RMR accounting the
+// simulator applies. The paper's results hold for both; experiment E5
+// reruns the tradeoff grid under each to demonstrate it.
+type Protocol uint8
+
+const (
+	// WriteThrough models the write-through protocol quoted in the paper's
+	// Section 2: reads hit a valid cached copy for free and otherwise incur
+	// one RMR; every write incurs an RMR and invalidates all other copies.
+	WriteThrough Protocol = iota + 1
+	// WriteBack models the write-back (MSI-style) protocol: cached copies
+	// are held shared or exclusive; reads are free with a copy in either
+	// mode; writes are free only with an exclusive copy and otherwise
+	// incur one RMR that invalidates all other copies.
+	WriteBack
+	// DSM models distributed shared memory (no caches): every variable
+	// resides in one process's memory segment (its home, declared via
+	// memmodel.AllocHome; variables without a home live in global memory
+	// and are remote to everyone), and every access to a non-home variable
+	// is an RMR. The paper's Section 6 notes a linear DSM lower bound
+	// [Danek-Hadzilacos] that does not apply to CC; the DSM protocol
+	// exists to exhibit that contrast (experiment E8).
+	//
+	// Accounting caveat: a process parked on Await over a *remote*
+	// variable is charged one RMR per re-check (one per value change),
+	// which lower-bounds real DSM spinning (continuous remote reads);
+	// local-variable spinning is free, as in real DSM local-spin
+	// algorithms.
+	DSM
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case WriteThrough:
+		return "write-through"
+	case WriteBack:
+		return "write-back"
+	case DSM:
+		return "dsm"
+	default:
+		return "unknown"
+	}
+}
+
+// coherence tracks, for every shared variable, which processes hold cached
+// copies and in which mode, and decides whether each access incurs an RMR.
+//
+// CAS and fetch-and-add steps are classified by effect, following the
+// paper's accounting (see DESIGN.md): a step that changes the variable's
+// value behaves like a write (requires exclusivity, invalidates other
+// copies); a failed or trivial comparison step behaves like a read
+// (requires a valid/shared copy). This matches Lemma 17, which charges a
+// spinning process one RMR per successful CAS on its spin variable and
+// nothing for other processes' failed attempts.
+type coherence struct {
+	protocol Protocol
+	nProcs   int
+	// homes[v] is the owning process under DSM, or -1 (global memory).
+	homes []int32
+	// sharers[v] holds the processes with a valid (WT) or shared (WB)
+	// copy of v.
+	sharers []*bitset.Set
+	// owner[v] is the process holding v exclusive under write-back, or -1.
+	owner []int32
+}
+
+func newCoherence(protocol Protocol, nProcs, nVars int, homes []int32) *coherence {
+	c := &coherence{
+		protocol: protocol,
+		nProcs:   nProcs,
+		homes:    homes,
+		sharers:  make([]*bitset.Set, nVars),
+		owner:    make([]int32, nVars),
+	}
+	for i := range c.sharers {
+		c.sharers[i] = bitset.New(nProcs)
+		c.owner[i] = -1
+	}
+	return c
+}
+
+// hasCopy reports whether process p currently holds a readable copy of v
+// without incurring an RMR (under DSM: whether v is local to p).
+func (c *coherence) hasCopy(p int, v memmodel.Var) bool {
+	if c.protocol == DSM {
+		return c.homes[v] == int32(p)
+	}
+	if c.protocol == WriteBack && c.owner[v] == int32(p) {
+		return true
+	}
+	return c.sharers[v].Contains(p)
+}
+
+// remote reports whether v is remote to p under DSM.
+func (c *coherence) remote(p int, v memmodel.Var) bool {
+	return c.homes[v] != int32(p)
+}
+
+// read applies the coherence transition for a read of v by p and reports
+// whether it incurs an RMR.
+func (c *coherence) read(p int, v memmodel.Var) bool {
+	switch c.protocol {
+	case DSM:
+		return c.remote(p, v)
+	case WriteThrough:
+		if c.sharers[v].Contains(p) {
+			return false
+		}
+		c.sharers[v].Add(p)
+		return true
+	case WriteBack:
+		if c.owner[v] == int32(p) || c.sharers[v].Contains(p) {
+			return false
+		}
+		// Downgrade any exclusive holder to shared, then take a shared
+		// copy.
+		if o := c.owner[v]; o >= 0 {
+			c.sharers[v].Add(int(o))
+			c.owner[v] = -1
+		}
+		c.sharers[v].Add(p)
+		return true
+	default:
+		panic("sim: unknown protocol")
+	}
+}
+
+// write applies the coherence transition for a value-changing step on v by
+// p and reports whether it incurs an RMR. All other cached copies are
+// invalidated.
+func (c *coherence) write(p int, v memmodel.Var) bool {
+	switch c.protocol {
+	case DSM:
+		return c.remote(p, v)
+	case WriteThrough:
+		// Write-through always goes to memory: one RMR, all other copies
+		// invalidated; the writer retains a valid copy.
+		c.sharers[v].Clear()
+		c.sharers[v].Add(p)
+		return true
+	case WriteBack:
+		if c.owner[v] == int32(p) {
+			return false // already exclusive: write hits the cache
+		}
+		c.sharers[v].Clear()
+		c.owner[v] = int32(p)
+		return true
+	default:
+		panic("sim: unknown protocol")
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// TestWriteThroughTransitions checks the write-through accounting quoted in
+// the paper's Section 2: reads hit valid copies for free, every write costs
+// one RMR and invalidates all other copies.
+func TestWriteThroughTransitions(t *testing.T) {
+	c := newCoherence(WriteThrough, 3, 1, make([]int32, 1))
+	v := memmodel.Var(0)
+
+	if !c.read(0, v) {
+		t.Fatal("first read by p0 must incur an RMR")
+	}
+	if c.read(0, v) {
+		t.Fatal("second read by p0 must hit the cache")
+	}
+	if !c.read(1, v) {
+		t.Fatal("first read by p1 must incur an RMR")
+	}
+
+	// p2 writes: RMR, invalidates p0 and p1.
+	if !c.write(2, v) {
+		t.Fatal("write must incur an RMR under write-through")
+	}
+	if c.read(2, v) {
+		t.Fatal("writer retains a valid copy under write-through")
+	}
+	if !c.read(0, v) || !c.read(1, v) {
+		t.Fatal("invalidated readers must re-fetch with an RMR")
+	}
+
+	// Write by a process that already has a valid copy still costs an RMR
+	// (write-through always goes to memory).
+	if !c.write(0, v) {
+		t.Fatal("write-through write must always incur an RMR")
+	}
+	if !c.write(0, v) {
+		t.Fatal("repeated write-through writes each incur an RMR")
+	}
+}
+
+// TestWriteBackTransitions checks the write-back (MSI) accounting: shared
+// and exclusive modes, free cached writes, downgrade on remote read.
+func TestWriteBackTransitions(t *testing.T) {
+	c := newCoherence(WriteBack, 3, 1, make([]int32, 1))
+	v := memmodel.Var(0)
+
+	// p0 writes: acquires exclusive with one RMR; subsequent writes free.
+	if !c.write(0, v) {
+		t.Fatal("first write must incur an RMR")
+	}
+	if c.write(0, v) {
+		t.Fatal("write with exclusive copy must be free")
+	}
+	if c.read(0, v) {
+		t.Fatal("read with exclusive copy must be free")
+	}
+
+	// p1 reads: one RMR, downgrades p0 to shared.
+	if !c.read(1, v) {
+		t.Fatal("remote read must incur an RMR")
+	}
+	if c.read(0, v) {
+		t.Fatal("downgraded owner still holds a shared copy; read is free")
+	}
+
+	// p0 writes again: it only holds shared now, so it must upgrade (RMR)
+	// and invalidate p1.
+	if !c.write(0, v) {
+		t.Fatal("upgrade from shared to exclusive must incur an RMR")
+	}
+	if !c.read(1, v) {
+		t.Fatal("p1's copy was invalidated; re-read must incur an RMR")
+	}
+
+	// p2 writes over p0's exclusive: RMR, p0 and p1 invalidated.
+	if !c.write(2, v) {
+		t.Fatal("remote write must incur an RMR")
+	}
+	if !c.read(0, v) {
+		t.Fatal("previous owner was invalidated")
+	}
+}
+
+// TestWriteBackSharedWriteUpgrades pins the subtle case: being the sole
+// sharer is not enough to write for free; exclusivity is required.
+func TestWriteBackSharedWriteUpgrades(t *testing.T) {
+	c := newCoherence(WriteBack, 2, 1, make([]int32, 1))
+	v := memmodel.Var(0)
+	if !c.read(0, v) {
+		t.Fatal("first read costs an RMR")
+	}
+	if !c.write(0, v) {
+		t.Fatal("sole sharer must still upgrade with an RMR to write")
+	}
+	if c.write(0, v) {
+		t.Fatal("after upgrade, writes are free")
+	}
+}
+
+func TestHasCopy(t *testing.T) {
+	c := newCoherence(WriteBack, 2, 2, make([]int32, 2))
+	if c.hasCopy(0, 0) {
+		t.Fatal("no copy before any access")
+	}
+	c.read(0, 0)
+	if !c.hasCopy(0, 0) {
+		t.Fatal("shared copy after read")
+	}
+	c.write(1, 0)
+	if c.hasCopy(0, 0) {
+		t.Fatal("copy must be invalidated by remote write")
+	}
+	if !c.hasCopy(1, 0) {
+		t.Fatal("writer holds exclusive copy")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if WriteThrough.String() != "write-through" || WriteBack.String() != "write-back" {
+		t.Fatal("protocol names wrong")
+	}
+	if Protocol(9).String() != "unknown" {
+		t.Fatal("unknown protocol name wrong")
+	}
+}

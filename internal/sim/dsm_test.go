@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+)
+
+// TestDSMAccounting pins the DSM rules: local accesses are free, every
+// remote access (read or write) costs one RMR, and there is no caching.
+func TestDSMAccounting(t *testing.T) {
+	r := New(Config{Protocol: DSM, Scheduler: sched.LowestFirst{}})
+	local := r.AllocHome("local", 0, 0)   // homed at p0
+	remote := r.AllocHome("remote", 0, 1) // homed at p1
+	global := r.Alloc("global", 0)        // no home: remote to everyone
+
+	r.AddProc(func(p Proc) {
+		p.Read(local)       // free
+		p.Write(local, 1)   // free
+		p.Read(local)       // free (no cache effects to model)
+		p.Read(remote)      // RMR
+		p.Read(remote)      // RMR again: DSM has no caches
+		p.Write(remote, 2)  // RMR
+		p.Read(global)      // RMR
+		p.CAS(global, 0, 5) // RMR (successful)
+		p.CAS(global, 0, 9) // RMR (failed: still a remote access)
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Account(0).TotalRMR; got != 6 {
+		t.Errorf("TotalRMR = %d, want 6", got)
+	}
+	if got := r.Account(0).TotalSteps; got != 9 {
+		t.Errorf("TotalSteps = %d, want 9", got)
+	}
+}
+
+// TestDSMLocalSpinFree: spinning on a variable homed at the spinner is
+// free regardless of how many times it is rewritten; spinning on a remote
+// variable costs one RMR per re-check.
+func TestDSMLocalSpinFree(t *testing.T) {
+	r := New(Config{Protocol: DSM, Scheduler: sched.NewRoundRobin()})
+	mine := r.AllocHome("mine", 0, 0)     // homed at the spinner
+	theirs := r.AllocHome("theirs", 0, 1) // homed at the writer
+
+	r.AddProc(func(p Proc) {
+		p.Await(mine, func(x uint64) bool { return x == 3 })
+		p.Await(theirs, func(x uint64) bool { return x == 3 })
+	})
+	r.AddProc(func(p Proc) {
+		p.Write(mine, 1) // RMR for the writer (remote), wakes spinner
+		p.Write(mine, 2)
+		p.Write(mine, 3)
+		p.Write(theirs, 1) // free for the writer (local)
+		p.Write(theirs, 2)
+		p.Write(theirs, 3)
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spinner, writer := r.Account(0), r.Account(1)
+	// Spinner: all checks of "mine" free (local); checks of "theirs"
+	// remote: initial + up to 3 re-checks.
+	if spinner.TotalRMR > 4 || spinner.TotalRMR < 1 {
+		t.Errorf("spinner RMR = %d, want in [1,4] (local spin free, remote spin charged)", spinner.TotalRMR)
+	}
+	// Writer: three remote writes (mine) + three local writes (theirs).
+	if writer.TotalRMR != 3 {
+		t.Errorf("writer RMR = %d, want 3", writer.TotalRMR)
+	}
+}
+
+// TestDSMNativeFallback: the native backend ignores homes via the helper.
+func TestAllocHomeHelperFallback(t *testing.T) {
+	r := New(Config{Protocol: DSM})
+	v := memmodel.AllocHome(r, "v", 7, 2)
+	if r.Value(v) != 7 {
+		t.Error("AllocHome helper did not allocate through HomeAllocator")
+	}
+	// A plain allocator (no HomeAllocator) must fall back to Alloc.
+	pa := plainAlloc{r: New(Config{})}
+	v2 := memmodel.AllocHome(pa, "v2", 9, 0)
+	if pa.r.Value(v2) != 9 {
+		t.Error("AllocHome fallback failed")
+	}
+}
+
+// plainAlloc hides the runner's HomeAllocator to exercise the fallback.
+type plainAlloc struct{ r *Runner }
+
+func (p plainAlloc) Alloc(name string, init uint64) memmodel.Var { return p.r.Alloc(name, init) }
+func (p plainAlloc) AllocN(name string, n int, init uint64) []memmodel.Var {
+	return p.r.AllocN(name, n, init)
+}

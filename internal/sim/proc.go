@@ -1,0 +1,77 @@
+package sim
+
+import "repro/internal/memmodel"
+
+// simProc is the memmodel.Proc / sim.Proc implementation handed to each
+// simulated process goroutine. Every operation is a rendezvous with the
+// runner: send the request, block until the runner schedules and applies
+// it, receive the response.
+type simProc struct {
+	r  *Runner
+	ps *procState
+}
+
+var _ Proc = (*simProc)(nil)
+
+// call performs the request/response rendezvous. If the runner is closed
+// it panics with errAborted, which the process goroutine's deferred
+// recover treats as a clean shutdown.
+func (p *simProc) call(rq request) response {
+	select {
+	case p.ps.req <- rq:
+	case <-p.r.quit:
+		panic(errAborted)
+	}
+	select {
+	case resp := <-p.ps.resp:
+		return resp
+	case <-p.r.quit:
+		panic(errAborted)
+	}
+}
+
+// ID implements memmodel.Proc.
+func (p *simProc) ID() int { return p.ps.id }
+
+// Read implements memmodel.Proc.
+func (p *simProc) Read(v memmodel.Var) uint64 {
+	return p.call(request{kind: memmodel.OpRead, v: v, vars: []memmodel.Var{v}}).val
+}
+
+// Write implements memmodel.Proc.
+func (p *simProc) Write(v memmodel.Var, x uint64) {
+	p.call(request{kind: memmodel.OpWrite, v: v, arg: x, vars: []memmodel.Var{v}})
+}
+
+// CAS implements memmodel.Proc.
+func (p *simProc) CAS(v memmodel.Var, old, newVal uint64) (uint64, bool) {
+	resp := p.call(request{kind: memmodel.OpCAS, v: v, exp: old, arg: newVal, vars: []memmodel.Var{v}})
+	return resp.val, resp.swapped
+}
+
+// FetchAdd implements memmodel.Proc.
+func (p *simProc) FetchAdd(v memmodel.Var, delta uint64) uint64 {
+	return p.call(request{kind: memmodel.OpFetchAdd, v: v, arg: delta, vars: []memmodel.Var{v}}).val
+}
+
+// Await implements memmodel.Proc.
+func (p *simProc) Await(v memmodel.Var, pred memmodel.Pred) uint64 {
+	return p.call(request{kind: memmodel.OpAwait, v: v, vars: []memmodel.Var{v}, pred: pred}).val
+}
+
+// AwaitMulti implements memmodel.Proc.
+func (p *simProc) AwaitMulti(vars []memmodel.Var, pred memmodel.MultiPred) []uint64 {
+	vs := make([]memmodel.Var, len(vars))
+	copy(vs, vars)
+	return p.call(request{kind: memmodel.OpAwait, vars: vs, mpred: pred}).vals
+}
+
+// Section implements memmodel.Proc.
+func (p *simProc) Section(s memmodel.Section) {
+	p.call(request{section: s})
+}
+
+// Barrier implements sim.Proc.
+func (p *simProc) Barrier() {
+	p.call(request{barrier: true})
+}

@@ -1,0 +1,605 @@
+// Package sim is a deterministic simulator of the asynchronous shared
+// memory system with cache coherence defined in the paper's Section 2. It
+// executes real algorithm code (written against memmodel.Proc) one
+// shared-memory step at a time, under a pluggable scheduler, and counts
+// remote memory references exactly as the write-through or write-back CC
+// model prescribes.
+//
+// Each simulated process runs as a goroutine that blocks before every
+// shared-memory operation; a single runner goroutine owns all memory and
+// coherence state, asks the scheduler which poised process steps next,
+// applies the operation, and resumes that process. Executions are therefore
+// data-race-free by construction and exactly reproducible for a given
+// scheduler.
+//
+// Busy-wait loops are modeled by Await/AwaitMulti: a spinning process holds
+// valid cached copies of its spin variables and is not schedulable until
+// one of them is invalidated by another process's write, at which point its
+// re-check becomes a poised step that is charged the cache-refill RMRs.
+// This is the standard local-spin accounting and keeps executions finite.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// ErrDeadlock is returned when every live process is blocked on an await
+// and no step can unblock any of them.
+var ErrDeadlock = errors.New("sim: deadlock: all live processes are awaiting")
+
+// ErrMaxSteps is returned when an execution exceeds the configured step
+// budget, which usually indicates livelock or starvation in the algorithm
+// under test.
+var ErrMaxSteps = errors.New("sim: step budget exceeded")
+
+// errAborted terminates process goroutines when the runner is closed.
+var errAborted = errors.New("sim: runner closed")
+
+// Proc is the process handle visible to simulated programs. It extends the
+// model interface with Barrier, a scheduling-only pause (not a memory step,
+// no RMR, invisible to the awareness machinery) that staged drivers such as
+// the Theorem-5 adversary use to stop processes at precise points, e.g.
+// inside the critical section between fragments E1 and E2.
+type Proc interface {
+	memmodel.Proc
+	// Barrier blocks the process until the driver calls ReleaseBarrier.
+	Barrier()
+}
+
+// Program is the code a simulated process runs, from start to completion.
+type Program func(p Proc)
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Protocol is the coherence protocol; default WriteThrough.
+	Protocol Protocol
+	// Scheduler picks the next process at every step; default round-robin.
+	Scheduler sched.Scheduler
+	// Observer, if non-nil, receives every trace event as it is emitted.
+	Observer func(trace.Event)
+	// MaxSteps bounds the execution length; default 5,000,000.
+	MaxSteps int
+}
+
+type procStatus uint8
+
+const (
+	statusPoised procStatus = iota + 1 // has a pending op, schedulable
+	statusAwaiting
+	statusBarrier
+	statusDone
+)
+
+// request is one message from a process goroutine to the runner.
+type request struct {
+	kind    memmodel.OpKind // zero for section/barrier pseudo-requests
+	section memmodel.Section
+	barrier bool
+
+	v     memmodel.Var
+	vars  []memmodel.Var
+	arg   uint64
+	exp   uint64
+	pred  memmodel.Pred
+	mpred memmodel.MultiPred
+}
+
+// response is the runner's reply completing an operation.
+type response struct {
+	val     uint64
+	vals    []uint64
+	swapped bool
+}
+
+type procState struct {
+	id      int
+	prog    Program
+	req     chan request
+	resp    chan response
+	status  procStatus
+	pending request
+}
+
+// Runner owns one simulated execution. It implements memmodel.Allocator
+// for the setup phase; allocation after Start panics. All methods must be
+// called from a single driver goroutine.
+type Runner struct {
+	cfg   Config
+	mem   []uint64
+	names []string
+	homes []int32
+	coh   *coherence
+	procs []*procState
+	accts []*Account
+
+	started bool
+	steps   int
+	nDone   int
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// scratch buffers reused across steps
+	poisedIDs []int
+	poisedOps []sched.PendingOp
+}
+
+// New returns a Runner with the given configuration.
+func New(cfg Config) *Runner {
+	if cfg.Protocol == 0 {
+		cfg.Protocol = WriteThrough
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewRoundRobin()
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 5_000_000
+	}
+	return &Runner{cfg: cfg, quit: make(chan struct{})}
+}
+
+// Alloc implements memmodel.Allocator. The variable is homed in global
+// memory (remote to every process under DSM).
+func (r *Runner) Alloc(name string, init uint64) memmodel.Var {
+	return r.AllocHome(name, init, -1)
+}
+
+// AllocHome implements memmodel.HomeAllocator: the variable resides in
+// process home's memory segment under the DSM protocol (home < 0 means
+// global memory). The CC protocols ignore homes.
+func (r *Runner) AllocHome(name string, init uint64, home int) memmodel.Var {
+	if r.started {
+		panic("sim: Alloc after Start")
+	}
+	v := memmodel.Var(len(r.mem))
+	r.mem = append(r.mem, init)
+	r.names = append(r.names, name)
+	r.homes = append(r.homes, int32(home))
+	return v
+}
+
+// AllocN implements memmodel.Allocator.
+func (r *Runner) AllocN(name string, n int, init uint64) []memmodel.Var {
+	vs := make([]memmodel.Var, n)
+	for i := range vs {
+		vs[i] = r.Alloc(fmt.Sprintf("%s[%d]", name, i), init)
+	}
+	return vs
+}
+
+// AddProc registers a process with its program and returns its id.
+// Processes must be added before Start.
+func (r *Runner) AddProc(prog Program) int {
+	if r.started {
+		panic("sim: AddProc after Start")
+	}
+	id := len(r.procs)
+	r.procs = append(r.procs, &procState{
+		id:   id,
+		prog: prog,
+		req:  make(chan request),
+		resp: make(chan response),
+	})
+	r.accts = append(r.accts, newAccount(id))
+	return id
+}
+
+// NumProcs returns the number of registered processes.
+func (r *Runner) NumProcs() int { return len(r.procs) }
+
+// NumVars returns the number of allocated shared variables.
+func (r *Runner) NumVars() int { return len(r.mem) }
+
+// VarName returns the debug name a variable was allocated with.
+func (r *Runner) VarName(v memmodel.Var) string { return r.names[v] }
+
+// Value returns the current value of a shared variable, for assertions.
+// This is a driver-side peek, not a model step: no RMR, no trace event.
+func (r *Runner) Value(v memmodel.Var) uint64 { return r.mem[v] }
+
+// StepCount returns the number of shared-memory steps executed so far.
+func (r *Runner) StepCount() int { return r.steps }
+
+// Account returns the cost account of process id.
+func (r *Runner) Account(id int) *Account { return r.accts[id] }
+
+// Protocol returns the coherence protocol in effect.
+func (r *Runner) Protocol() Protocol { return r.cfg.Protocol }
+
+// Start launches all process goroutines and settles each at its first
+// operation. It must be called exactly once, after allocation and AddProc.
+func (r *Runner) Start() error {
+	if r.started {
+		return errors.New("sim: Start called twice")
+	}
+	r.started = true
+	r.coh = newCoherence(r.cfg.Protocol, len(r.procs), len(r.mem), r.homes)
+	for _, ps := range r.procs {
+		ps := ps
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer close(ps.req)
+			defer func() {
+				if v := recover(); v != nil && v != errAborted { //nolint:errorlint // sentinel identity
+					panic(v)
+				}
+			}()
+			ps.prog(&simProc{r: r, ps: ps})
+		}()
+	}
+	for _, ps := range r.procs {
+		r.settle(ps)
+	}
+	return nil
+}
+
+// Close aborts any still-running process goroutines and waits for them to
+// exit. It is safe to call multiple times and after normal completion.
+func (r *Runner) Close() {
+	r.closeOnce.Do(func() { close(r.quit) })
+	r.wg.Wait()
+}
+
+// settle advances process ps until it is poised at a shared-memory op,
+// blocked at a barrier, or done, processing section transitions inline.
+func (r *Runner) settle(ps *procState) {
+	for {
+		rq, ok := <-ps.req
+		if !ok {
+			if ps.status != statusDone {
+				ps.status = statusDone
+				r.nDone++
+			}
+			return
+		}
+		switch {
+		case rq.section != 0:
+			r.accts[ps.id].transition(rq.section)
+			r.emit(trace.Event{
+				Step:          r.steps,
+				Proc:          ps.id,
+				Var:           memmodel.NoVar,
+				Section:       rq.section,
+				SectionChange: true,
+			})
+			select {
+			case ps.resp <- response{}:
+			case <-r.quit:
+				return
+			}
+		case rq.barrier:
+			ps.status = statusBarrier
+			return
+		default:
+			ps.pending = rq
+			ps.status = statusPoised
+			return
+		}
+	}
+}
+
+// Done reports whether every process has completed its program.
+func (r *Runner) Done() bool { return r.nDone == len(r.procs) }
+
+// Poised returns the pending operations of all schedulable processes, in
+// ascending process order.
+func (r *Runner) Poised() []sched.PendingOp {
+	r.poisedOps = r.poisedOps[:0]
+	for _, ps := range r.procs {
+		if ps.status != statusPoised {
+			continue
+		}
+		op := sched.PendingOp{
+			Proc:        ps.id,
+			Kind:        ps.pending.kind,
+			Var:         ps.pending.v,
+			Arg:         ps.pending.arg,
+			CASExpected: ps.pending.exp,
+		}
+		if ps.pending.kind == memmodel.OpAwait {
+			op.Var = ps.pending.vars[0]
+			op.Vars = ps.pending.vars
+		}
+		r.poisedOps = append(r.poisedOps, op)
+	}
+	return r.poisedOps
+}
+
+// PendingOf returns the pending operation of process id if it is currently
+// poised, without scanning the whole population.
+func (r *Runner) PendingOf(id int) (sched.PendingOp, bool) {
+	ps := r.procs[id]
+	if ps.status != statusPoised {
+		return sched.PendingOp{}, false
+	}
+	op := sched.PendingOp{
+		Proc:        ps.id,
+		Kind:        ps.pending.kind,
+		Var:         ps.pending.v,
+		Arg:         ps.pending.arg,
+		CASExpected: ps.pending.exp,
+	}
+	if ps.pending.kind == memmodel.OpAwait {
+		op.Var = ps.pending.vars[0]
+		op.Vars = ps.pending.vars
+	}
+	return op, true
+}
+
+// Awaiting returns the ids of processes currently parked on an await (not
+// schedulable until one of their spin variables is invalidated).
+func (r *Runner) Awaiting() []int {
+	var out []int
+	for _, ps := range r.procs {
+		if ps.status == statusAwaiting {
+			out = append(out, ps.id)
+		}
+	}
+	return out
+}
+
+// AtBarrier returns the ids of processes currently blocked at a Barrier.
+func (r *Runner) AtBarrier() []int {
+	var out []int
+	for _, ps := range r.procs {
+		if ps.status == statusBarrier {
+			out = append(out, ps.id)
+		}
+	}
+	return out
+}
+
+// ReleaseBarrier resumes a process blocked at a Barrier and settles it at
+// its next operation.
+func (r *Runner) ReleaseBarrier(id int) error {
+	ps := r.procs[id]
+	if ps.status != statusBarrier {
+		return fmt.Errorf("sim: process %d is not at a barrier", id)
+	}
+	select {
+	case ps.resp <- response{}:
+	case <-r.quit:
+		return errAborted
+	}
+	r.settle(ps)
+	return nil
+}
+
+// Step executes one scheduled shared-memory step. It returns progressed ==
+// false with a nil error when no step can be taken because every live
+// process is done or barrier-blocked (the driver decides what to do next),
+// and ErrDeadlock when live processes exist but all are awaiting.
+func (r *Runner) Step() (progressed bool, err error) {
+	if !r.started {
+		return false, errors.New("sim: Step before Start")
+	}
+	if r.steps >= r.cfg.MaxSteps {
+		return false, fmt.Errorf("%w (%d)", ErrMaxSteps, r.cfg.MaxSteps)
+	}
+	r.poisedIDs = r.poisedIDs[:0]
+	for _, ps := range r.procs {
+		if ps.status == statusPoised {
+			r.poisedIDs = append(r.poisedIDs, ps.id)
+		}
+	}
+	if len(r.poisedIDs) == 0 {
+		if r.Done() {
+			return false, nil
+		}
+		for _, ps := range r.procs {
+			if ps.status == statusBarrier {
+				return false, nil // driver must release barriers
+			}
+		}
+		return false, fmt.Errorf("%w\n%s", ErrDeadlock, r.describeBlocked())
+	}
+
+	var pick int
+	if oa, ok := r.cfg.Scheduler.(sched.OpAware); ok {
+		pick = oa.NextOp(r.steps, r.Poised())
+	} else {
+		pick = r.cfg.Scheduler.Next(r.steps, r.poisedIDs)
+	}
+	if pick < 0 || pick >= len(r.procs) {
+		return false, fmt.Errorf("sim: scheduler %q picked nonexistent process %d", r.cfg.Scheduler.Name(), pick)
+	}
+	ps := r.procs[pick]
+	if ps.status != statusPoised {
+		return false, fmt.Errorf("sim: scheduler %q picked non-poised process %d", r.cfg.Scheduler.Name(), pick)
+	}
+	r.execute(ps)
+	return true, nil
+}
+
+// Run executes steps until all processes complete. It returns an error on
+// deadlock, step-budget exhaustion, or a barrier stall (barriers require a
+// staging driver that releases them).
+func (r *Runner) Run() error {
+	for {
+		progressed, err := r.Step()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			if r.Done() {
+				return nil
+			}
+			return fmt.Errorf("sim: processes %v stalled at barriers under Run; use Step/ReleaseBarrier", r.AtBarrier())
+		}
+	}
+}
+
+// execute applies the pending operation of ps, emits its trace event(s),
+// wakes awaiters, and settles ps (unless it transitioned to awaiting).
+func (r *Runner) execute(ps *procState) {
+	rq := ps.pending
+	switch rq.kind {
+	case memmodel.OpRead:
+		rmr := r.coh.read(ps.id, rq.v)
+		val := r.mem[rq.v]
+		r.record(ps.id, trace.Event{
+			Kind: memmodel.OpRead, Var: rq.v,
+			Before: val, After: val, Trivial: true, RMR: rmr,
+		})
+		r.reply(ps, response{val: val})
+
+	case memmodel.OpWrite:
+		before := r.mem[rq.v]
+		rmr := r.coh.write(ps.id, rq.v)
+		r.mem[rq.v] = rq.arg
+		r.record(ps.id, trace.Event{
+			Kind: memmodel.OpWrite, Var: rq.v, Arg: rq.arg,
+			Before: before, After: rq.arg, Trivial: before == rq.arg, RMR: rmr,
+		})
+		r.wakeAwaiters(ps.id, rq.v)
+		r.reply(ps, response{})
+
+	case memmodel.OpCAS:
+		before := r.mem[rq.v]
+		swapped := before == rq.exp
+		trivial := !swapped || rq.arg == before
+		var rmr bool
+		if swapped && !trivial {
+			rmr = r.coh.write(ps.id, rq.v)
+			r.mem[rq.v] = rq.arg
+		} else {
+			rmr = r.coh.read(ps.id, rq.v)
+		}
+		r.record(ps.id, trace.Event{
+			Kind: memmodel.OpCAS, Var: rq.v, Arg: rq.arg, CASExpected: rq.exp,
+			Before: before, After: r.mem[rq.v], Swapped: swapped, Trivial: trivial, RMR: rmr,
+		})
+		if swapped && !trivial {
+			r.wakeAwaiters(ps.id, rq.v)
+		}
+		r.reply(ps, response{val: before, swapped: swapped})
+
+	case memmodel.OpFetchAdd:
+		before := r.mem[rq.v]
+		after := before + rq.arg
+		trivial := rq.arg == 0
+		var rmr bool
+		if trivial {
+			rmr = r.coh.read(ps.id, rq.v)
+		} else {
+			rmr = r.coh.write(ps.id, rq.v)
+			r.mem[rq.v] = after
+		}
+		r.record(ps.id, trace.Event{
+			Kind: memmodel.OpFetchAdd, Var: rq.v, Arg: rq.arg,
+			Before: before, After: after, Trivial: trivial, RMR: rmr,
+		})
+		if !trivial {
+			r.wakeAwaiters(ps.id, rq.v)
+		}
+		r.reply(ps, response{val: before})
+
+	case memmodel.OpAwait:
+		r.executeAwait(ps)
+
+	default:
+		panic(fmt.Sprintf("sim: unknown op kind %v", rq.kind))
+	}
+}
+
+// executeAwait performs one await check: it (re-)reads every spin variable
+// (charging cache-refill RMRs for invalidated copies), evaluates the
+// predicate, and either completes the await or parks the process again.
+func (r *Runner) executeAwait(ps *procState) {
+	rq := ps.pending
+	vals := make([]uint64, len(rq.vars))
+	for i, v := range rq.vars {
+		rmr := r.coh.read(ps.id, v)
+		vals[i] = r.mem[v]
+		r.record(ps.id, trace.Event{
+			Kind: memmodel.OpAwait, Var: v,
+			Before: vals[i], After: vals[i], Trivial: true, RMR: rmr,
+		})
+	}
+	var satisfied bool
+	if rq.mpred != nil {
+		satisfied = rq.mpred(vals)
+	} else {
+		satisfied = rq.pred(vals[0])
+	}
+	if satisfied {
+		r.reply(ps, response{val: vals[0], vals: vals})
+		return
+	}
+	ps.status = statusAwaiting
+}
+
+// wakeAwaiters re-poises every process spinning on v after its cached copy
+// was invalidated by writer's step.
+func (r *Runner) wakeAwaiters(writer int, v memmodel.Var) {
+	for _, q := range r.procs {
+		if q.id == writer || q.status != statusAwaiting {
+			continue
+		}
+		for _, av := range q.pending.vars {
+			if av == v {
+				q.status = statusPoised
+				break
+			}
+		}
+	}
+}
+
+// record finalizes an event's bookkeeping fields, updates the process
+// account, and emits it.
+func (r *Runner) record(proc int, e trace.Event) {
+	e.Step = r.steps
+	e.Proc = proc
+	e.Section = r.accts[proc].Section()
+	r.steps++
+	r.accts[proc].recordStep(e.RMR)
+	r.emit(e)
+}
+
+func (r *Runner) emit(e trace.Event) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(e)
+	}
+}
+
+// reply completes ps's pending operation and settles it at its next one.
+func (r *Runner) reply(ps *procState, resp response) {
+	select {
+	case ps.resp <- resp:
+	case <-r.quit:
+		return
+	}
+	r.settle(ps)
+}
+
+// describeBlocked renders a deadlock diagnostic listing each awaiting
+// process and its spin variables.
+func (r *Runner) describeBlocked() string {
+	var b strings.Builder
+	var ids []int
+	for _, ps := range r.procs {
+		if ps.status == statusAwaiting {
+			ids = append(ids, ps.id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ps := r.procs[id]
+		fmt.Fprintf(&b, "  p%d awaiting on", id)
+		for _, v := range ps.pending.vars {
+			fmt.Fprintf(&b, " %s=%d", r.names[v], r.mem[v])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestRandomScenariosProperty is the property-based sweep: for random
+// small populations, passage counts, parameterizations, protocols and
+// scheduler seeds, every algorithm satisfies mutual exclusion and
+// completes. Each quick iteration runs one randomized scenario.
+func TestRandomScenariosProperty(t *testing.T) {
+	factories := []func() memmodel.Algorithm{
+		func() memmodel.Algorithm { return core.New(core.FOne) },
+		func() memmodel.Algorithm { return core.New(core.FLog) },
+		func() memmodel.Algorithm { return core.New(core.FSqrt) },
+		func() memmodel.Algorithm { return core.New(core.FHalf) },
+		func() memmodel.Algorithm { return core.New(core.FLinear) },
+		func() memmodel.Algorithm { return baseline.NewCentralized() },
+		func() memmodel.Algorithm { return baseline.NewFlagArray() },
+		func() memmodel.Algorithm { return baseline.NewPhaseFair() },
+		func() memmodel.Algorithm { return baseline.NewMutexRW() },
+	}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alg := factories[rng.Intn(len(factories))]()
+		protocol := sim.WriteThrough
+		if rng.Intn(2) == 1 {
+			protocol = sim.WriteBack
+		}
+		var scheduler sched.Scheduler
+		switch rng.Intn(3) {
+		case 0:
+			scheduler = sched.NewRandom(rng.Int63())
+		case 1:
+			scheduler = sched.NewPCT(rng.Int63(), 1+rng.Intn(6), 20_000)
+		default:
+			scheduler = sched.NewRoundRobin()
+		}
+		rep := Run(alg, Scenario{
+			NReaders:       1 + rng.Intn(6),
+			NWriters:       1 + rng.Intn(3),
+			ReaderPassages: 1 + rng.Intn(3),
+			WriterPassages: 1 + rng.Intn(3),
+			CSReads:        rng.Intn(3),
+			Protocol:       protocol,
+			Scheduler:      scheduler,
+		})
+		if !rep.OK() {
+			t.Logf("scenario failed: %s %s\n%s", alg.Name(), rep.Scenario, rep.Failures())
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package spec checks reader-writer lock algorithms against the properties
+// the paper requires (Section 2.1): Mutual Exclusion, Bounded Exit,
+// Deadlock Freedom and Concurrent Entering, plus reader non-starvation
+// (Lemma 16). It runs an algorithm inside the CC simulator under a chosen
+// scheduler and validates the resulting execution.
+//
+// Process numbering convention: readers are processes 0..n-1, writers are
+// processes n..n+m-1. Experiments elsewhere in the repository follow the
+// same convention.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scenario describes one checked execution.
+type Scenario struct {
+	// NReaders and NWriters size the population.
+	NReaders, NWriters int
+	// ReaderPassages and WriterPassages are the number of passages each
+	// reader (resp. writer) performs. Zero means the processes exist but
+	// stay in the remainder section.
+	ReaderPassages, WriterPassages int
+	// Protocol is the coherence protocol (default write-through).
+	Protocol sim.Protocol
+	// Scheduler drives the interleaving (default round-robin).
+	Scheduler sched.Scheduler
+	// MaxSteps bounds the execution (default 2,000,000). Exceeding it is
+	// reported as a progress failure: with finite passages a live
+	// algorithm must terminate.
+	MaxSteps int
+	// CSReads adds that many reads of a scratch variable inside each
+	// critical section, lengthening CS occupancy to expose races.
+	CSReads int
+	// Observer, if non-nil, additionally receives every trace event (the
+	// harness always installs its own mutual-exclusion monitor).
+	Observer func(trace.Event)
+}
+
+func (s Scenario) String() string {
+	scheduler := "round-robin"
+	if s.Scheduler != nil {
+		scheduler = s.Scheduler.Name()
+	}
+	return fmt.Sprintf("n=%d m=%d rp=%d wp=%d %s %s",
+		s.NReaders, s.NWriters, s.ReaderPassages, s.WriterPassages, s.Protocol, scheduler)
+}
+
+// Report is the outcome of one checked execution.
+type Report struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Scenario echoes the input.
+	Scenario Scenario
+	// Violations lists every property violation observed; empty means the
+	// execution satisfied Mutual Exclusion and completed all passages.
+	Violations []string
+	// Err is the runner's terminal error, if any (deadlock, step budget).
+	Err error
+	// Steps is the total number of shared-memory steps executed.
+	Steps int
+	// ReaderAccounts and WriterAccounts hold per-process cost accounts,
+	// indexed by rid / wid.
+	ReaderAccounts []*sim.Account
+	WriterAccounts []*sim.Account
+	// MaxReaderPassage and MaxWriterPassage aggregate worst-case
+	// per-passage costs across all processes of the class.
+	MaxReaderPassage, MaxWriterPassage sim.Passage
+	// MaxConcurrentReaders is the largest number of readers observed in
+	// the CS simultaneously (evidence of actual reader parallelism).
+	MaxConcurrentReaders int
+	// VarNames maps variable ids to the debug names the algorithm
+	// allocated them with (for rendering traces).
+	VarNames []string
+}
+
+// OK reports whether the execution completed without violations or errors.
+func (r *Report) OK() bool { return len(r.Violations) == 0 && r.Err == nil }
+
+// Failures renders all problems as one string.
+func (r *Report) Failures() string {
+	s := ""
+	for _, v := range r.Violations {
+		s += v + "\n"
+	}
+	if r.Err != nil {
+		s += r.Err.Error() + "\n"
+	}
+	return s
+}
+
+// csMonitor watches section-transition events and enforces Mutual
+// Exclusion: a writer in the CS excludes everyone.
+type csMonitor struct {
+	nReaders   int
+	inCS       map[int]bool // proc id -> in CS
+	writersIn  int
+	readersIn  int
+	maxReaders int
+	violations []string
+}
+
+func newCSMonitor(nReaders int) *csMonitor {
+	return &csMonitor{nReaders: nReaders, inCS: make(map[int]bool)}
+}
+
+func (m *csMonitor) isWriter(proc int) bool { return proc >= m.nReaders }
+
+func (m *csMonitor) observe(e trace.Event) {
+	if !e.SectionChange {
+		return
+	}
+	was := m.inCS[e.Proc]
+	now := e.Section == memmodel.SecCS
+	if was == now {
+		return
+	}
+	m.inCS[e.Proc] = now
+	if m.isWriter(e.Proc) {
+		if now {
+			m.writersIn++
+			if m.writersIn > 1 || m.readersIn > 0 {
+				m.violations = append(m.violations, fmt.Sprintf(
+					"step %d: writer w%d entered CS with %d writers and %d readers inside",
+					e.Step, e.Proc-m.nReaders, m.writersIn-1, m.readersIn))
+			}
+		} else {
+			m.writersIn--
+		}
+		return
+	}
+	if now {
+		m.readersIn++
+		if m.writersIn > 0 {
+			m.violations = append(m.violations, fmt.Sprintf(
+				"step %d: reader r%d entered CS while a writer was inside", e.Step, e.Proc))
+		}
+		if m.readersIn > m.maxReaders {
+			m.maxReaders = m.readersIn
+		}
+	} else {
+		m.readersIn--
+	}
+}
+
+// Run executes the scenario against alg and returns the report. The
+// algorithm instance must be fresh (Init not yet called).
+func Run(alg memmodel.Algorithm, sc Scenario) *Report {
+	if sc.MaxSteps == 0 {
+		sc.MaxSteps = 2_000_000
+	}
+	if sc.Scheduler == nil {
+		sc.Scheduler = sched.NewRoundRobin()
+	}
+	if sc.Protocol == 0 {
+		sc.Protocol = sim.WriteThrough
+	}
+	rep := &Report{Algorithm: alg.Name(), Scenario: sc}
+	mon := newCSMonitor(sc.NReaders)
+
+	observe := mon.observe
+	if sc.Observer != nil {
+		user := sc.Observer
+		observe = func(e trace.Event) {
+			mon.observe(e)
+			user(e)
+		}
+	}
+	r := sim.New(sim.Config{
+		Protocol:  sc.Protocol,
+		Scheduler: sc.Scheduler,
+		MaxSteps:  sc.MaxSteps,
+		Observer:  observe,
+	})
+	defer r.Close()
+
+	if err := alg.Init(r, sc.NReaders, sc.NWriters); err != nil {
+		rep.Err = fmt.Errorf("init: %w", err)
+		return rep
+	}
+	scratch := r.Alloc("spec.scratch", 0)
+
+	for rid := 0; rid < sc.NReaders; rid++ {
+		rid := rid
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < sc.ReaderPassages; i++ {
+				p.Section(memmodel.SecEntry)
+				alg.ReaderEnter(p, rid)
+				p.Section(memmodel.SecCS)
+				for k := 0; k < sc.CSReads; k++ {
+					p.Read(scratch)
+				}
+				p.Section(memmodel.SecExit)
+				alg.ReaderExit(p, rid)
+				p.Section(memmodel.SecRemainder)
+			}
+		})
+	}
+	for wid := 0; wid < sc.NWriters; wid++ {
+		wid := wid
+		r.AddProc(func(p sim.Proc) {
+			for i := 0; i < sc.WriterPassages; i++ {
+				p.Section(memmodel.SecEntry)
+				alg.WriterEnter(p, wid)
+				p.Section(memmodel.SecCS)
+				for k := 0; k < sc.CSReads; k++ {
+					p.Read(scratch)
+				}
+				p.Section(memmodel.SecExit)
+				alg.WriterExit(p, wid)
+				p.Section(memmodel.SecRemainder)
+			}
+		})
+	}
+
+	if err := r.Start(); err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.Err = r.Run()
+	rep.Steps = r.StepCount()
+	rep.Violations = mon.violations
+	rep.MaxConcurrentReaders = mon.maxReaders
+	rep.VarNames = make([]string, r.NumVars())
+	for v := range rep.VarNames {
+		rep.VarNames[v] = r.VarName(memmodel.Var(v))
+	}
+
+	for rid := 0; rid < sc.NReaders; rid++ {
+		acct := r.Account(rid)
+		rep.ReaderAccounts = append(rep.ReaderAccounts, acct)
+		if rep.Err == nil && len(acct.Passages) != sc.ReaderPassages {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"reader r%d completed %d/%d passages", rid, len(acct.Passages), sc.ReaderPassages))
+		}
+		rep.MaxReaderPassage = maxPassage(rep.MaxReaderPassage, acct.MaxPassage())
+	}
+	for wid := 0; wid < sc.NWriters; wid++ {
+		acct := r.Account(sc.NReaders + wid)
+		rep.WriterAccounts = append(rep.WriterAccounts, acct)
+		if rep.Err == nil && len(acct.Passages) != sc.WriterPassages {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"writer w%d completed %d/%d passages", wid, len(acct.Passages), sc.WriterPassages))
+		}
+		rep.MaxWriterPassage = maxPassage(rep.MaxWriterPassage, acct.MaxPassage())
+	}
+	return rep
+}
+
+func maxPassage(a, b sim.Passage) sim.Passage {
+	return sim.Passage{
+		EntryRMR:   max(a.EntryRMR, b.EntryRMR),
+		CSRMR:      max(a.CSRMR, b.CSRMR),
+		ExitRMR:    max(a.ExitRMR, b.ExitRMR),
+		EntrySteps: max(a.EntrySteps, b.EntrySteps),
+		CSSteps:    max(a.CSSteps, b.CSSteps),
+		ExitSteps:  max(a.ExitSteps, b.ExitSteps),
+	}
+}

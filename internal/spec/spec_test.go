@@ -1,0 +1,161 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/mutex"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// noopLock is deliberately broken: everyone enters immediately. The
+// monitor must flag writer/reader and writer/writer CS overlap.
+type noopLock struct {
+	scratch memmodel.Var
+}
+
+func (l *noopLock) Name() string { return "broken-noop" }
+
+func (l *noopLock) Init(a memmodel.Allocator, _, _ int) error {
+	l.scratch = a.Alloc("x", 0)
+	return nil
+}
+
+// Each section does one step so processes interleave.
+func (l *noopLock) ReaderEnter(p memmodel.Proc, _ int) { p.Read(l.scratch) }
+func (l *noopLock) ReaderExit(p memmodel.Proc, _ int)  { p.Read(l.scratch) }
+func (l *noopLock) WriterEnter(p memmodel.Proc, _ int) { p.Read(l.scratch) }
+func (l *noopLock) WriterExit(p memmodel.Proc, _ int)  { p.Read(l.scratch) }
+func (l *noopLock) Props() memmodel.Props              { return memmodel.Props{} }
+
+// tasRW serializes everyone through one TAS lock: correct but degenerate.
+type tasRW struct {
+	l *mutex.TAS
+}
+
+func (l *tasRW) Name() string { return "tas-rw" }
+
+func (l *tasRW) Init(a memmodel.Allocator, _, _ int) error {
+	l.l = mutex.NewTAS(a, "L")
+	return nil
+}
+
+func (l *tasRW) ReaderEnter(p memmodel.Proc, _ int) { l.l.Enter(p, 0) }
+func (l *tasRW) ReaderExit(p memmodel.Proc, _ int)  { l.l.Exit(p, 0) }
+func (l *tasRW) WriterEnter(p memmodel.Proc, _ int) { l.l.Enter(p, 0) }
+func (l *tasRW) WriterExit(p memmodel.Proc, _ int)  { l.l.Exit(p, 0) }
+func (l *tasRW) Props() memmodel.Props              { return memmodel.Props{} }
+
+// stuckLock deadlocks its first writer.
+type stuckLock struct {
+	never memmodel.Var
+}
+
+func (l *stuckLock) Name() string { return "stuck" }
+
+func (l *stuckLock) Init(a memmodel.Allocator, _, _ int) error {
+	l.never = a.Alloc("never", 0)
+	return nil
+}
+
+func (l *stuckLock) ReaderEnter(memmodel.Proc, int) {}
+func (l *stuckLock) ReaderExit(memmodel.Proc, int)  {}
+func (l *stuckLock) WriterEnter(p memmodel.Proc, _ int) {
+	p.Await(l.never, func(x uint64) bool { return x == 1 })
+}
+func (l *stuckLock) WriterExit(memmodel.Proc, int) {}
+func (l *stuckLock) Props() memmodel.Props         { return memmodel.Props{} }
+
+func TestMonitorCatchesBrokenLock(t *testing.T) {
+	rep := Run(&noopLock{}, Scenario{
+		NReaders: 3, NWriters: 2,
+		ReaderPassages: 3, WriterPassages: 3,
+		Scheduler: sched.NewRoundRobin(),
+		CSReads:   2,
+	})
+	if rep.OK() {
+		t.Fatal("broken lock passed the checker")
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("no violations recorded for broken lock")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "entered CS") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations lack CS overlap message: %v", rep.Violations)
+	}
+}
+
+func TestCorrectDegenerateLockPasses(t *testing.T) {
+	rep := Run(&tasRW{}, Scenario{
+		NReaders: 3, NWriters: 2,
+		ReaderPassages: 2, WriterPassages: 2,
+		Scheduler: sched.NewRandom(9),
+	})
+	if !rep.OK() {
+		t.Fatalf("tas-rw flagged: %s", rep.Failures())
+	}
+	if rep.MaxConcurrentReaders != 1 {
+		t.Errorf("MaxConcurrentReaders = %d, want 1 for a serializing lock", rep.MaxConcurrentReaders)
+	}
+	if len(rep.ReaderAccounts) != 3 || len(rep.WriterAccounts) != 2 {
+		t.Errorf("accounts: %d readers, %d writers", len(rep.ReaderAccounts), len(rep.WriterAccounts))
+	}
+}
+
+func TestDeadlockSurfacesAsError(t *testing.T) {
+	rep := Run(&stuckLock{}, Scenario{
+		NReaders: 1, NWriters: 1,
+		ReaderPassages: 1, WriterPassages: 1,
+		Scheduler: sched.NewRoundRobin(),
+	})
+	if rep.OK() {
+		t.Fatal("stuck lock reported OK")
+	}
+	if rep.Err == nil {
+		t.Fatalf("expected deadlock error, got violations only: %v", rep.Violations)
+	}
+	if !strings.Contains(rep.Failures(), "deadlock") {
+		t.Errorf("Failures() = %q, want mention of deadlock", rep.Failures())
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	s := Scenario{NReaders: 4, NWriters: 2, ReaderPassages: 3, WriterPassages: 1,
+		Protocol: sim.WriteBack, Scheduler: sched.NewRandom(1)}
+	got := s.String()
+	for _, want := range []string{"n=4", "m=2", "rp=3", "wp=1", "write-back", "random"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Scenario.String() = %q missing %q", got, want)
+		}
+	}
+	if !strings.Contains((Scenario{}).String(), "round-robin") {
+		t.Error("default scheduler name missing")
+	}
+}
+
+func TestReportAggregatesMaxPassage(t *testing.T) {
+	rep := Run(&tasRW{}, Scenario{
+		NReaders: 2, NWriters: 1,
+		ReaderPassages: 2, WriterPassages: 2,
+		Scheduler: sched.NewRandom(4),
+	})
+	if !rep.OK() {
+		t.Fatalf("%s", rep.Failures())
+	}
+	if rep.MaxReaderPassage.Steps() == 0 {
+		t.Error("MaxReaderPassage empty")
+	}
+	if rep.MaxWriterPassage.Steps() == 0 {
+		t.Error("MaxWriterPassage empty")
+	}
+	if rep.Steps == 0 {
+		t.Error("Steps not recorded")
+	}
+}

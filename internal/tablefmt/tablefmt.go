@@ -1,0 +1,111 @@
+// Package tablefmt renders the fixed-width text tables the experiment
+// binaries and EXPERIMENTS.md use. It intentionally supports exactly what
+// the harness needs: left- or right-aligned columns, a header rule, and
+// optional section rules between row groups.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+	rules   map[int]bool // row indices after which to draw a rule
+}
+
+// New returns a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers, rules: make(map[int]bool)}
+}
+
+// AddRow appends one row. Missing cells render empty; extra cells panic,
+// since that always indicates a bug in the experiment code.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("tablefmt: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRule draws a horizontal rule after the last added row (used to group
+// parameter sweeps).
+func (t *Table) AddRule() {
+	t.rules[len(t.rows)-1] = true
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			// Right-align numeric-looking cells, left-align the rest.
+			if isNumeric(c) {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.headers)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for i, row := range t.rows {
+		printRow(row)
+		if t.rules[i] {
+			fmt.Fprintln(w, strings.Repeat("-", total))
+		}
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// isNumeric reports whether the cell looks like a number (possibly with a
+// decimal point, sign, or trailing x/%).
+func isNumeric(s string) bool {
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	if s == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// Itoa is a convenience alias so experiment code doesn't import strconv
+// everywhere.
+func Itoa(v int) string { return strconv.Itoa(v) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }

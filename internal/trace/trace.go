@@ -1,0 +1,147 @@
+// Package trace defines the step-event record emitted by the CC simulator.
+// The awareness machinery (Definitions 1-3) and the property checkers
+// (Mutual Exclusion, Bounded Exit, ...) both consume these events, either
+// streamed through an observer callback or collected in a Recorder.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// Event describes one executed shared-memory step (or a section-transition
+// pseudo-event, which is not a step of the model but is recorded so
+// checkers can attribute steps to passage sections).
+type Event struct {
+	// Step is the global step index, starting at 0. Section transitions
+	// carry the index of the next real step.
+	Step int
+	// Proc is the process that took the step.
+	Proc int
+	// Kind is the operation kind; for section transitions it is 0.
+	Kind memmodel.OpKind
+	// Var is the variable accessed, or NoVar for section transitions.
+	Var memmodel.Var
+	// Before and After are the variable's value before and after the step.
+	Before, After uint64
+	// Arg is the operation argument: the value written, the CAS new value,
+	// or the FAA delta. Zero for reads.
+	Arg uint64
+	// CASExpected is the expected value of a CAS step.
+	CASExpected uint64
+	// Swapped reports whether a CAS step applied its swap.
+	Swapped bool
+	// Trivial reports whether the step left the variable's value unchanged
+	// (the paper's "trivial step").
+	Trivial bool
+	// RMR reports whether the step incurred a remote memory reference
+	// under the configured coherence protocol.
+	RMR bool
+	// Section is the section the process was in when it took the step.
+	// For section-transition events it is the *new* section.
+	Section memmodel.Section
+	// SectionChange marks section-transition pseudo-events.
+	SectionChange bool
+}
+
+// IsReading reports whether the event is a reading step in the paper's
+// sense: a read, an await re-check, or a CAS (trivial or not). Section
+// transitions are not steps.
+func (e Event) IsReading() bool {
+	if e.SectionChange {
+		return false
+	}
+	return e.Kind.Reading()
+}
+
+// IsWriting reports whether the event is a writing step: a write, a
+// value-changing CAS, or a fetch-and-add.
+func (e Event) IsWriting() bool {
+	if e.SectionChange {
+		return false
+	}
+	switch e.Kind {
+	case memmodel.OpWrite, memmodel.OpFetchAdd:
+		return true
+	case memmodel.OpCAS:
+		return e.Swapped
+	default:
+		return false
+	}
+}
+
+// String renders the event for debugging output.
+func (e Event) String() string {
+	if e.SectionChange {
+		return fmt.Sprintf("#%d p%d -> %s", e.Step, e.Proc, e.Section)
+	}
+	rmr := ""
+	if e.RMR {
+		rmr = " RMR"
+	}
+	switch e.Kind {
+	case memmodel.OpCAS:
+		return fmt.Sprintf("#%d p%d cas v%d exp=%d new=%d prev=%d swapped=%t%s [%s]",
+			e.Step, e.Proc, e.Var, e.CASExpected, e.Arg, e.Before, e.Swapped, rmr, e.Section)
+	case memmodel.OpWrite:
+		return fmt.Sprintf("#%d p%d write v%d %d->%d%s [%s]",
+			e.Step, e.Proc, e.Var, e.Before, e.Arg, rmr, e.Section)
+	default:
+		return fmt.Sprintf("#%d p%d %s v%d val=%d%s [%s]",
+			e.Step, e.Proc, e.Kind, e.Var, e.Before, rmr, e.Section)
+	}
+}
+
+// Recorder accumulates events in memory. The zero value is ready to use.
+// A nil *Recorder is a valid no-op sink.
+type Recorder struct {
+	events []Event
+}
+
+// Observe appends an event; it implements the simulator's observer hook.
+func (r *Recorder) Observe(e Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in execution order. The returned slice
+// is owned by the Recorder; callers must not mutate it.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Reset discards all recorded events, retaining capacity.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.events = r.events[:0]
+	}
+}
+
+// Steps returns only the real shared-memory steps (excluding section
+// transitions), in order.
+func (r *Recorder) Steps() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	for _, e := range r.events {
+		if !e.SectionChange {
+			out = append(out, e)
+		}
+	}
+	return out
+}

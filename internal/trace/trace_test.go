@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func TestIsReadingWriting(t *testing.T) {
+	cases := []struct {
+		name    string
+		e       Event
+		reading bool
+		writing bool
+	}{
+		{"read", Event{Kind: memmodel.OpRead}, true, false},
+		{"write", Event{Kind: memmodel.OpWrite}, false, true},
+		{"faa", Event{Kind: memmodel.OpFetchAdd}, true, true},
+		{"cas-success", Event{Kind: memmodel.OpCAS, Swapped: true}, true, true},
+		{"cas-fail", Event{Kind: memmodel.OpCAS, Swapped: false}, true, false},
+		{"await", Event{Kind: memmodel.OpAwait}, true, false},
+		{"section", Event{SectionChange: true, Kind: memmodel.OpRead}, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.e.IsReading(); got != c.reading {
+				t.Errorf("IsReading = %v, want %v", got, c.reading)
+			}
+			if got := c.e.IsWriting(); got != c.writing {
+				t.Errorf("IsWriting = %v, want %v", got, c.writing)
+			}
+		})
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Observe(Event{Step: 0, Proc: 1, Kind: memmodel.OpRead})
+	r.Observe(Event{Step: 1, Proc: 2, SectionChange: true, Section: memmodel.SecCS})
+	r.Observe(Event{Step: 1, Proc: 2, Kind: memmodel.OpWrite})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	steps := r.Steps()
+	if len(steps) != 2 {
+		t.Fatalf("Steps len = %d, want 2", len(steps))
+	}
+	if steps[0].Kind != memmodel.OpRead || steps[1].Kind != memmodel.OpWrite {
+		t.Fatal("Steps returned wrong events")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear recorder")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Observe(Event{}) // must not panic
+	if r.Len() != 0 || r.Events() != nil || r.Steps() != nil {
+		t.Fatal("nil recorder returned non-empty data")
+	}
+	r.Reset() // must not panic
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{
+			Event{Step: 3, Proc: 1, Kind: memmodel.OpWrite, Var: 2, Before: 0, Arg: 7, RMR: true, Section: memmodel.SecEntry},
+			[]string{"p1", "write", "v2", "0->7", "RMR", "entry"},
+		},
+		{
+			Event{Step: 4, Proc: 0, Kind: memmodel.OpCAS, Var: 5, CASExpected: 1, Arg: 2, Before: 1, Swapped: true, Section: memmodel.SecExit},
+			[]string{"cas", "v5", "swapped=true", "exit"},
+		},
+		{
+			Event{Step: 9, Proc: 2, SectionChange: true, Section: memmodel.SecCS},
+			[]string{"p2", "cs"},
+		},
+		{
+			Event{Step: 1, Proc: 3, Kind: memmodel.OpRead, Var: 0, Before: 9, Section: memmodel.SecCS},
+			[]string{"read", "val=9"},
+		},
+	}
+	for _, c := range cases {
+		s := c.e.String()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("String() = %q missing %q", s, w)
+			}
+		}
+	}
+}
