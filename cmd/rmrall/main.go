@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
@@ -19,6 +20,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller grids (faster)")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 	if err := run(*quick); err != nil {
 		fmt.Fprintln(os.Stderr, "rmrall:", err)
 		os.Exit(1)

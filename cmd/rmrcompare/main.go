@@ -24,6 +24,7 @@ func main() {
 	seedsFlag := flag.String("seeds", "1,2,3", "comma-separated scheduler seeds")
 	protoFlag := flag.String("protocol", "wt", "coherence protocol: wt or wb")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 
 	if err := run(*nFlag, *mFlag, *seedsFlag, *protoFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rmrcompare:", err)

@@ -25,6 +25,7 @@ func main() {
 	protoFlag := flag.String("protocol", "wt", "coherence protocol: wt or wb")
 	value := flag.Bool("value", false, "also print the adversary-vs-random comparison (E11)")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 
 	if *value {
 		ns, err := cliutil.ParseInts(*nFlag)

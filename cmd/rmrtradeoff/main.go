@@ -31,6 +31,7 @@ func main() {
 	wl := flag.Bool("wl", false, "also print the WL mutex substrate comparison (E10)")
 	fit := flag.Bool("fit", false, "also print least-squares shape fits over the grid (E12)")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 
 	if *fit {
 		ns, err := cliutil.ParseInts(*nFlag)

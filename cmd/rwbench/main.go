@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/native"
 	"repro/internal/tablefmt"
@@ -36,6 +37,7 @@ func main() {
 	writers := flag.Int("writers", 2, "writer goroutines")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 
 	if err := run(*readers, *writers, *dur); err != nil {
 		fmt.Fprintln(os.Stderr, "rwbench:", err)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/spec"
@@ -31,6 +32,7 @@ func main() {
 	maxRuns := flag.Int("max", 1_000_000, "run cap")
 	traceFlag := flag.Bool("trace", false, "on violation, replay and print the schedule as a timeline")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 
 	if *list {
 		for _, fac := range experiments.ExtendedFactories() {

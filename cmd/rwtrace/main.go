@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/memmodel"
 	"repro/internal/sched"
@@ -36,6 +37,7 @@ func main() {
 	events := flag.Int("events", 80, "max events to print (tail kept)")
 	hideSections := flag.Bool("hide-sections", false, "omit section transitions")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 
 	if err := run(*algFlag, *n, *m, *rp, *wp, *seed, *protoFlag, *events, *hideSections); err != nil {
 		fmt.Fprintln(os.Stderr, "rwtrace:", err)

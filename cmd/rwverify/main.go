@@ -5,9 +5,15 @@
 // (Concurrent Entering evidence) and Bounded Exit held. It exits non-zero
 // if any algorithm violates a property it claims.
 //
+// With -crash it additionally runs experiment E13: the exhaustive
+// crash-stop sweep (kill one reader / one writer at every step boundary,
+// requiring Mutual Exclusion to survive every crash and every hang to be
+// caught deterministically by the watchdog) and the bounded-abort cost
+// table for the TryEnter implementations.
+//
 // Usage:
 //
-//	rwverify [-seeds 1,2,3,4,5]
+//	rwverify [-seeds 1,2,3,4,5] [-crash]
 package main
 
 import (
@@ -21,9 +27,11 @@ import (
 
 func main() {
 	seedsFlag := flag.String("seeds", "1,2,3,4,5", "comma-separated scheduler seeds")
+	crashFlag := flag.Bool("crash", false, "also run the E13 crash-stop sweep and abort-cost tables")
 	flag.Parse()
+	cliutil.NoArgs(flag.CommandLine)
 
-	code, err := run(*seedsFlag)
+	code, err := run(*seedsFlag, *crashFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rwverify:", err)
 		os.Exit(1)
@@ -31,7 +39,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(seedList string) (int, error) {
+func run(seedList string, crash bool) (int, error) {
 	seeds, err := cliutil.ParseSeeds(seedList)
 	if err != nil {
 		return 1, err
@@ -50,9 +58,79 @@ func run(seedList string) (int, error) {
 			failed = true
 		}
 	}
+	if crash {
+		if bad, err := runCrash(); err != nil {
+			return 1, err
+		} else if bad {
+			failed = true
+		}
+	}
 	if failed {
 		return 1, nil
 	}
 	fmt.Println("all claimed properties hold")
 	return 0, nil
+}
+
+// runCrash prints the E13 tables and returns whether any robustness
+// property failed: a Mutual Exclusion violation under any crash, a hang
+// that only the step budget caught (watchdog miss), or an abort attempt
+// that did not abort where staged to fail.
+func runCrash() (failed bool, err error) {
+	fmt.Println("E13: crash-stop sweep (n=2, m=2, 2 passages, round-robin; one victim per run)")
+	crashRows, crashTable, err := experiments.E13CrashSweep()
+	if err != nil {
+		return false, err
+	}
+	fmt.Println(crashTable)
+	for _, r := range crashRows {
+		if r.MEViol > 0 {
+			fmt.Printf("FAIL: %s: crash of %s in %s broke mutual exclusion (%d violations)\n",
+				r.Alg, r.Victim, r.Section, r.MEViol)
+			failed = true
+		}
+		if r.Budget > 0 {
+			fmt.Printf("FAIL: %s: %d hangs escaped the watchdog (step-budget timeout)\n", r.Alg, r.Budget)
+			failed = true
+		}
+		if r.Section == "remainder" && r.Live != r.Points {
+			fmt.Printf("FAIL: %s: remainder-section crash of %s wedged survivors (%d/%d live)\n",
+				r.Alg, r.Victim, r.Live, r.Points)
+			failed = true
+		}
+	}
+
+	fmt.Println("E13: abort cost of one failing try attempt (opposing class holds the CS)")
+	abortRows, abortTable, err := experiments.E13AbortCost([]int{2, 4, 16, 64})
+	if err != nil {
+		return false, err
+	}
+	fmt.Println(abortTable)
+	// Constancy claims: reader aborts at f(n)=n and writer aborts at
+	// f(n)=1 are O(1); the centralized lock is O(1) on both sides.
+	first := map[string]experiments.E13AbortRow{}
+	for _, r := range abortRows {
+		if !r.Aborted {
+			fmt.Printf("FAIL: %s n=%d: staged try attempt did not abort\n", r.Alg, r.N)
+			failed = true
+		}
+		f, seen := first[r.Alg]
+		if !seen {
+			first[r.Alg] = r
+			continue
+		}
+		constReader := r.Alg == "af-n" || r.Alg == "centralized"
+		constWriter := r.Alg == "af-1" || r.Alg == "centralized"
+		if constReader && r.ReaderRMR != f.ReaderRMR {
+			fmt.Printf("FAIL: %s: reader abort cost grew with n (%d at n=%d vs %d at n=%d)\n",
+				r.Alg, f.ReaderRMR, f.N, r.ReaderRMR, r.N)
+			failed = true
+		}
+		if constWriter && r.WriterRMR != f.WriterRMR {
+			fmt.Printf("FAIL: %s: writer abort cost grew with n (%d at n=%d vs %d at n=%d)\n",
+				r.Alg, f.WriterRMR, f.N, r.WriterRMR, r.N)
+			failed = true
+		}
+	}
+	return failed, nil
 }

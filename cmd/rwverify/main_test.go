@@ -23,7 +23,7 @@ func capture(t *testing.T, fn func() (int, error)) (string, int, error) {
 }
 
 func TestRunPasses(t *testing.T) {
-	out, code, err := capture(t, func() (int, error) { return run("1,2") })
+	out, code, err := capture(t, func() (int, error) { return run("1,2", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,8 +38,35 @@ func TestRunPasses(t *testing.T) {
 }
 
 func TestRunBadSeeds(t *testing.T) {
-	_, code, err := capture(t, func() (int, error) { return run("nope") })
+	_, code, err := capture(t, func() (int, error) { return run("nope", false) })
 	if err == nil || code == 0 {
 		t.Error("bad seeds accepted")
+	}
+}
+
+// TestRunCrashSweep exercises the full -crash path: the E13 tables must
+// print and every robustness gate must pass.
+func TestRunCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep is a full exhaustive enumeration")
+	}
+	out, code, err := capture(t, func() (int, error) { return run("1", true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"E13: crash-stop sweep", "crash section",
+		"E13: abort cost", "reader abort rmr",
+		"all claimed properties hold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("crash sweep reported failures:\n%s", out)
 	}
 }

@@ -33,7 +33,10 @@ type Centralized struct {
 	state memmodel.Var
 }
 
-var _ memmodel.Algorithm = (*Centralized)(nil)
+var (
+	_ memmodel.Algorithm    = (*Centralized)(nil)
+	_ memmodel.TryAlgorithm = (*Centralized)(nil)
+)
 
 const centralWriterBit = uint64(1) << 63
 
@@ -84,6 +87,29 @@ func (c *Centralized) WriterEnter(p memmodel.Proc, _ int) {
 // and rival writers only CAS from writer-bit-clear states).
 func (c *Centralized) WriterExit(p memmodel.Proc, _ int) {
 	p.Write(c.state, 0)
+}
+
+// ReaderTryEnter implements memmodel.TryAlgorithm: one registration
+// attempt. It fails if a writer is present or if the single CAS loses a
+// race (honest try semantics — callers retry under backoff). The abandon
+// path is empty: a failed CAS changes nothing, so the whole failed attempt
+// costs at most two steps.
+func (c *Centralized) ReaderTryEnter(p memmodel.Proc, _ int) bool {
+	s := p.Read(c.state)
+	if s&centralWriterBit != 0 {
+		return false
+	}
+	_, ok := p.CAS(c.state, s, s+1)
+	return ok
+}
+
+// WriterTryEnter implements memmodel.TryAlgorithm: it succeeds only from
+// the completely free state with a single CAS (claiming the writer bit
+// while readers are draining would block them, so the try variant never
+// does it). One step, zero rollback.
+func (c *Centralized) WriterTryEnter(p memmodel.Proc, _ int) bool {
+	_, ok := p.CAS(c.state, 0, centralWriterBit)
+	return ok
 }
 
 // Props implements memmodel.Algorithm.

@@ -3,12 +3,30 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/sim"
 )
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// NoArgs enforces that a parsed flag set received no positional arguments.
+// The cmd/ binaries take configuration through flags only; a stray operand
+// is almost always a mistyped flag, so it is reported and the process
+// exits with the same status code the flag package uses for bad flags (2).
+func NoArgs(fs *flag.FlagSet) {
+	if fs.NArg() == 0 {
+		return
+	}
+	fmt.Fprintf(fs.Output(), "%s: unexpected argument %q (flags only)\n", fs.Name(), fs.Arg(0))
+	fs.Usage()
+	exit(2)
+}
 
 // ParseInts parses a comma-separated list of positive integers ("8,64,512").
 func ParseInts(s string) ([]int, error) {

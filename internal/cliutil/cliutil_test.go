@@ -1,6 +1,9 @@
 package cliutil
 
 import (
+	"flag"
+	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -50,5 +53,41 @@ func TestParseProtocol(t *testing.T) {
 	}
 	if _, err := ParseProtocol("bogus"); err == nil {
 		t.Error("bogus protocol accepted")
+	}
+}
+
+// TestNoArgs checks the flags-only contract shared by every cmd/ binary:
+// positional operands exit with status 2 (matching the flag package's own
+// bad-flag exit), clean invocations pass through.
+func TestNoArgs(t *testing.T) {
+	exitCode := -1
+	exit = func(code int) { exitCode = code }
+	defer func() { exit = os.Exit }()
+
+	fs := flag.NewFlagSet("toolname", flag.ContinueOnError)
+	var usageCalled bool
+	fs.Usage = func() { usageCalled = true }
+	var out strings.Builder
+	fs.SetOutput(&out)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	NoArgs(fs)
+	if exitCode != -1 {
+		t.Fatalf("NoArgs exited (%d) without positional args", exitCode)
+	}
+
+	if err := fs.Parse([]string{"stray"}); err != nil {
+		t.Fatal(err)
+	}
+	NoArgs(fs)
+	if exitCode != 2 {
+		t.Errorf("exit code = %d, want 2", exitCode)
+	}
+	if !usageCalled {
+		t.Error("usage not printed")
+	}
+	if msg := out.String(); !strings.Contains(msg, "stray") || !strings.Contains(msg, "toolname") {
+		t.Errorf("diagnostic %q does not name the tool and the stray argument", msg)
 	}
 }

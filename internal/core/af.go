@@ -115,7 +115,10 @@ type AF struct {
 	inited bool
 }
 
-var _ memmodel.Algorithm = (*AF)(nil)
+var (
+	_ memmodel.Algorithm    = (*AF)(nil)
+	_ memmodel.TryAlgorithm = (*AF)(nil)
+)
 
 // New returns an uninitialized A_f instance for parameterization f, using
 // the paper's substrates (f-array counters, tournament WL) unless options
@@ -297,6 +300,80 @@ func (a *AF) WriterExit(p memmodel.Proc, wid int) {
 	p.Write(a.wseq, seq+1)                          // line 25
 	p.Write(a.rsig, memmodel.PackSig(seq+1, opNOP)) // line 26
 	a.wl.Exit(p, wid)                               // line 27
+}
+
+// ReaderTryEnter implements memmodel.TryAlgorithm. The reader entry
+// section has exactly one unbounded wait — the await on RSIG while a
+// writer holds the lock (line 36) — so the try variant registers in C[i],
+// checks RSIG once, and on <seq, WAIT> abandons by running the ordinary
+// exit section: an aborted attempt is indistinguishable from an
+// instantaneous empty passage, so every safety and signaling invariant of
+// Algorithm 1 carries over verbatim (including the helpWCS handshake the
+// waiting writer may depend on). The failed attempt costs two counter
+// updates plus O(1) signal steps: O(log(n/f(n))) RMRs, constant in n at
+// the f(n)=n endpoint.
+func (a *AF) ReaderTryEnter(p memmodel.Proc, rid int) bool {
+	i, slot := a.group(rid)
+	a.c[i].Add(p, slot, 1)                      // line 31
+	_, op := memmodel.UnpackSig(p.Read(a.rsig)) // line 32
+	if op != opWait {
+		return true
+	}
+	a.ReaderExit(p, rid) // abandon: C[i] decrement + exit signaling
+	return false
+}
+
+// WriterTryEnter implements memmodel.TryAlgorithm. Writers have three
+// blocking points: WL itself and the two group scans (lines 14 and 21).
+// The try variant (1) acquires WL through the substrate's bounded
+// abortable entry (mutex.TryEnterer — O(log m) for the tournament tree,
+// failure rolls the arbitration path back without waiting); (2) runs the
+// entry handshake with each await replaced by a single check; and (3)
+// abandons by running the ordinary WriterExit: advancing WSEQ and
+// publishing <seq+1, NOP> invalidates every signal of the aborted round
+// (readers parked on <seq, WAIT> wake and proceed) and releases WL — the
+// same jump-to-exit rollback used by abortable-mutex constructions. A
+// failed attempt costs O(f(n) + log m) RMRs, constant in n at the f(n)=1
+// endpoint.
+//
+// WL substrates without bounded try-entry (CLH, ticket) have no way to
+// abandon a queue position without waiting, so under those ablations the
+// attempt is refused outright.
+func (a *AF) WriterTryEnter(p memmodel.Proc, wid int) bool {
+	tl, ok := a.wl.(mutex.TryEnterer)
+	if !ok {
+		return false
+	}
+	if !tl.TryEnter(p, wid) {
+		return false
+	}
+	seq := p.Read(a.wseq)
+	a.wlocal[wid] = seq
+
+	for i := 0; i < a.groups; i++ { // lines 7-9
+		p.Write(a.wsig[i], memmodel.PackSig(seq, wsBottom))
+	}
+	p.Write(a.rsig, memmodel.PackSig(seq, opPreentry)) // line 11
+
+	for i := 0; i < a.groups; i++ { // lines 12-17, await -> single check
+		if a.c[i].Read(p) > 0 &&
+			p.Read(a.wsig[i]) != memmodel.PackSig(seq, wsProceed) {
+			a.WriterExit(p, wid)
+			return false
+		}
+		p.Write(a.wsig[i], memmodel.PackSig(seq, wsWait)) // line 16
+	}
+
+	p.Write(a.rsig, memmodel.PackSig(seq, opWait)) // line 18
+
+	for i := 0; i < a.groups; i++ { // lines 19-23, await -> single check
+		if a.c[i].Read(p) > 0 &&
+			p.Read(a.wsig[i]) != memmodel.PackSig(seq, wsCS) {
+			a.WriterExit(p, wid)
+			return false
+		}
+	}
+	return true
 }
 
 // Props implements memmodel.Algorithm.

@@ -1,0 +1,108 @@
+// Package fault injects crash-stop failures into simulator executions.
+//
+// The failure model is crash-stop at shared-memory-step granularity
+// (Section 2's model extended the way the recoverable-mutex literature
+// does, e.g. Chan & Woelfel, PODC 2017): a crashed process takes no
+// further steps, forever, but every step it already took — including
+// writes that other processes have observed — remains in effect. There is
+// no recovery: the paper's algorithms keep per-process state in shared
+// counters and signal words, and a crashed process's contribution is never
+// undone. The interesting question, answered by the spec harness's crash
+// sweep, is exactly *which* crash points leave the survivors live and
+// which wedge them forever (detected deterministically by the simulator's
+// no-progress watchdog, never by a step budget).
+//
+// Drive is the injection driver: it steps a runner to termination,
+// killing chosen processes at chosen global step indices. Crash points are
+// enumerated exhaustively for tiny scenarios (every step boundary of a
+// reference execution) and sampled with seeded randomness for larger ones.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Point schedules one crash: Victim is killed at the boundary before the
+// execution's global step index Step. Step 0 kills the victim before it
+// takes any step at all.
+type Point struct {
+	// Victim is the process id to crash-stop.
+	Victim int
+	// Step is the global step index before which the victim dies.
+	Step int
+}
+
+func (p Point) String() string { return fmt.Sprintf("crash p%d @%d", p.Victim, p.Step) }
+
+// Drive steps r until termination, applying every crash point at its step
+// boundary. Points whose victim already finished (or already crashed) by
+// the time they fire are skipped: crash-stopping a process that takes no
+// further steps anyway is a no-op. It returns nil when the execution
+// terminates (every process done or crashed), the runner's
+// *sim.NoProgressError when the watchdog detects that the survivors are
+// wedged, and any other runner error (step budget, scheduler fault)
+// verbatim. Barriers are not supported: Drive is for unstaged executions.
+func Drive(r *sim.Runner, points []Point) error {
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Step < pts[j].Step })
+	next := 0
+	for {
+		for next < len(pts) && pts[next].Step <= r.StepCount() {
+			p := pts[next]
+			next++
+			if !r.Alive(p.Victim) {
+				continue
+			}
+			if err := r.Crash(p.Victim); err != nil {
+				return fmt.Errorf("fault: %s: %w", p, err)
+			}
+		}
+		progressed, err := r.Step()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			if r.Terminated() {
+				return nil
+			}
+			return fmt.Errorf("fault: processes %v stalled at barriers under Drive", r.AtBarrier())
+		}
+	}
+}
+
+// ExhaustivePoints enumerates every crash point for victim in an execution
+// of totalSteps steps: one Point per step boundary, 0 through totalSteps
+// inclusive (the final boundary crashes the victim after the reference
+// execution's last step, exercising the everything-done edge). Callers run
+// one fresh execution per point.
+func ExhaustivePoints(victim, totalSteps int) []Point {
+	pts := make([]Point, 0, totalSteps+1)
+	for k := 0; k <= totalSteps; k++ {
+		pts = append(pts, Point{Victim: victim, Step: k})
+	}
+	return pts
+}
+
+// RandomPoints samples count crash points with a seeded generator: victims
+// drawn uniformly from victims, steps uniformly from [0, maxStep). The
+// sample is deterministic per seed, so sweeps are reproducible. Duplicates
+// are possible and harmless (each point drives its own execution).
+func RandomPoints(seed int64, victims []int, maxStep, count int) []Point {
+	if len(victims) == 0 || maxStep <= 0 || count <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, 0, count)
+	for i := 0; i < count; i++ {
+		pts = append(pts, Point{
+			Victim: victims[rng.Intn(len(victims))],
+			Step:   rng.Intn(maxStep),
+		})
+	}
+	return pts
+}

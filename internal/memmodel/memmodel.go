@@ -225,6 +225,33 @@ type Algorithm interface {
 	Props() Props
 }
 
+// TryAlgorithm is the optional extension for abortable entry. A try-entry
+// method makes one bounded attempt at the corresponding entry section: it
+// returns true with the process inside the critical section (released with
+// the usual Exit method), or false after a bounded abandon path that leaves
+// the process back in the remainder section and the lock's shared state
+// consistent — in particular, other processes' Mutual Exclusion, progress
+// and signaling invariants are unaffected, exactly as if the aborting
+// process had performed an instantaneous empty passage. Try-entry methods
+// never wait unboundedly: every busy-wait of the blocking entry section
+// becomes a single check whose failure triggers the abandon path.
+//
+// Abort-path RMR costs are algorithm-specific; the spec harness measures
+// them on the simulator (bounded-abort property). Callers wanting blocking
+// behavior with a deadline retry attempts under exponential backoff (see
+// internal/native's TryLock).
+type TryAlgorithm interface {
+	Algorithm
+
+	// ReaderTryEnter attempts the reader entry section for rid. It is
+	// invoked with the process in SecEntry; on true the process is in
+	// SecCS-eligible state, on false the attempt has been rolled back.
+	ReaderTryEnter(p Proc, rid int) bool
+
+	// WriterTryEnter is the writer-side analogue of ReaderTryEnter.
+	WriterTryEnter(p Proc, wid int) bool
+}
+
 // Props declares an Algorithm's operation set, claimed properties, and
 // predicted RMR complexity, used by the spec harness (to know what to
 // assert) and the experiment tables (to print predicted columns).

@@ -35,6 +35,15 @@ type Lock interface {
 	Exit(p memmodel.Proc, slot int)
 }
 
+// TryEnterer is the optional extension for locks with a bounded abortable
+// entry. It backs the abortable writer entry of A_f (memmodel.TryAlgorithm).
+type TryEnterer interface {
+	// TryEnter makes one bounded attempt to acquire the lock for slot:
+	// true means the caller holds it (release with Exit); false means the
+	// attempt was rolled back without ever waiting on another process.
+	TryEnter(p memmodel.Proc, slot int) bool
+}
+
 // Tournament is the Peterson arbitration tree. See the package comment.
 type Tournament struct {
 	m      int
@@ -104,6 +113,29 @@ func (t *Tournament) Exit(p memmodel.Proc, slot int) {
 	}
 }
 
+// TryEnter implements TryEnterer: climb the path winning each Peterson
+// instance only if it can be won without waiting. On the first contended
+// node the climb withdraws (abortable Peterson: clearing the competing
+// flag before ever being seen as the winner releases any rival spinning on
+// it) and the already-won nodes are released in Exit order. The attempt
+// costs O(1) steps per level — O(log m) total — and never blocks.
+func (t *Tournament) TryEnter(p memmodel.Proc, slot int) bool {
+	t.checkSlot(slot)
+	var won [64]int
+	n := 0
+	for node := (1 << t.levels) + slot; node > 1; node /= 2 {
+		if !t.petersonTryEnter(p, node/2, node&1) {
+			for i := n - 1; i >= 0; i-- {
+				t.petersonExit(p, won[i]/2, won[i]&1)
+			}
+			return false
+		}
+		won[n] = node
+		n++
+	}
+	return true
+}
+
 func (t *Tournament) petersonEnter(p memmodel.Proc, node, side int) {
 	my, rival := t.flag0[node], t.flag1[node]
 	if side == 1 {
@@ -114,6 +146,25 @@ func (t *Tournament) petersonEnter(p memmodel.Proc, node, side int) {
 	p.AwaitMulti([]memmodel.Var{rival, t.turn[node]}, func(vs []uint64) bool {
 		return vs[0] == 0 || vs[1] != uint64(side)
 	})
+}
+
+// petersonTryEnter plays one Peterson instance without waiting: after the
+// usual flag and turn writes, a single check of the rival's state decides.
+// Losing withdraws by clearing the competing flag — the rival's spin
+// predicate (rival flag == 0) is satisfied by that write, so the
+// withdrawal cannot strand anyone.
+func (t *Tournament) petersonTryEnter(p memmodel.Proc, node, side int) bool {
+	my, rival := t.flag0[node], t.flag1[node]
+	if side == 1 {
+		my, rival = rival, my
+	}
+	p.Write(my, 1)
+	p.Write(t.turn[node], uint64(side))
+	if p.Read(rival) == 0 || p.Read(t.turn[node]) != uint64(side) {
+		return true
+	}
+	p.Write(my, 0)
+	return false
 }
 
 func (t *Tournament) petersonExit(p memmodel.Proc, node, side int) {
@@ -152,7 +203,18 @@ func (t *TAS) Enter(p memmodel.Proc, _ int) {
 	}
 }
 
+// TryEnter implements TryEnterer: a single CAS attempt.
+func (t *TAS) TryEnter(p memmodel.Proc, _ int) bool {
+	_, ok := p.CAS(t.l, 0, 1)
+	return ok
+}
+
 // Exit implements Lock.
 func (t *TAS) Exit(p memmodel.Proc, _ int) {
 	p.Write(t.l, 0)
 }
+
+var (
+	_ TryEnterer = (*Tournament)(nil)
+	_ TryEnterer = (*TAS)(nil)
+)

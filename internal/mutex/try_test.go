@@ -1,0 +1,136 @@
+package mutex
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// checkTryEnter stages the three TryEnter cases on the simulator: success
+// on a free lock, bounded failure against a holder (with the arbitration
+// state rolled back so the lock stays usable), and mixed try/blocking
+// mutual exclusion.
+func checkTryEnter(t *testing.T, build func(a memmodel.Allocator, m int) Lock, m int) {
+	t.Helper()
+	r := sim.New(sim.Config{})
+	defer r.Close()
+	lock := build(r, m)
+	tl, ok := lock.(TryEnterer)
+	if !ok {
+		t.Fatalf("%T does not implement TryEnterer", lock)
+	}
+	cell := r.Alloc("cell", 0)
+
+	// Proc 0 (slot 0): try on the free lock — must win — then holds the
+	// CS at a barrier, retries while still holding is not allowed, so it
+	// exits after release.
+	var got0, got1, got1Retry bool
+	r.AddProc(func(p sim.Proc) {
+		got0 = tl.TryEnter(p, 0)
+		if !got0 {
+			return
+		}
+		x := p.Read(cell)
+		p.Write(cell, x+1)
+		p.Barrier()
+		lock.Exit(p, 0)
+	})
+	// Proc 1 (slot m-1): try while proc 0 holds — must fail without
+	// blocking — then a blocking Enter must still work after the release.
+	r.AddProc(func(p sim.Proc) {
+		p.Barrier()
+		got1 = tl.TryEnter(p, m-1)
+		if got1 {
+			lock.Exit(p, m-1)
+			return
+		}
+		p.Barrier()
+		lock.Enter(p, m-1) // proves the failed try rolled back cleanly
+		x := p.Read(cell)
+		p.Write(cell, x+1)
+		lock.Exit(p, m-1)
+		got1Retry = true
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	drive := func() {
+		t.Helper()
+		for {
+			progressed, err := r.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !progressed {
+				return
+			}
+		}
+	}
+	drive() // proc 0 acquires and parks in the CS
+	if !got0 {
+		t.Fatal("TryEnter on a free lock failed")
+	}
+	if err := r.ReleaseBarrier(1); err != nil {
+		t.Fatal(err)
+	}
+	drive() // proc 1's try fails against the holder
+	if got1 {
+		t.Fatal("TryEnter succeeded while slot 0 held the lock")
+	}
+	if err := r.ReleaseBarrier(0); err != nil { // holder exits
+		t.Fatal(err)
+	}
+	drive()
+	if err := r.ReleaseBarrier(1); err != nil { // blocked retry proceeds
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got1Retry {
+		t.Error("blocking Enter after a failed try never completed")
+	}
+	if got := r.Value(cell); got != 2 {
+		t.Errorf("cell = %d, want 2", got)
+	}
+}
+
+func TestTournamentTryEnter(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 8} {
+		if m == 1 {
+			// Trivial tree: TryEnter always wins; only the success path
+			// applies, covered by the m>1 runs' proc-0 leg.
+			continue
+		}
+		checkTryEnter(t, buildTournament, m)
+	}
+}
+
+func TestTASTryEnter(t *testing.T) {
+	checkTryEnter(t, buildTAS, 2)
+}
+
+// TestTournamentTryEnterSingleSlot pins the degenerate m=1 tree: an empty
+// arbitration path always wins.
+func TestTournamentTryEnterSingleSlot(t *testing.T) {
+	r := sim.New(sim.Config{})
+	defer r.Close()
+	lock := NewTournament(r, "WL", 1)
+	var got bool
+	r.AddProc(func(p sim.Proc) {
+		got = lock.TryEnter(p, 0)
+		if got {
+			lock.Exit(p, 0)
+		}
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("TryEnter on the trivial single-slot tree failed")
+	}
+}

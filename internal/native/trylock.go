@@ -1,0 +1,74 @@
+package native
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/memmodel"
+)
+
+// Abortable reports whether the wrapped algorithm supports abortable entry
+// (memmodel.TryAlgorithm); TryLock panics on handles of non-abortable
+// locks.
+func (l *Lock) Abortable() bool {
+	_, ok := l.alg.(memmodel.TryAlgorithm)
+	return ok
+}
+
+func (l *Lock) tryAlg() memmodel.TryAlgorithm {
+	ta, ok := l.alg.(memmodel.TryAlgorithm)
+	if !ok {
+		panic(fmt.Sprintf("native: %s does not support abortable entry (TryLock)", l.alg.Name()))
+	}
+	return ta
+}
+
+// TryLock attempts to acquire shared access within the given time budget.
+// A non-positive timeout makes exactly one bounded attempt. Otherwise
+// failed attempts are retried under exponential backoff until the deadline
+// passes; unlike Lock, the goroutine never waits on another process inside
+// the lock protocol itself, so a stalled writer delays it by at most one
+// attempt. Returns whether the lock was acquired (release with Unlock).
+func (r *Reader) TryLock(timeout time.Duration) bool {
+	ta := r.lock.tryAlg()
+	return tryWithDeadline(func() bool { return ta.ReaderTryEnter(r.p, r.rid) }, timeout)
+}
+
+// TryLock attempts to acquire exclusive access within the given time
+// budget; semantics mirror Reader.TryLock.
+func (w *Writer) TryLock(timeout time.Duration) bool {
+	ta := w.lock.tryAlg()
+	return tryWithDeadline(func() bool { return ta.WriterTryEnter(w.p, w.wid) }, timeout)
+}
+
+// tryWithDeadline retries attempt under exponential backoff until it
+// succeeds or timeout elapses. Backoff doubles from 1µs to a 512µs cap:
+// long enough to drain contention bursts, short enough that the final
+// attempt lands close to the deadline.
+func tryWithDeadline(attempt func() bool, timeout time.Duration) bool {
+	if attempt() {
+		return true
+	}
+	if timeout <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := time.Microsecond
+	const maxBackoff = 512 * time.Microsecond
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		if backoff > remaining {
+			backoff = remaining
+		}
+		time.Sleep(backoff)
+		if attempt() {
+			return true
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}

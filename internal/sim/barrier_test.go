@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// Error paths of the barrier machinery and PendingOp edge cases the fault
+// injector leans on (internal/fault drives executions step by step and
+// reads PendingOf/Poised around crashes, barriers and awaits).
+
+func TestReleaseBarrierOutOfRange(t *testing.T) {
+	r := New(Config{})
+	r.AddProc(func(p Proc) { p.Barrier() })
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.ReleaseBarrier(-1); err == nil {
+		t.Error("ReleaseBarrier(-1) accepted")
+	}
+	if err := r.ReleaseBarrier(1); err == nil {
+		t.Error("ReleaseBarrier(1) accepted for a 1-process runner")
+	}
+}
+
+func TestReleaseBarrierDouble(t *testing.T) {
+	r := New(Config{})
+	v := r.Alloc("v", 0)
+	r.AddProc(func(p Proc) {
+		p.Barrier()
+		p.Write(v, 1)
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.ReleaseBarrier(0); err != nil {
+		t.Fatalf("first release: %v", err)
+	}
+	// The process is now poised on its write, not at a barrier; a second
+	// release must fail without disturbing it.
+	if err := r.ReleaseBarrier(0); err == nil {
+		t.Fatal("double ReleaseBarrier accepted")
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Value(v); got != 1 {
+		t.Errorf("v = %d, want 1", got)
+	}
+}
+
+func TestReleaseBarrierCrashedProcess(t *testing.T) {
+	r := New(Config{})
+	r.AddProc(func(p Proc) { p.Barrier() })
+	r.AddProc(func(p Proc) {})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseBarrier(0); err == nil {
+		t.Fatal("ReleaseBarrier on a crashed process accepted")
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("Run after crashing the barrier process: %v", err)
+	}
+	if !r.Terminated() {
+		t.Error("not terminated")
+	}
+}
+
+// TestPendingOfAwaitCarriesVars pins that an await's pending op exposes
+// every spun-on variable (the fault injector's stuck diagnostics and the
+// PCT scheduler both consume Vars).
+func TestPendingOfAwaitCarriesVars(t *testing.T) {
+	r := New(Config{})
+	a := r.Alloc("a", 0)
+	b := r.Alloc("b", 0)
+	r.AddProc(func(p Proc) {
+		p.AwaitMulti([]memmodel.Var{a, b}, func(vs []uint64) bool {
+			return vs[0] == 1 && vs[1] == 1
+		})
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	op, ok := r.PendingOf(0)
+	if !ok {
+		t.Fatal("await check not poised at start")
+	}
+	if op.Kind != memmodel.OpAwait || op.Var != a || len(op.Vars) != 2 || op.Vars[1] != b {
+		t.Errorf("pending op = %+v, want await on [a b]", op)
+	}
+}
+
+// TestPendingOfParkedAwaiterIsNotPoised pins the awaiting/poised split:
+// once the initial check fails the process parks and must disappear from
+// PendingOf and Poised until an invalidating write wakes it.
+func TestPendingOfParkedAwaiterIsNotPoised(t *testing.T) {
+	r := New(Config{})
+	v := r.Alloc("v", 0)
+	r.AddProc(func(p Proc) {
+		p.Await(v, func(x uint64) bool { return x == 1 })
+	})
+	r.AddProc(func(p Proc) {
+		p.Barrier()
+		p.Write(v, 1)
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Step the failing await check; the process parks.
+	if progressed, err := r.Step(); err != nil || !progressed {
+		t.Fatalf("Step = (%v, %v)", progressed, err)
+	}
+	if _, ok := r.PendingOf(0); ok {
+		t.Error("parked awaiter reported as poised")
+	}
+	if got := r.Awaiting(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Awaiting = %v, want [0]", got)
+	}
+	if err := r.ReleaseBarrier(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,6 +35,12 @@ import (
 // and no step can unblock any of them.
 var ErrDeadlock = errors.New("sim: deadlock: all live processes are awaiting")
 
+// ErrNoProgress is the sentinel for the watchdog's structured non-progress
+// diagnostic: no step is enabled although not every process has finished.
+// Step and Run return a *NoProgressError, which matches both ErrNoProgress
+// and (for compatibility with older drivers) ErrDeadlock under errors.Is.
+var ErrNoProgress = errors.New("sim: no progress (deadlock): no live process has an enabled step")
+
 // ErrMaxSteps is returned when an execution exceeds the configured step
 // budget, which usually indicates livelock or starvation in the algorithm
 // under test.
@@ -76,6 +82,7 @@ const (
 	statusAwaiting
 	statusBarrier
 	statusDone
+	statusCrashed // crash-stopped by the driver; takes no further steps
 )
 
 // request is one message from a process goroutine to the runner.
@@ -120,9 +127,10 @@ type Runner struct {
 	procs []*procState
 	accts []*Account
 
-	started bool
-	steps   int
-	nDone   int
+	started  bool
+	steps    int
+	nDone    int
+	nCrashed int
 
 	quit      chan struct{}
 	closeOnce sync.Once
@@ -291,6 +299,51 @@ func (r *Runner) settle(ps *procState) {
 // Done reports whether every process has completed its program.
 func (r *Runner) Done() bool { return r.nDone == len(r.procs) }
 
+// Terminated reports whether the execution can make no further steps for a
+// benign reason: every process has either completed its program or been
+// crash-stopped by the driver.
+func (r *Runner) Terminated() bool { return r.nDone+r.nCrashed == len(r.procs) }
+
+// Crash kills process id in the crash-stop failure model: the process takes
+// no further shared-memory steps, forever, regardless of its current state
+// (poised, awaiting, or at a barrier). Its writes so far remain visible —
+// crash-stop removes future steps only. Crashing a process that already
+// finished, or crashing twice, is an error. Recovery is out of scope (see
+// DESIGN.md, "Fault model").
+func (r *Runner) Crash(id int) error {
+	if id < 0 || id >= len(r.procs) {
+		return fmt.Errorf("sim: Crash(%d): no such process", id)
+	}
+	ps := r.procs[id]
+	switch ps.status {
+	case statusDone:
+		return fmt.Errorf("sim: Crash(%d): process already finished", id)
+	case statusCrashed:
+		return fmt.Errorf("sim: Crash(%d): process already crashed", id)
+	}
+	ps.status = statusCrashed
+	r.nCrashed++
+	return nil
+}
+
+// Alive reports whether process id has neither finished its program nor
+// been crash-stopped.
+func (r *Runner) Alive(id int) bool {
+	st := r.procs[id].status
+	return st != statusDone && st != statusCrashed
+}
+
+// Crashed returns the ids of crash-stopped processes, ascending.
+func (r *Runner) Crashed() []int {
+	var out []int
+	for _, ps := range r.procs {
+		if ps.status == statusCrashed {
+			out = append(out, ps.id)
+		}
+	}
+	return out
+}
+
 // Poised returns the pending operations of all schedulable processes, in
 // ascending process order.
 func (r *Runner) Poised() []sched.PendingOp {
@@ -362,6 +415,9 @@ func (r *Runner) AtBarrier() []int {
 // ReleaseBarrier resumes a process blocked at a Barrier and settles it at
 // its next operation.
 func (r *Runner) ReleaseBarrier(id int) error {
+	if id < 0 || id >= len(r.procs) {
+		return fmt.Errorf("sim: ReleaseBarrier(%d): no such process", id)
+	}
 	ps := r.procs[id]
 	if ps.status != statusBarrier {
 		return fmt.Errorf("sim: process %d is not at a barrier", id)
@@ -393,7 +449,7 @@ func (r *Runner) Step() (progressed bool, err error) {
 		}
 	}
 	if len(r.poisedIDs) == 0 {
-		if r.Done() {
+		if r.Done() || r.Terminated() {
 			return false, nil
 		}
 		for _, ps := range r.procs {
@@ -401,7 +457,7 @@ func (r *Runner) Step() (progressed bool, err error) {
 				return false, nil // driver must release barriers
 			}
 		}
-		return false, fmt.Errorf("%w\n%s", ErrDeadlock, r.describeBlocked())
+		return false, r.noProgress()
 	}
 
 	var pick int
@@ -431,7 +487,7 @@ func (r *Runner) Run() error {
 			return err
 		}
 		if !progressed {
-			if r.Done() {
+			if r.Done() || r.Terminated() {
 				return nil
 			}
 			return fmt.Errorf("sim: processes %v stalled at barriers under Run; use Step/ReleaseBarrier", r.AtBarrier())
@@ -582,10 +638,67 @@ func (r *Runner) reply(ps *procState, resp response) {
 	r.settle(ps)
 }
 
-// describeBlocked renders a deadlock diagnostic listing each awaiting
-// process and its spin variables.
-func (r *Runner) describeBlocked() string {
+// StuckProc describes one process the watchdog found blocked forever: the
+// section it is stuck in and the spin variables (with their current values)
+// whose invalidation it is waiting for.
+type StuckProc struct {
+	// Proc is the process id.
+	Proc int
+	// Section is the passage section the process is stuck in.
+	Section memmodel.Section
+	// Vars are the variables the pending await spins on.
+	Vars []memmodel.Var
+	// VarNames are the debug names of Vars.
+	VarNames []string
+	// Values are the variables' values at detection time.
+	Values []uint64
+}
+
+func (s StuckProc) String() string {
 	var b strings.Builder
+	fmt.Fprintf(&b, "p%d stuck in %s awaiting", s.Proc, s.Section)
+	for i, name := range s.VarNames {
+		fmt.Fprintf(&b, " %s=%d", name, s.Values[i])
+	}
+	return b.String()
+}
+
+// NoProgressError is the watchdog's structured non-progress diagnostic:
+// some processes have not finished, none has an enabled step, and no future
+// step can unblock any of them (awaiting processes become schedulable only
+// through another process's write). It matches both ErrNoProgress and
+// ErrDeadlock under errors.Is.
+type NoProgressError struct {
+	// Stuck lists the awaiting processes, ascending by process id.
+	Stuck []StuckProc
+	// CrashedProcs lists crash-stopped processes (often the cause of the
+	// hang), ascending.
+	CrashedProcs []int
+}
+
+// Error implements error.
+func (e *NoProgressError) Error() string {
+	var b strings.Builder
+	b.WriteString(ErrNoProgress.Error())
+	if len(e.CrashedProcs) > 0 {
+		fmt.Fprintf(&b, " (crashed: %v)", e.CrashedProcs)
+	}
+	for _, s := range e.Stuck {
+		b.WriteString("\n  ")
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Is reports a match for both the new and the legacy sentinel, so existing
+// errors.Is(err, ErrDeadlock) callers keep working.
+func (e *NoProgressError) Is(target error) bool {
+	return target == ErrNoProgress || target == ErrDeadlock //nolint:errorlint // sentinel identity
+}
+
+// noProgress builds the structured watchdog diagnostic.
+func (r *Runner) noProgress() *NoProgressError {
+	e := &NoProgressError{CrashedProcs: r.Crashed()}
 	var ids []int
 	for _, ps := range r.procs {
 		if ps.status == statusAwaiting {
@@ -595,11 +708,13 @@ func (r *Runner) describeBlocked() string {
 	sort.Ints(ids)
 	for _, id := range ids {
 		ps := r.procs[id]
-		fmt.Fprintf(&b, "  p%d awaiting on", id)
+		s := StuckProc{Proc: id, Section: r.accts[id].Section()}
 		for _, v := range ps.pending.vars {
-			fmt.Fprintf(&b, " %s=%d", r.names[v], r.mem[v])
+			s.Vars = append(s.Vars, v)
+			s.VarNames = append(s.VarNames, r.names[v])
+			s.Values = append(s.Values, r.mem[v])
 		}
-		b.WriteByte('\n')
+		e.Stuck = append(e.Stuck, s)
 	}
-	return b.String()
+	return e
 }

@@ -1,0 +1,169 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// TestAbortCostBounded measures failed try attempts across populations and
+// checks the bounded-abort contract: both staged attempts really abort and
+// their RMR cost never exceeds a small constant multiple of the
+// algorithm's blocking entry bound. Where the theory promises an
+// n-independent abort path — the reader side at f(n)=n, the writer side at
+// f(n)=1, and both sides of the centralized lock — the cost must be
+// exactly constant across n.
+func TestAbortCostBounded(t *testing.T) {
+	ns := []int{2, 4, 16, 64}
+	cases := []struct {
+		name                     string
+		newAlg                   func() memmodel.Algorithm
+		constReader, constWriter bool
+	}{
+		{"af-1", func() memmodel.Algorithm { return core.New(core.FOne) }, false, true},
+		{"af-log", func() memmodel.Algorithm { return core.New(core.FLog) }, false, false},
+		{"af-n", func() memmodel.Algorithm { return core.New(core.FLinear) }, true, false},
+		{"centralized", func() memmodel.Algorithm { return baseline.NewCentralized() }, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var costs []AbortCost
+			for _, n := range ns {
+				c, err := MeasureAbortCost(tc.newAlg, n)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if !c.ReaderAborted || !c.WriterAborted {
+					t.Fatalf("n=%d: staged attempt did not abort: %+v", n, c)
+				}
+				if c.ReaderAttemptRMR <= 0 || c.WriterAttemptRMR <= 0 {
+					t.Errorf("n=%d: non-positive abort cost: %+v", n, c)
+				}
+				costs = append(costs, c)
+			}
+			if tc.constReader {
+				for _, c := range costs[1:] {
+					if c.ReaderAttemptRMR != costs[0].ReaderAttemptRMR {
+						t.Errorf("reader abort cost not constant in n: %d@n=%d vs %d@n=%d",
+							costs[0].ReaderAttemptRMR, costs[0].N, c.ReaderAttemptRMR, c.N)
+					}
+				}
+			}
+			if tc.constWriter {
+				for _, c := range costs[1:] {
+					if c.WriterAttemptRMR != costs[0].WriterAttemptRMR {
+						t.Errorf("writer abort cost not constant in n: %d@n=%d vs %d@n=%d",
+							costs[0].WriterAttemptRMR, costs[0].N, c.WriterAttemptRMR, c.N)
+					}
+				}
+			}
+			// Sanity ceiling: no abort path should cost more than a few
+			// dozen RMRs even at n=64 (it is a single bounded attempt, not
+			// a wait).
+			last := costs[len(costs)-1]
+			if last.ReaderAttemptRMR > 64 || last.WriterAttemptRMR > 96 {
+				t.Errorf("abort cost suspiciously large at n=%d: %+v", last.N, last)
+			}
+		})
+	}
+}
+
+// TestTryEnterSucceedsUncontended checks the success path: with nobody
+// holding the lock, both try-entries must acquire, and the usual Exit must
+// release cleanly so the opposite class can follow.
+func TestTryEnterSucceedsUncontended(t *testing.T) {
+	algs := []struct {
+		name   string
+		newAlg func() memmodel.Algorithm
+	}{
+		{"af-log", func() memmodel.Algorithm { return core.New(core.FLog) }},
+		{"centralized", func() memmodel.Algorithm { return baseline.NewCentralized() }},
+	}
+	for _, tc := range algs {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := runTrySequence(t, tc.newAlg)
+			if !rep.ok {
+				t.Fatalf("sequence failed: reader=%v writer=%v", rep.readerGot, rep.writerGot)
+			}
+		})
+	}
+}
+
+type trySeqReport struct {
+	ok                   bool
+	readerGot, writerGot bool
+}
+
+// runTrySequence drives, in strict sequence on one simulator: reader 0
+// try-enters an idle lock (must succeed), exits; then writer 0 try-enters
+// (must succeed), exits; then reader 0 takes a blocking passage proving
+// the lock is still serviceable.
+func runTrySequence(t *testing.T, newAlg func() memmodel.Algorithm) trySeqReport {
+	t.Helper()
+	alg := newAlg()
+	ta, ok := alg.(memmodel.TryAlgorithm)
+	if !ok {
+		t.Fatalf("%s does not implement TryAlgorithm", alg.Name())
+	}
+	rep := trySeqReport{}
+	r := sim.New(sim.Config{})
+	defer r.Close()
+	if err := ta.Init(r, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	r.AddProc(func(p sim.Proc) {
+		p.Section(memmodel.SecEntry)
+		if ta.ReaderTryEnter(p, 0) {
+			rep.readerGot = true
+			p.Section(memmodel.SecCS)
+			p.Section(memmodel.SecExit)
+			ta.ReaderExit(p, 0)
+		}
+		p.Section(memmodel.SecRemainder)
+		p.Barrier()
+		p.Section(memmodel.SecEntry)
+		ta.ReaderEnter(p, 0)
+		p.Section(memmodel.SecCS)
+		p.Section(memmodel.SecExit)
+		ta.ReaderExit(p, 0)
+		p.Section(memmodel.SecRemainder)
+	})
+	r.AddProc(func(sim.Proc) {})
+	r.AddProc(func(p sim.Proc) {
+		p.Barrier()
+		p.Section(memmodel.SecEntry)
+		if ta.WriterTryEnter(p, 0) {
+			rep.writerGot = true
+			p.Section(memmodel.SecCS)
+			p.Section(memmodel.SecExit)
+			ta.WriterExit(p, 0)
+		}
+		p.Section(memmodel.SecRemainder)
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Reader try-passage runs first (writer parked at barrier).
+	if err := driveToIdle(r); err != nil {
+		t.Fatal(err)
+	}
+	// Then the writer's try-passage, with the reader parked.
+	if err := r.ReleaseBarrier(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := driveToIdle(r); err != nil {
+		t.Fatal(err)
+	}
+	// Finally the reader's blocking passage.
+	if err := r.ReleaseBarrier(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("final blocking passage: %v", err)
+	}
+	rep.ok = rep.readerGot && rep.writerGot
+	return rep
+}

@@ -1,0 +1,156 @@
+// Crash-safety property: under the crash-stop failure model (see
+// internal/fault), killing one process at an arbitrary step boundary must
+// never let a survivor violate Mutual Exclusion. Survivor progress is the
+// diagnostic output, not a pass/fail axis — none of the paper's algorithms
+// are recoverable, so a crash inside a lock-holding or signaling window is
+// expected to wedge later passages. The sweep records exactly where that
+// happens, and the watchdog guarantees each hang is detected as a
+// deterministic no-progress event rather than a step-budget timeout.
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// CrashOutcome is the result of one execution with one injected crash.
+type CrashOutcome struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Point is the injected crash point.
+	Point fault.Point
+	// VictimIsWriter classifies the victim under the spec numbering
+	// (readers 0..n-1, writers n..n+m-1).
+	VictimIsWriter bool
+	// Crashed reports whether the crash was actually applied; false means
+	// the victim finished its program before the crash step arrived (a
+	// moot point, equivalent to a remainder-section crash).
+	Crashed bool
+	// CrashSection is the passage section the victim occupied when it
+	// crashed (SecRemainder for moot points: finished processes have
+	// returned to the remainder section).
+	CrashSection memmodel.Section
+	// MEViolations lists Mutual Exclusion violations observed by the
+	// monitor over the whole execution. Must always be empty: a crash can
+	// remove steps from the execution but never add or reorder them.
+	MEViolations []string
+	// Hung reports whether the watchdog detected global non-progress.
+	Hung bool
+	// Stuck is the watchdog's diagnostic when Hung (who is blocked, on
+	// which variables, holding which stale values).
+	Stuck []sim.StuckProc
+	// BudgetExceeded reports that the run hit the step budget instead of
+	// terminating or being caught by the watchdog. Because every wait in
+	// the simulated algorithms is a local-spin Await, this must never
+	// happen: it would mean a hang escaped deterministic detection.
+	BudgetExceeded bool
+	// Err holds any other execution error (setup failure etc).
+	Err error
+}
+
+// Live reports whether every surviving process completed all its passages.
+func (o CrashOutcome) Live() bool {
+	return !o.Hung && !o.BudgetExceeded && o.Err == nil
+}
+
+// Safe reports whether the execution preserved Mutual Exclusion.
+func (o CrashOutcome) Safe() bool { return len(o.MEViolations) == 0 }
+
+// RunCrash executes the scenario against a fresh alg, crashing pt.Victim at
+// step boundary pt.Step, and classifies the outcome.
+func RunCrash(alg memmodel.Algorithm, sc Scenario, pt fault.Point) CrashOutcome {
+	sc.defaults()
+	out := CrashOutcome{
+		Algorithm:      alg.Name(),
+		Point:          pt,
+		VictimIsWriter: pt.Victim >= sc.NReaders,
+		CrashSection:   memmodel.SecRemainder,
+	}
+	mon := newCSMonitor(sc.NReaders)
+	r, err := buildRunner(alg, sc, mon)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	defer r.Close()
+
+	err = fault.Drive(r, []fault.Point{pt})
+	out.Crashed = len(r.Crashed()) > 0
+	if pt.Victim >= 0 && pt.Victim < sc.NReaders+sc.NWriters {
+		// A finished victim has transitioned back to SecRemainder, so the
+		// account's last section is the crash section in both cases.
+		out.CrashSection = r.Account(pt.Victim).Section()
+	}
+	out.MEViolations = mon.violations
+
+	var np *sim.NoProgressError
+	switch {
+	case err == nil:
+	case errors.As(err, &np):
+		out.Hung = true
+		out.Stuck = np.Stuck
+	case errors.Is(err, sim.ErrMaxSteps):
+		out.BudgetExceeded = true
+	default:
+		out.Err = err
+	}
+	return out
+}
+
+// CrashSweep runs the scenario once crash-free to learn its length, then
+// re-executes it from scratch for every crash point of the victim
+// (fault.ExhaustivePoints over the reference step count). newAlg must
+// return fresh instances and mkSched fresh scheduler state per run, since
+// both are single-use; a nil mkSched selects round-robin. The Scheduler
+// field of sc is ignored in favor of mkSched.
+func CrashSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSched func() sched.Scheduler) ([]CrashOutcome, error) {
+	if mkSched == nil {
+		mkSched = func() sched.Scheduler { return sched.NewRoundRobin() }
+	}
+	ref := sc
+	ref.Scheduler = mkSched()
+	rep := Run(newAlg(), ref)
+	if !rep.OK() {
+		return nil, fmt.Errorf("crash sweep: reference run of %s failed: %s", rep.Algorithm, rep.Failures())
+	}
+	outs := make([]CrashOutcome, 0, rep.Steps+1)
+	for _, pt := range fault.ExhaustivePoints(victim, rep.Steps) {
+		run := sc
+		run.Scheduler = mkSched()
+		outs = append(outs, RunCrash(newAlg(), run, pt))
+	}
+	return outs, nil
+}
+
+// CrashSweepSampled samples crash points under seed-parameterized
+// schedules — one reference run plus perSeed crash runs per seed, with the
+// crash point drawn uniformly over victims and the reference execution's
+// step range. mkSched builds the scheduler for a seed; nil selects
+// sched.NewRandom. Use sched.NewPCT-based factories for
+// probabilistic-concurrency-testing sweeps.
+func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []int, seeds []int64, perSeed int, mkSched func(seed int64) sched.Scheduler) ([]CrashOutcome, error) {
+	if mkSched == nil {
+		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
+	}
+	var outs []CrashOutcome
+	for _, seed := range seeds {
+		ref := sc
+		ref.Scheduler = mkSched(seed)
+		rep := Run(newAlg(), ref)
+		if !rep.OK() {
+			return nil, fmt.Errorf("crash sweep: reference run of %s (seed %d) failed: %s",
+				rep.Algorithm, seed, rep.Failures())
+		}
+		for _, pt := range fault.RandomPoints(seed, victims, rep.Steps+1, perSeed) {
+			run := sc
+			run.Scheduler = mkSched(seed)
+			outs = append(outs, RunCrash(newAlg(), run, pt))
+		}
+	}
+	return outs, nil
+}

@@ -148,21 +148,23 @@ func (m *csMonitor) observe(e trace.Event) {
 	}
 }
 
-// Run executes the scenario against alg and returns the report. The
-// algorithm instance must be fresh (Init not yet called).
-func Run(alg memmodel.Algorithm, sc Scenario) *Report {
-	if sc.MaxSteps == 0 {
-		sc.MaxSteps = 2_000_000
+// defaults fills the zero-value scenario fields in place.
+func (s *Scenario) defaults() {
+	if s.MaxSteps == 0 {
+		s.MaxSteps = 2_000_000
 	}
-	if sc.Scheduler == nil {
-		sc.Scheduler = sched.NewRoundRobin()
+	if s.Scheduler == nil {
+		s.Scheduler = sched.NewRoundRobin()
 	}
-	if sc.Protocol == 0 {
-		sc.Protocol = sim.WriteThrough
+	if s.Protocol == 0 {
+		s.Protocol = sim.WriteThrough
 	}
-	rep := &Report{Algorithm: alg.Name(), Scenario: sc}
-	mon := newCSMonitor(sc.NReaders)
+}
 
+// buildRunner wires alg and the scenario's passage-driving programs into a
+// fresh, started runner with mon installed as the mutual-exclusion
+// monitor. The caller owns Close.
+func buildRunner(alg memmodel.Algorithm, sc Scenario, mon *csMonitor) (*sim.Runner, error) {
 	observe := mon.observe
 	if sc.Observer != nil {
 		user := sc.Observer
@@ -177,11 +179,10 @@ func Run(alg memmodel.Algorithm, sc Scenario) *Report {
 		MaxSteps:  sc.MaxSteps,
 		Observer:  observe,
 	})
-	defer r.Close()
 
 	if err := alg.Init(r, sc.NReaders, sc.NWriters); err != nil {
-		rep.Err = fmt.Errorf("init: %w", err)
-		return rep
+		r.Close()
+		return nil, fmt.Errorf("init: %w", err)
 	}
 	scratch := r.Alloc("spec.scratch", 0)
 
@@ -219,9 +220,25 @@ func Run(alg memmodel.Algorithm, sc Scenario) *Report {
 	}
 
 	if err := r.Start(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Run executes the scenario against alg and returns the report. The
+// algorithm instance must be fresh (Init not yet called).
+func Run(alg memmodel.Algorithm, sc Scenario) *Report {
+	sc.defaults()
+	rep := &Report{Algorithm: alg.Name(), Scenario: sc}
+	mon := newCSMonitor(sc.NReaders)
+
+	r, err := buildRunner(alg, sc, mon)
+	if err != nil {
 		rep.Err = err
 		return rep
 	}
+	defer r.Close()
 	rep.Err = r.Run()
 	rep.Steps = r.StepCount()
 	rep.Violations = mon.violations
