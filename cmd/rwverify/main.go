@@ -11,9 +11,17 @@
 // caught deterministically by the watchdog) and the bounded-abort cost
 // table for the TryEnter implementations.
 //
+// With -recover it additionally runs experiment E14: the crash-recovery
+// sweep over the recoverable algorithms (exhaustive single-crash and
+// re-crashed-recovery sweeps on the recoverable centralized lock, sampled
+// sweeps on recoverable A_f), requiring zero Mutual Exclusion violations,
+// zero step-budget hits, and 100% passage completion — survivors and
+// restarted incarnations alike — including at least one configuration
+// that crashes a recovery section itself.
+//
 // Usage:
 //
-//	rwverify [-seeds 1,2,3,4,5] [-crash]
+//	rwverify [-seeds 1,2,3,4,5] [-crash] [-recover]
 package main
 
 import (
@@ -28,10 +36,11 @@ import (
 func main() {
 	seedsFlag := flag.String("seeds", "1,2,3,4,5", "comma-separated scheduler seeds")
 	crashFlag := flag.Bool("crash", false, "also run the E13 crash-stop sweep and abort-cost tables")
+	recoverFlag := flag.Bool("recover", false, "also run the E14 crash-recovery sweep")
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
 
-	code, err := run(*seedsFlag, *crashFlag)
+	code, err := run(*seedsFlag, *crashFlag, *recoverFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rwverify:", err)
 		os.Exit(1)
@@ -39,7 +48,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(seedList string, crash bool) (int, error) {
+func run(seedList string, crash, recovery bool) (int, error) {
 	seeds, err := cliutil.ParseSeeds(seedList)
 	if err != nil {
 		return 1, err
@@ -60,6 +69,13 @@ func run(seedList string, crash bool) (int, error) {
 	}
 	if crash {
 		if bad, err := runCrash(); err != nil {
+			return 1, err
+		} else if bad {
+			failed = true
+		}
+	}
+	if recovery {
+		if bad, err := runRecover(); err != nil {
 			return 1, err
 		} else if bad {
 			failed = true
@@ -131,6 +147,41 @@ func runCrash() (failed bool, err error) {
 				r.Alg, f.WriterRMR, f.N, r.WriterRMR, r.N)
 			failed = true
 		}
+	}
+	return failed, nil
+}
+
+// runRecover prints the E14 table and returns whether the crash-recovery
+// gate failed. E14RecoverySweep itself enforces the pass/fail axes (zero
+// ME violations, zero budget hits, zero hangs, full passage completion,
+// and at least one crashed recovery section), so any violation surfaces as
+// an error; the per-row re-check below guards against the aggregation
+// going stale.
+func runRecover() (failed bool, err error) {
+	fmt.Println("E14: crash-recovery sweep (n=2, m=2, 2 passages; restart after every crash)")
+	rows, table, err := experiments.E14RecoverySweep()
+	if err != nil {
+		return false, err
+	}
+	fmt.Println(table)
+	for _, r := range rows {
+		if r.MEViol > 0 {
+			fmt.Printf("FAIL: %s: crash of %s in %s broke mutual exclusion across incarnations (%d violations)\n",
+				r.Alg, r.Victim, r.Section, r.MEViol)
+			failed = true
+		}
+		if r.Budget > 0 {
+			fmt.Printf("FAIL: %s: %d runs hit the step budget\n", r.Alg, r.Budget)
+			failed = true
+		}
+		if r.OK != r.Points {
+			fmt.Printf("FAIL: %s: crash of %s in %s left passages incomplete (%d/%d ok)\n",
+				r.Alg, r.Victim, r.Section, r.OK, r.Points)
+			failed = true
+		}
+	}
+	if !failed {
+		fmt.Println("crash-recovery sweep: all incarnations safe, all passages completed")
 	}
 	return failed, nil
 }

@@ -23,7 +23,7 @@ func capture(t *testing.T, fn func() (int, error)) (string, int, error) {
 }
 
 func TestRunPasses(t *testing.T) {
-	out, code, err := capture(t, func() (int, error) { return run("1,2", false) })
+	out, code, err := capture(t, func() (int, error) { return run("1,2", false, false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestRunPasses(t *testing.T) {
 }
 
 func TestRunBadSeeds(t *testing.T) {
-	_, code, err := capture(t, func() (int, error) { return run("nope", false) })
+	_, code, err := capture(t, func() (int, error) { return run("nope", false, false) })
 	if err == nil || code == 0 {
 		t.Error("bad seeds accepted")
 	}
@@ -50,7 +50,7 @@ func TestRunCrashSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("crash sweep is a full exhaustive enumeration")
 	}
-	out, code, err := capture(t, func() (int, error) { return run("1", true) })
+	out, code, err := capture(t, func() (int, error) { return run("1", true, false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,5 +68,32 @@ func TestRunCrashSweep(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Errorf("crash sweep reported failures:\n%s", out)
+	}
+}
+
+// TestRunRecoverSweep exercises the full -recover path: the E14 table must
+// print and the crash-recovery gate must pass.
+func TestRunRecoverSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery sweep is a full exhaustive enumeration")
+	}
+	out, code, err := capture(t, func() (int, error) { return run("1", false, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"E14: crash-recovery sweep", "crash section", "resumed cs",
+		"crash-recovery sweep: all incarnations safe, all passages completed",
+		"all claimed properties hold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("recovery sweep reported failures:\n%s", out)
 	}
 }

@@ -112,6 +112,41 @@ func (c *FArray) Read(p memmodel.Proc) int32 {
 	return memmodel.VerSumSum(p.Read(c.nodes[0]))
 }
 
+// Leaf returns slot's leaf variable. Recoverable callers read its version
+// tag before an Add so that, after a crash, the recovery section can tell
+// whether the interrupted Add's leaf update applied (the version advanced
+// to the recorded target) or the crash hit first.
+func (c *FArray) Leaf(slot int) memmodel.Var {
+	if slot < 0 || slot >= c.k {
+		panic(fmt.Sprintf("counter: slot %d out of range [0,%d)", slot, c.k))
+	}
+	return c.nodes[c.leaves-1+slot]
+}
+
+// Repair re-propagates slot's leaf to the root: Add's double-refresh walk
+// without the leaf update. A recovery section calls it after a crash
+// anywhere inside an Add whose leaf update already applied; the walk pushes
+// the orphaned leaf value up exactly as the dead incarnation would have.
+// Calling it when nothing is orphaned is harmless (the refreshes recompute
+// sums that are already correct). O(log K) steps, no waiting.
+func (c *FArray) Repair(p memmodel.Proc, slot int) {
+	if slot < 0 || slot >= c.k {
+		panic(fmt.Sprintf("counter: slot %d out of range [0,%d)", slot, c.k))
+	}
+	leaf := c.leaves - 1 + slot
+	if leaf == 0 {
+		return // single-slot tree: the leaf is the root, nothing to propagate
+	}
+	for node := (leaf - 1) / 2; ; node = (node - 1) / 2 {
+		if !c.refresh(p, node) {
+			c.refresh(p, node)
+		}
+		if node == 0 {
+			return
+		}
+	}
+}
+
 // CellArray is the scan counter: one cell per slot, written only by its
 // owner. Add is O(1) (a read and a write of the own cell); Read scans all
 // K cells — the mirror image of the f-array's cost split, and the reason

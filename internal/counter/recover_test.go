@@ -1,0 +1,155 @@
+package counter
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// addSteps returns the step count of a solo FArray Add for k slots.
+func addSteps(t *testing.T, k int) int {
+	t.Helper()
+	r := sim.New(sim.Config{})
+	c := NewFArray(r, "C", k)
+	r.AddProc(func(p sim.Proc) { c.Add(p, 0, 5) })
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r.StepCount()
+}
+
+// TestFArrayRepairAfterInterruptedAdd crashes an adder at every step of its
+// Add and repairs from a fresh incarnation: the leaf version tag decides
+// whether the interrupted Add applied (then Repair propagates the orphaned
+// leaf) or not (then the Add is redone). A second adder runs after the
+// crash to perturb the tree. The final sum must always be exact.
+func TestFArrayRepairAfterInterruptedAdd(t *testing.T) {
+	const k = 4
+	steps := addSteps(t, k)
+	if steps < 4 {
+		t.Fatalf("solo Add took only %d steps", steps)
+	}
+	for crash := 0; crash <= steps; crash++ {
+		r := sim.New(sim.Config{})
+		c := NewFArray(r, "C", k)
+		r.AddProc(func(p sim.Proc) { c.Add(p, 0, 5) })
+		r.AddProc(func(p sim.Proc) {
+			p.Barrier() // held back until after the crash
+			c.Add(p, 1, 3)
+		})
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < crash; i++ {
+			progressed, err := r.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !progressed {
+				break
+			}
+		}
+		if !r.Alive(0) {
+			// Add finished before the crash point: nothing to test here.
+			r.Close()
+			continue
+		}
+		if err := r.Crash(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ReleaseBarrier(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Restart(0, func(p sim.Proc) {
+			// The dead incarnation targeted leaf version 1 (the tree was
+			// fresh). Version reached 1: the leaf update applied, propagate
+			// it. Version still 0: the crash hit first, redo the Add.
+			ver, _ := memmodel.UnpackVerSum(p.Read(c.Leaf(0)))
+			if ver >= 1 {
+				c.Repair(p, 0)
+			} else {
+				c.Add(p, 0, 5)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(); err != nil {
+			t.Fatalf("crash=%d: %v", crash, err)
+		}
+		if got := memmodel.VerSumSum(r.Value(c.Root())); got != 8 {
+			t.Errorf("crash=%d: counter reads %d, want 8", crash, got)
+		}
+		r.Close()
+	}
+}
+
+// TestFArrayRepairNoOrphanHarmless: Repair on a quiescent tree changes
+// nothing.
+func TestFArrayRepairNoOrphanHarmless(t *testing.T) {
+	r := sim.New(sim.Config{})
+	c := NewFArray(r, "C", 3)
+	r.AddProc(func(p sim.Proc) {
+		c.Add(p, 0, 7)
+		c.Repair(p, 0)
+		c.Repair(p, 2)
+		if got := c.Read(p); got != 7 {
+			t.Errorf("Read = %d, want 7", got)
+		}
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFArrayRepairSingleSlot: the one-slot tree's leaf is its root; Repair
+// is a no-op.
+func TestFArrayRepairSingleSlot(t *testing.T) {
+	r := sim.New(sim.Config{})
+	c := NewFArray(r, "C", 1)
+	r.AddProc(func(p sim.Proc) {
+		c.Add(p, 0, 2)
+		c.Repair(p, 0)
+		if got := c.Read(p); got != 2 {
+			t.Errorf("Read = %d, want 2", got)
+		}
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Account(0).TotalSteps; got != 3 {
+		t.Errorf("steps = %d, want 3 (read+write leaf, read root; Repair free)", got)
+	}
+}
+
+// TestFArrayLeafPanics: Leaf and Repair check their slot argument.
+func TestFArrayLeafPanics(t *testing.T) {
+	r := sim.New(sim.Config{})
+	c := NewFArray(r, "C", 2)
+	for _, f := range []func(){
+		func() { c.Leaf(2) },
+		func() { c.Leaf(-1) },
+		func() { c.Repair(nil, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad slot did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

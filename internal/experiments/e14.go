@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/recoverable"
+	"repro/internal/spec"
+	"repro/internal/tablefmt"
+)
+
+// E14 characterizes the crash-recovery model (DESIGN.md "Crash-recovery
+// model"): every crash is followed by a restart whose recovery section
+// repairs shared state, so — unlike E13, where liveness is only
+// characterized — zero hangs and 100% passage completion are pass/fail
+// requirements across the whole sweep. The table aggregates, per
+// (algorithm, victim class, crash section): how many points landed there,
+// how many executions stayed safe and live, the recovery-verdict mix, and
+// the worst recovery-section RMR cost.
+
+// E14Row aggregates the sweep outcomes for one (algorithm, victim class,
+// crash section) cell.
+type E14Row struct {
+	Alg string
+	// Victim is "reader" or "writer".
+	Victim string
+	// Section names the section the (first) crash landed in. SecRecover
+	// rows come from double-crash configurations that killed the recovery
+	// itself.
+	Section string
+	// Points is the number of crash points falling in that section;
+	// Crashes counts applied crashes across those executions (> Points for
+	// double-crash configurations), Restarts the admitted incarnations.
+	Points, Crashes, Restarts int
+	// OK counts executions that were safe AND live (zero ME violations,
+	// every process completed its passage quota).
+	OK int
+	// Aborts, ResumedCS, Completions count the recovery verdicts: rolled
+	// back to the remainder section, resumed an interrupted CS, completed
+	// an interrupted exit.
+	Aborts, ResumedCS, Completions int
+	// MEViol counts Mutual Exclusion violations (must be zero).
+	MEViol int
+	// Budget counts step-budget hits (must be zero) and Hangs watchdog
+	// verdicts (must be zero: recovery restores liveness).
+	Budget, Hangs int
+	// MaxRecoveryRMR is the worst recovery-section RMR total observed.
+	MaxRecoveryRMR int
+}
+
+// e14Algs returns the recoverable algorithms under test with their sweep
+// mode: the centralized lock is small enough for the exhaustive sweep,
+// the A_f members run the sampled sweep.
+func e14Algs() []struct {
+	Factory
+	exhaustive bool
+} {
+	mk := func(name string, f func() memmodel.RecoverableAlgorithm, ex bool) struct {
+		Factory
+		exhaustive bool
+	} {
+		return struct {
+			Factory
+			exhaustive bool
+		}{Factory{Name: name, New: func() memmodel.Algorithm { return f() }}, ex}
+	}
+	return []struct {
+		Factory
+		exhaustive bool
+	}{
+		mk("r-centralized", func() memmodel.RecoverableAlgorithm { return recoverable.NewCentralized() }, true),
+		mk("r-af-log", func() memmodel.RecoverableAlgorithm { return recoverable.NewAF(core.FLog) }, false),
+		mk("r-af-1", func() memmodel.RecoverableAlgorithm { return recoverable.NewAF(core.FOne) }, false),
+	}
+}
+
+// E14RecoverySweep runs the crash-recovery characterization on a
+// 2-reader/2-writer, 2-passage workload: exhaustive single-crash plus
+// double-crash (re-crashed recovery) sweeps on the recoverable centralized
+// lock, sampled sweeps on the recoverable A_f members. It errors if any
+// execution violates ME, hangs, hits the step budget, or leaves a passage
+// quota unmet — and if no configuration crashed a recovery section.
+func E14RecoverySweep() ([]E14Row, *tablefmt.Table, error) {
+	sc := spec.Scenario{NReaders: 2, NWriters: 2, ReaderPassages: 2, WriterPassages: 2, CSReads: 1}
+	victims := []struct {
+		name string
+		id   int
+	}{
+		{"reader", 0},
+		{"writer", sc.NReaders},
+	}
+
+	var rows []E14Row
+	recoveryCrashed := false
+	for _, alg := range e14Algs() {
+		newRec := func() memmodel.RecoverableAlgorithm {
+			return alg.New().(memmodel.RecoverableAlgorithm)
+		}
+		for _, v := range victims {
+			var outs []*spec.RecoverOutcome
+			var err error
+			if alg.exhaustive {
+				outs, err = spec.RecoverySweep(newRec, sc, v.id, 0, nil)
+				if err == nil {
+					var recrash []*spec.RecoverOutcome
+					recrash, err = spec.RecoverySweepRecrash(newRec, sc, v.id, 3, []int{1, 2, 3}, nil)
+					outs = append(outs, recrash...)
+				}
+			} else {
+				outs, err = spec.RecoverySweepSampled(newRec, sc, []int{v.id}, []int64{1, 2, 3}, 8, 1, nil)
+			}
+			if err != nil {
+				return nil, nil, fmt.Errorf("E14 %s victim %s: %w", alg.Name, v.name, err)
+			}
+			sectionRows, crashedRecovery, err := e14Aggregate(alg.Name, v.name, outs)
+			if err != nil {
+				return nil, nil, err
+			}
+			recoveryCrashed = recoveryCrashed || crashedRecovery
+			rows = append(rows, sectionRows...)
+		}
+	}
+	if !recoveryCrashed {
+		return nil, nil, fmt.Errorf("E14: no configuration crashed a recovery section")
+	}
+	return rows, e14Table(rows), nil
+}
+
+// e14Aggregate folds a sweep's outcomes into per-crash-section rows and
+// enforces the pass/fail axes.
+func e14Aggregate(alg, victim string, outs []*spec.RecoverOutcome) ([]E14Row, bool, error) {
+	order := []memmodel.Section{
+		memmodel.SecRemainder, memmodel.SecEntry, memmodel.SecCS,
+		memmodel.SecExit, memmodel.SecRecover,
+	}
+	bySection := map[memmodel.Section]*E14Row{}
+	for _, s := range order {
+		bySection[s] = &E14Row{Alg: alg, Victim: victim, Section: s.String()}
+	}
+	crashedRecovery := false
+	for _, o := range outs {
+		if o.Err != nil {
+			return nil, false, fmt.Errorf("E14 %s victim %s %v: %w", alg, victim, o.Points, o.Err)
+		}
+		if o.Crashes == 0 {
+			continue // moot point: the victim finished first
+		}
+		// Attribute the execution to the section of its *last* applied
+		// crash, so double-crash runs that kill the recovery land in the
+		// SecRecover row.
+		section := memmodel.SecRemainder
+		for _, e := range o.Events {
+			if e.Crashed {
+				section = e.CrashSection
+			}
+		}
+		crashedRecovery = crashedRecovery || o.CrashedInRecovery()
+		row := bySection[section]
+		row.Points++
+		row.Crashes += o.Crashes
+		row.Restarts += o.Restarts
+		row.MEViol += len(o.MEViolations)
+		if o.BudgetExceeded {
+			row.Budget++
+		}
+		if o.Hung {
+			row.Hangs++
+		}
+		if o.OK() {
+			row.OK++
+		}
+		for _, rec := range o.Recoveries {
+			switch rec {
+			case memmodel.RecoverAbort:
+				row.Aborts++
+			case memmodel.RecoverCS:
+				row.ResumedCS++
+			case memmodel.RecoverDone:
+				row.Completions++
+			}
+		}
+		row.MaxRecoveryRMR = max(row.MaxRecoveryRMR, o.RecoveryRMR)
+	}
+	var rows []E14Row
+	for _, s := range order {
+		r := bySection[s]
+		if r.Points == 0 {
+			continue
+		}
+		if r.OK != r.Points || r.MEViol != 0 || r.Budget != 0 || r.Hangs != 0 {
+			return nil, false, fmt.Errorf(
+				"E14 %s victim %s section %s: %d/%d ok, %d ME violations, %d budget hits, %d hangs",
+				alg, victim, r.Section, r.OK, r.Points, r.MEViol, r.Budget, r.Hangs)
+		}
+		rows = append(rows, *r)
+	}
+	return rows, crashedRecovery, nil
+}
+
+func e14Table(rows []E14Row) *tablefmt.Table {
+	t := tablefmt.New("algorithm", "victim", "crash section", "points", "crashes", "restarts",
+		"ok", "aborts", "resumed cs", "completions", "max recovery rmr")
+	for _, r := range rows {
+		t.AddRow(r.Alg, r.Victim, r.Section, tablefmt.Itoa(r.Points), tablefmt.Itoa(r.Crashes),
+			tablefmt.Itoa(r.Restarts), tablefmt.Itoa(r.OK), tablefmt.Itoa(r.Aborts),
+			tablefmt.Itoa(r.ResumedCS), tablefmt.Itoa(r.Completions), tablefmt.Itoa(r.MaxRecoveryRMR))
+	}
+	return t
+}

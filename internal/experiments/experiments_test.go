@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/memmodel"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -447,5 +448,40 @@ func TestE12ShapeFits(t *testing.T) {
 		if r.MaxRelErr > 0.15 {
 			t.Errorf("af-%s: fit residual %.2f too large", r.FName, r.MaxRelErr)
 		}
+	}
+}
+
+// TestE14RecoverySweep runs the full crash-recovery characterization:
+// E14RecoverySweep itself errors on any ME violation, budget hit, hang, or
+// incomplete passage quota, so the test mostly pins the table shape.
+func TestE14RecoverySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive + sampled recovery sweeps")
+	}
+	rows, table, err := E14RecoverySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || table == nil {
+		t.Fatal("empty E14 result")
+	}
+	algs := map[string]bool{}
+	recRow := false
+	for _, r := range rows {
+		algs[r.Alg] = true
+		if r.OK != r.Points {
+			t.Errorf("%s %s %s: %d/%d ok", r.Alg, r.Victim, r.Section, r.OK, r.Points)
+		}
+		if r.Section == memmodel.SecRecover.String() {
+			recRow = true
+		}
+	}
+	for _, want := range []string{"r-centralized", "r-af-log", "r-af-1"} {
+		if !algs[want] {
+			t.Errorf("no rows for %s", want)
+		}
+	}
+	if !recRow {
+		t.Error("no crash landed in a recovery section")
 	}
 }

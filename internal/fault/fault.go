@@ -1,28 +1,39 @@
-// Package fault injects crash-stop failures into simulator executions.
+// Package fault injects crash failures into simulator executions, under
+// two failure models.
 //
-// The failure model is crash-stop at shared-memory-step granularity
-// (Section 2's model extended the way the recoverable-mutex literature
-// does, e.g. Chan & Woelfel, PODC 2017): a crashed process takes no
-// further steps, forever, but every step it already took — including
-// writes that other processes have observed — remains in effect. There is
-// no recovery: the paper's algorithms keep per-process state in shared
-// counters and signal words, and a crashed process's contribution is never
-// undone. The interesting question, answered by the spec harness's crash
-// sweep, is exactly *which* crash points leave the survivors live and
+// Crash-stop (Drive): a crashed process takes no further steps, forever,
+// but every step it already took — including writes that other processes
+// have observed — remains in effect. The paper's algorithms keep
+// per-process state in shared counters and signal words, and a crashed
+// process's contribution is never undone; the spec harness's crash sweep
+// characterizes exactly *which* crash points leave the survivors live and
 // which wedge them forever (detected deterministically by the simulator's
 // no-progress watchdog, never by a step budget).
 //
-// Drive is the injection driver: it steps a runner to termination,
-// killing chosen processes at chosen global step indices. Crash points are
-// enumerated exhaustively for tiny scenarios (every step boundary of a
-// reference execution) and sampled with seeded randomness for larger ones.
+// Crash-recovery (DriveRecover): the recoverable-mutual-exclusion model of
+// Golab–Ramaraju and Chan & Woelfel (PODC 2017). A crashed process loses
+// its local state but is later re-admitted as a fresh incarnation
+// (sim.Runner.Restart) running a recovery program that inspects shared
+// announcement state and completes or rolls back the interrupted passage.
+// A RestartPoint schedules the crash at step k and the restart after a
+// delay of d further global steps; a second point against the same victim
+// can land inside the recovery section itself, exercising re-crashed
+// recovery. A pending restart counts as progress potential: when the
+// survivors wedge on a dead process, DriveRecover applies the pending
+// restarts immediately instead of reporting the no-progress error.
+//
+// Crash points are enumerated exhaustively for tiny scenarios (every step
+// boundary of a reference execution) and sampled with seeded randomness
+// for larger ones.
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"repro/internal/memmodel"
 	"repro/internal/sim"
 )
 
@@ -45,11 +56,15 @@ func (p Point) String() string { return fmt.Sprintf("crash p%d @%d", p.Victim, p
 // terminates (every process done or crashed), the runner's
 // *sim.NoProgressError when the watchdog detects that the survivors are
 // wedged, and any other runner error (step budget, scheduler fault)
-// verbatim. Barriers are not supported: Drive is for unstaged executions.
+// verbatim. Staged executions are supported: when every schedulable
+// process is parked at a barrier, Drive releases them all and continues —
+// the same all-at-once policy a staged scenario gets from stepping to idle
+// and releasing by hand — so crash sweeps can run the staged lower-bound
+// scenarios. Crashed processes never leave a barrier.
 func Drive(r *sim.Runner, points []Point) error {
 	pts := make([]Point, len(points))
 	copy(pts, points)
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Step < pts[j].Step })
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Step < pts[j].Step })
 	next := 0
 	for {
 		for next < len(pts) && pts[next].Step <= r.StepCount() {
@@ -70,7 +85,157 @@ func Drive(r *sim.Runner, points []Point) error {
 			if r.Terminated() {
 				return nil
 			}
-			return fmt.Errorf("fault: processes %v stalled at barriers under Drive", r.AtBarrier())
+			if err := releaseBarriers(r); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// releaseBarriers releases every process parked at a barrier. The runner
+// only reports "no progress, no error" when processes are done, crashed or
+// barrier-parked, so an empty barrier set here is a driver bug.
+func releaseBarriers(r *sim.Runner) error {
+	ids := r.AtBarrier()
+	if len(ids) == 0 {
+		return fmt.Errorf("fault: runner idle but terminated=%v and no process at a barrier", r.Terminated())
+	}
+	for _, id := range ids {
+		if err := r.ReleaseBarrier(id); err != nil {
+			return fmt.Errorf("fault: releasing barrier of p%d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// RestartPoint schedules one crash-recovery event: Victim is crashed at
+// the boundary before global step index Step, and restarted Delay further
+// global steps later (immediately, for Delay 0). Points whose victim is
+// already dead when they fire are skipped, so a second point against the
+// same victim must use a step index strictly after the first restart to
+// take effect (typically Step+Delay+j for small j, landing the second
+// crash inside the recovery section).
+type RestartPoint struct {
+	// Victim is the process id to crash.
+	Victim int
+	// Step is the global step index before which the victim dies.
+	Step int
+	// Delay is the number of further global steps before the victim's next
+	// incarnation is admitted. If the survivors wedge first, the restart is
+	// applied at the wedge point: a pending restart is progress potential,
+	// not a hang.
+	Delay int
+}
+
+func (p RestartPoint) String() string {
+	return fmt.Sprintf("crash p%d @%d restart +%d", p.Victim, p.Step, p.Delay)
+}
+
+// RecoverEvent reports what one RestartPoint actually did.
+type RecoverEvent struct {
+	// Point echoes the scheduled point.
+	Point RestartPoint
+	// Crashed reports whether the crash was applied; false means the
+	// victim was already finished or already dead when the point fired.
+	Crashed bool
+	// CrashStep is the global step index at which the crash landed.
+	CrashStep int
+	// CrashSection is the passage section the victim occupied when it
+	// crashed. A crash during a later incarnation's repair reports
+	// SecRecover — the "recovery section itself crashed" configuration.
+	CrashSection memmodel.Section
+	// Restarted reports whether the matching restart was applied (always
+	// true for applied crashes once DriveRecover returns cleanly).
+	Restarted bool
+	// RestartStep is the global step index at which the new incarnation
+	// was admitted.
+	RestartStep int
+}
+
+// DriveRecover steps r until termination, applying every restart point:
+// crash at the point's boundary, restart after its delay with the program
+// prog(victim) — typically a recovery section followed by the victim's
+// remaining passages. Restarts that come due while the execution is wedged
+// or idle are applied immediately. It returns one RecoverEvent per point,
+// in the order the points fire (sorted by Step, ties in input order).
+// Barrier-parked processes are released all at once, as in Drive.
+func DriveRecover(r *sim.Runner, points []RestartPoint, prog func(victim int) sim.Program) ([]RecoverEvent, error) {
+	pts := make([]RestartPoint, len(points))
+	copy(pts, points)
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Step < pts[j].Step })
+	events := make([]RecoverEvent, len(pts))
+	for i := range pts {
+		events[i].Point = pts[i]
+	}
+
+	type pendingRestart struct {
+		victim, due, event int
+	}
+	var pending []pendingRestart
+	// applyRestarts admits every pending incarnation that is due (all of
+	// them, when force is set: the execution cannot otherwise advance, so
+	// the remaining delay cannot elapse).
+	applyRestarts := func(force bool) error {
+		kept := pending[:0]
+		for _, pr := range pending {
+			if !force && pr.due > r.StepCount() {
+				kept = append(kept, pr)
+				continue
+			}
+			if err := r.Restart(pr.victim, prog(pr.victim)); err != nil {
+				return fmt.Errorf("fault: restarting p%d: %w", pr.victim, err)
+			}
+			events[pr.event].Restarted = true
+			events[pr.event].RestartStep = r.StepCount()
+		}
+		pending = kept
+		return nil
+	}
+
+	next := 0
+	for {
+		for next < len(pts) && pts[next].Step <= r.StepCount() {
+			p := pts[next]
+			i := next
+			next++
+			if !r.Alive(p.Victim) {
+				continue
+			}
+			events[i].Crashed = true
+			events[i].CrashStep = r.StepCount()
+			events[i].CrashSection = r.Account(p.Victim).Section()
+			if err := r.Crash(p.Victim); err != nil {
+				return events, fmt.Errorf("fault: %s: %w", p, err)
+			}
+			pending = append(pending, pendingRestart{p.Victim, r.StepCount() + p.Delay, i})
+		}
+		if err := applyRestarts(false); err != nil {
+			return events, err
+		}
+		progressed, err := r.Step()
+		if err != nil {
+			var np *sim.NoProgressError
+			if errors.As(err, &np) && len(pending) > 0 {
+				if err := applyRestarts(true); err != nil {
+					return events, err
+				}
+				continue
+			}
+			return events, err
+		}
+		if !progressed {
+			if len(pending) > 0 {
+				if err := applyRestarts(true); err != nil {
+					return events, err
+				}
+				continue
+			}
+			if r.Terminated() {
+				return events, nil
+			}
+			if err := releaseBarriers(r); err != nil {
+				return events, err
+			}
 		}
 	}
 }

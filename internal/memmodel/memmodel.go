@@ -86,11 +86,16 @@ const (
 	SecCS
 	// SecExit is the exit section of a passage.
 	SecExit
+	// SecRecover is the recovery section a restarted incarnation executes
+	// before rejoining normal passages (crash-recovery failure model). Its
+	// RMRs are accounted separately: recoverable-mutual-exclusion bounds
+	// are stated per recovery attempt.
+	SecRecover
 )
 
 // NumSections is the number of distinct Section values (plus one for the
 // zero value, which is never used); useful for array-indexed accounting.
-const NumSections = 5
+const NumSections = 6
 
 // String returns the section name.
 func (s Section) String() string {
@@ -103,6 +108,8 @@ func (s Section) String() string {
 		return "cs"
 	case SecExit:
 		return "exit"
+	case SecRecover:
+		return "recover"
 	default:
 		return "unknown"
 	}
@@ -250,6 +257,77 @@ type TryAlgorithm interface {
 
 	// WriterTryEnter is the writer-side analogue of ReaderTryEnter.
 	WriterTryEnter(p Proc, wid int) bool
+}
+
+// Recovery is the verdict of a recovery section: what a restarted
+// incarnation found out about its dead predecessor's interrupted passage,
+// and therefore where the process re-enters the passage cycle.
+type Recovery uint8
+
+const (
+	// RecoverAbort means the interrupted passage was rolled back: shared
+	// state shows no trace of it, the process is back in the remainder
+	// section, and the passage must be retried from its entry section.
+	RecoverAbort Recovery = iota + 1
+	// RecoverCS means the dead incarnation held (or had irrevocably
+	// acquired) the critical section: recovery completed the entry, the
+	// restarted incarnation now holds the CS, and the caller must run the
+	// CS body followed by the ordinary exit section.
+	RecoverCS
+	// RecoverDone means the interrupted passage completed during recovery
+	// (the crash hit the exit section; recovery finished it). The process
+	// is in the remainder section and the passage counts as completed.
+	RecoverDone
+)
+
+// String returns the verdict name.
+func (v Recovery) String() string {
+	switch v {
+	case RecoverAbort:
+		return "abort"
+	case RecoverCS:
+		return "cs"
+	case RecoverDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// RecoverableAlgorithm is the optional extension for the crash-recovery
+// failure model, following the Golab-Ramaraju recoverable-mutual-exclusion
+// structure: a process that crashes mid-passage is restarted as a fresh
+// incarnation that first executes a recovery section. The recovery section
+// inspects the process's per-process announcement state in shared memory
+// and either completes the interrupted passage or rolls it back, returning
+// the Recovery verdict that tells the caller how to proceed.
+//
+// Requirements on implementations:
+//
+//   - All state a recovery section needs must live in shared memory
+//     (announcement variables); Go-local per-process fields are lost with
+//     the dead incarnation and must not carry information across a crash.
+//   - Recover methods may wait on other processes (like entry sections do),
+//     but every wait must be a local-spin Await so hangs stay
+//     watchdog-detectable.
+//   - Recovery must be idempotent under re-crash: a crash inside the
+//     recovery section followed by another restart re-runs Recover, which
+//     must again terminate with a correct verdict.
+//   - Mutual Exclusion must hold across incarnations: the restarted
+//     incarnation is the same process identity, and no other process may
+//     observe a state in which both it and the dead incarnation's passage
+//     are in the CS.
+type RecoverableAlgorithm interface {
+	Algorithm
+
+	// ReaderRecover executes the recovery section for reader rid after a
+	// crash of its previous incarnation (which may have been anywhere in
+	// the passage cycle, including the remainder section or a previous
+	// recovery section).
+	ReaderRecover(p Proc, rid int) Recovery
+
+	// WriterRecover is the writer-side analogue of ReaderRecover.
+	WriterRecover(p Proc, wid int) Recovery
 }
 
 // Props declares an Algorithm's operation set, claimed properties, and

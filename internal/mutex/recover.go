@@ -1,0 +1,151 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// RTournament progress-word encoding. The word is single-writer (only its
+// slot's owner writes it), so plain reads and writes suffice.
+const (
+	rtIdle uint64 = 0 // no passage in progress
+	rtHeld uint64 = 1 // lock held: the owner won every instance on its path
+	// Other values encode inst<<2|stage, where inst is the heap number of a
+	// Peterson instance on the owner's path and stage is one of:
+	rtStageWin  = 1 // competing at inst; instances deeper on the path are won
+	rtStageExit = 2 // releasing inst; shallower instances already released
+)
+
+func rtEnc(inst, stage int) uint64 { return uint64(inst<<2 | stage) }
+
+// RTournament is a recoverable variant of Tournament for the crash-recovery
+// failure model: each slot keeps a progress word recording how far along
+// its passage is, and Recover uses it to repair the tree after a crash.
+//
+// The progress word is written before the action it announces (win a node,
+// clear a node), so after a crash it is a conservative frontier: everything
+// deeper than the recorded instance is in the announced state, the recorded
+// instance itself may be half-done. Recovery never re-evaluates a Peterson
+// predicate — a crash can land between the flag and turn writes, after
+// which re-checking could admit two winners. It only ever *withdraws*
+// (clears the owner's flags from the frontier down, the abortable-Peterson
+// withdrawal, which cannot strand a rival because the rival's spin
+// predicate is satisfied by the cleared flag) or *completes an exit* (the
+// same flag-clearing walk). Both are bounded, idempotent, and re-runnable,
+// so a crash inside Recover itself just resumes from the re-written
+// frontier.
+//
+// Releases walk top-down (root first): a same-subtree rival is blocked
+// below the frontier by the owner's still-set deeper flags until the walk
+// reaches them, so the owner's flag at a shared (instance, side) position
+// is always its own when cleared.
+type RTournament struct {
+	t *Tournament
+	// prog[slot] is slot's progress word.
+	prog []memmodel.Var
+}
+
+var _ Lock = (*RTournament)(nil)
+
+// NewRTournament allocates a recoverable tournament lock for m slots.
+func NewRTournament(a memmodel.Allocator, name string, m int) *RTournament {
+	return &RTournament{
+		t:    NewTournament(a, name, m),
+		prog: a.AllocN(name+".prog", m, rtIdle),
+	}
+}
+
+// Slots returns the number of slots the lock was allocated for.
+func (r *RTournament) Slots() int { return r.t.m }
+
+// Levels returns the height of the arbitration tree.
+func (r *RTournament) Levels() int { return r.t.levels }
+
+// path fills buf with the heap node numbers on slot's leaf-to-root path,
+// deepest first, and returns the count.
+func (r *RTournament) path(slot int, buf *[64]int) int {
+	n := 0
+	for node := (1 << r.t.levels) + slot; node > 1; node /= 2 {
+		buf[n] = node
+		n++
+	}
+	return n
+}
+
+// Enter implements Lock: Tournament.Enter with a progress-word write ahead
+// of each instance. One extra write per level keeps the O(log m) bound.
+func (r *RTournament) Enter(p memmodel.Proc, slot int) {
+	r.t.checkSlot(slot)
+	for node := (1 << r.t.levels) + slot; node > 1; node /= 2 {
+		inst, side := node/2, node&1
+		p.Write(r.prog[slot], rtEnc(inst, rtStageWin))
+		r.t.petersonEnter(p, inst, side)
+	}
+	p.Write(r.prog[slot], rtHeld)
+}
+
+// Exit implements Lock: release the path top-down, marking each instance
+// before clearing it.
+func (r *RTournament) Exit(p memmodel.Proc, slot int) {
+	r.t.checkSlot(slot)
+	var buf [64]int
+	n := r.path(slot, &buf)
+	r.releaseFrom(p, slot, buf[:n], n-1)
+}
+
+// releaseFrom clears the owner's flags at path positions pos..0 (shallowest
+// first), re-writing the exit marker before each clear so a crash inside
+// the walk resumes exactly where it stopped, then marks the slot idle.
+func (r *RTournament) releaseFrom(p memmodel.Proc, slot int, path []int, pos int) {
+	for i := pos; i >= 0; i-- {
+		inst, side := path[i]/2, path[i]&1
+		p.Write(r.prog[slot], rtEnc(inst, rtStageExit))
+		r.t.petersonExit(p, inst, side)
+	}
+	p.Write(r.prog[slot], rtIdle)
+}
+
+// Recover repairs the tree on behalf of slot's restarted incarnation and
+// reports whether the slot holds the lock. It must be called before the new
+// incarnation uses the lock again. The outcomes:
+//
+//   - idle: the dead incarnation held nothing — nothing to repair.
+//   - held: the dead incarnation owned the lock; the caller is its
+//     successor in the critical section and must eventually Exit.
+//   - competing (crash inside Enter): withdraw — clear the frontier
+//     instance's flag and release every instance won below it. The passage
+//     never happened; the caller may re-Enter from scratch. A crash after
+//     winning the final instance but before the held mark also withdraws:
+//     equivalent to acquiring and immediately releasing.
+//   - releasing (crash inside Exit): complete the exit from the frontier
+//     down. The lock is no longer held.
+//
+// Recovery is bounded (O(log m) steps, no waiting) and idempotent: if the
+// recovering incarnation crashes too, the next one's Recover resumes from
+// the frontier the walk last wrote.
+func (r *RTournament) Recover(p memmodel.Proc, slot int) bool {
+	r.t.checkSlot(slot)
+	w := p.Read(r.prog[slot])
+	switch w {
+	case rtIdle:
+		return false
+	case rtHeld:
+		return true
+	}
+	inst, stage := int(w>>2), int(w&3)
+	var buf [64]int
+	n := r.path(slot, &buf)
+	pos := -1
+	for i := 0; i < n; i++ {
+		if buf[i]/2 == inst {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || (stage != rtStageWin && stage != rtStageExit) {
+		panic(fmt.Sprintf("mutex: slot %d has corrupt progress word %d", slot, w))
+	}
+	r.releaseFrom(p, slot, buf[:n], pos)
+	return false
+}

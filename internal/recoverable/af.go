@@ -1,0 +1,469 @@
+package recoverable
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/memmodel"
+	"repro/internal/mutex"
+)
+
+// Signal opcodes, mirroring internal/core's Algorithm 1 encoding (they are
+// protocol constants of the paper, restated here because the recoverable
+// variant reimplements the passage sections with announcement writes
+// interleaved).
+const (
+	opNOP      = 0 // RSIG: no writer holds WL
+	opPreentry = 1 // RSIG: writer verifying no readers are waiting
+	opWait     = 2 // RSIG: readers must wait for the current writer passage
+
+	wsBottom  = 0 // WSIG[i]: initial state for the current passage
+	wsProceed = 1 // WSIG[i]: group drained during PREENTRY
+	wsWait    = 2 // WSIG[i]: writer armed the group
+	wsCS      = 3 // WSIG[i]: group quiescent or waiting
+)
+
+// Reader announcement phases, packed as PackSig(aux, phase). For the
+// counter phases (rpCIn, rpWIn, rpWOut, rpCOut) aux holds the f-array leaf
+// version the interrupted Add was about to install, so recovery can decide
+// from the leaf's current version whether the Add's leaf write applied
+// (version reached aux: repair the propagation) or not (version is aux-1:
+// redo or abandon the Add). The leaf is single-writer, so exactly those two
+// values are possible.
+const (
+	rpIdle    = 0 // no passage in progress
+	rpCIn     = 1 // C[i] increment in flight (entry line 31)
+	rpWIn     = 2 // W[i] increment in flight (entry line 34)
+	rpWait    = 3 // helping / waiting for the writer (entry lines 35-36)
+	rpWOut    = 4 // W[i] decrement in flight (entry line 37)
+	rpInCS    = 5 // entry complete: in (or entitled to) the CS
+	rpCOut    = 6 // C[i] decrement in flight (exit line 40)
+	rpExitSig = 7 // exit signaling in flight (exit lines 41-48)
+)
+
+// Writer announcement phases, packed as PackSig(seq, phase) where seq is
+// the passage's WSEQ value (phWL predates it and packs 0).
+const (
+	phIdle    = 0 // no passage in progress
+	phWL      = 1 // acquiring WL
+	phEntry   = 2 // signaling rounds of the entry section (lines 7-23)
+	phCS      = 3 // entry complete: in the CS
+	phExitSeq = 4 // publishing WSEQ+1 and <seq+1, NOP> (exit lines 25-26)
+	phExitWL  = 5 // releasing WL (exit line 27)
+)
+
+// AF is a recoverable member of the A_f family. It is the paper's
+// Algorithm 1 (as implemented by internal/core) restructured for the
+// crash-recovery failure model:
+//
+//   - every process announces, in a single-writer announcement word, which
+//     passage step is in flight before taking that step's first shared
+//     write, so a restarted incarnation can locate the frontier;
+//   - group counters are f-arrays whose leaf version tags make "did my Add
+//     apply?" decidable after a crash, with counter.FArray.Repair
+//     re-propagating an orphaned leaf update;
+//   - the writers' mutex is the recoverable tournament
+//     (mutex.RTournament), whose progress word repairs the arbitration
+//     tree;
+//   - no Go-local state crosses passage sections: the writer re-reads WSEQ
+//     (stable while it holds WL) instead of carrying a local copy, so a
+//     crash loses nothing recovery cannot reconstruct.
+//
+// The delicate case is a writer crash inside the entry signaling rounds
+// (phEntry). Re-running the signaling with the same sequence number is
+// unsound: the crashed round may already have published <seq, WAIT> and
+// collected helpWCS CASes, and a re-run would reissue <seq, PREENTRY> after
+// readers observed <seq, WAIT> — the per-seq opcode monotonicity the safety
+// argument rests on would break, and a stale <seq, wsCS> could admit a
+// reader alongside the writer. Recovery instead abandons the round exactly
+// like the abortable writer entry does: advance WSEQ and publish
+// <seq+1, NOP> (waking any readers parked on <seq, WAIT>), then run a fresh
+// signaling round with seq+1 while still holding WL. Each re-crash of the
+// recovery abandons again, so no sequence number is ever signaled twice.
+type AF struct {
+	f core.F
+
+	n, m   int
+	groups int
+	k      int
+
+	c    []*counter.FArray  // C[i]: group-i readers in a passage
+	w    []*counter.FArray  // W[i]: group-i readers waiting
+	wl   *mutex.RTournament // WL: writers' recoverable mutex
+	wseq memmodel.Var       // WSEQ: writer passage sequence number
+	wsig []memmodel.Var     // WSIG[i]: <seq, opcode> group i -> writer
+	rsig memmodel.Var       // RSIG: <seq, opcode> writer -> readers
+	rann []memmodel.Var     // rann[rid]: reader announcement
+	wann []memmodel.Var     // wann[wid]: writer announcement
+
+	inited bool
+}
+
+var _ memmodel.RecoverableAlgorithm = (*AF)(nil)
+
+// NewAF returns an uninitialized recoverable A_f instance for
+// parameterization f. Only the paper's substrates are supported: f-array
+// counters (the repair path needs the leaf version tags) and the
+// tournament WL (the repair path needs the progress word).
+func NewAF(f core.F) *AF { return &AF{f: f} }
+
+// Name implements memmodel.Algorithm.
+func (a *AF) Name() string { return "r-af-" + a.f.Name }
+
+// Groups returns f(n) after Init.
+func (a *AF) Groups() int { return a.groups }
+
+// Init implements memmodel.Algorithm.
+func (a *AF) Init(alloc memmodel.Allocator, nReaders, nWriters int) error {
+	if a.inited {
+		return fmt.Errorf("recoverable: %s: Init called twice", a.Name())
+	}
+	if nReaders < 0 || nWriters < 0 {
+		return fmt.Errorf("recoverable: negative population %d/%d", nReaders, nWriters)
+	}
+	a.inited = true
+	a.n, a.m = nReaders, nWriters
+	a.groups = a.f.Groups(nReaders)
+	a.k = a.f.GroupSize(nReaders)
+
+	a.c = make([]*counter.FArray, a.groups)
+	a.w = make([]*counter.FArray, a.groups)
+	for i := 0; i < a.groups; i++ {
+		a.c[i] = counter.NewFArray(alloc, fmt.Sprintf("C[%d]", i), a.k)
+		a.w[i] = counter.NewFArray(alloc, fmt.Sprintf("W[%d]", i), a.k)
+	}
+	a.wl = mutex.NewRTournament(alloc, "WL", max(nWriters, 1))
+	a.wseq = alloc.Alloc("WSEQ", 0)
+	a.wsig = alloc.AllocN("WSIG", a.groups, memmodel.PackSig(0, wsBottom))
+	a.rsig = alloc.Alloc("RSIG", memmodel.PackSig(0, opNOP))
+	a.rann = alloc.AllocN("RANN", max(nReaders, 1), memmodel.PackSig(0, rpIdle))
+	a.wann = alloc.AllocN("WANN", max(nWriters, 1), memmodel.PackSig(0, phIdle))
+	return nil
+}
+
+// group returns reader rid's group index and in-group counter slot.
+func (a *AF) group(rid int) (int, int) { return rid / a.k, rid % a.k }
+
+// leafVer reads the current version tag of slot's leaf in counter c.
+func leafVer(p memmodel.Proc, c *counter.FArray, slot int) uint32 {
+	ver, _ := memmodel.UnpackVerSum(p.Read(c.Leaf(slot)))
+	return ver
+}
+
+// countAdd performs c.Add(delta) for slot with the announcement protocol:
+// it announces phase with the leaf version the Add will install, so a
+// restarted incarnation can decide whether the Add applied.
+func (a *AF) countAdd(p memmodel.Proc, rid int, c *counter.FArray, slot int, delta int32, phase uint8) {
+	target := leafVer(p, c, slot) + 1
+	p.Write(a.rann[rid], memmodel.PackSig(uint64(target), phase))
+	c.Add(p, slot, delta)
+}
+
+// addApplied decides, from the announced target version, whether the
+// interrupted Add's leaf write applied. The leaf is single-writer, so its
+// version is either target (applied) or target-1 (not applied).
+func addApplied(p memmodel.Proc, c *counter.FArray, slot int, target uint32) bool {
+	switch ver := leafVer(p, c, slot); ver {
+	case target:
+		return true
+	case target - 1:
+		return false
+	default:
+		panic(fmt.Sprintf("recoverable: leaf version %d outside {%d, %d}", ver, target-1, target))
+	}
+}
+
+// ReaderEnter implements lines 31-38 of Algorithm 1 with announcements.
+func (a *AF) ReaderEnter(p memmodel.Proc, rid int) {
+	i, slot := a.group(rid)
+	a.countAdd(p, rid, a.c[i], slot, 1, rpCIn) // line 31
+	a.readerEnterFromSignal(p, rid, i, slot)
+}
+
+// readerEnterFromSignal is the entry tail after the C[i] increment: the
+// RSIG check and, if a writer passage is in progress, the waiting protocol
+// (lines 32-37). Recovery re-enters here after repairing the C increment.
+func (a *AF) readerEnterFromSignal(p memmodel.Proc, rid, i, slot int) {
+	seq, op := memmodel.UnpackSig(p.Read(a.rsig)) // line 32
+	if op == opWait {                             // line 33
+		a.countAdd(p, rid, a.w[i], slot, 1, rpWIn) // line 34
+		a.readerWait(p, rid, i, slot, seq)
+	}
+	p.Write(a.rann[rid], memmodel.PackSig(0, rpInCS))
+}
+
+// readerWait is the waiting protocol after the W[i] increment: help, park,
+// deregister (lines 35-37). seq is the sequence number under which the
+// reader observed <seq, WAIT>; recovery passes the freshly re-read value.
+func (a *AF) readerWait(p memmodel.Proc, rid, i, slot int, seq uint64) {
+	p.Write(a.rann[rid], memmodel.PackSig(seq, rpWait))
+	a.helpWCS(p, i, seq) // line 35
+	waitWord := memmodel.PackSig(seq, opWait)
+	p.Await(a.rsig, func(x uint64) bool { return x != waitWord }) // line 36
+	a.countAdd(p, rid, a.w[i], slot, -1, rpWOut)                  // line 37
+}
+
+// ReaderExit implements lines 40-48 of Algorithm 1 with announcements.
+func (a *AF) ReaderExit(p memmodel.Proc, rid int) {
+	i, slot := a.group(rid)
+	a.countAdd(p, rid, a.c[i], slot, -1, rpCOut) // line 40
+	p.Write(a.rann[rid], memmodel.PackSig(0, rpExitSig))
+	a.readerExitSignal(p, i)
+	p.Write(a.rann[rid], memmodel.PackSig(0, rpIdle))
+}
+
+// readerExitSignal is the exit signaling (lines 41-48). It reads RSIG
+// fresh, so re-running it after a crash behaves exactly like a reader
+// exiting at that moment — both its CASes carry the observed sequence
+// number in their expected value and fail harmlessly if stale or already
+// applied.
+func (a *AF) readerExitSignal(p memmodel.Proc, i int) {
+	seq, op := memmodel.UnpackSig(p.Read(a.rsig)) // line 41
+	switch op {
+	case opPreentry: // line 42
+		if a.c[i].Read(p) == 0 { // line 43
+			p.CAS(a.wsig[i], memmodel.PackSig(seq, wsBottom), memmodel.PackSig(seq, wsProceed)) // line 45
+		}
+	case opWait: // line 47
+		a.helpWCS(p, i, seq) // line 48
+	}
+}
+
+// helpWCS implements lines 50-54, with internal/core's W-before-C read
+// order (see core.AF's type comment for why that order is load-bearing).
+func (a *AF) helpWCS(p memmodel.Proc, i int, seq uint64) {
+	waiting := a.w[i].Read(p)
+	inPassage := a.c[i].Read(p)
+	if waiting == inPassage { // line 51
+		p.CAS(a.wsig[i], memmodel.PackSig(seq, wsWait), memmodel.PackSig(seq, wsCS)) // line 52
+	}
+}
+
+// ReaderRecover implements memmodel.RecoverableAlgorithm. The announcement
+// phase locates the frontier; the counter phases additionally consult the
+// announced leaf version target to decide redo vs repair. Every path either
+// rolls the passage back to nothing (RecoverAbort: only possible while the
+// C increment had not applied) or completes the interrupted section.
+func (a *AF) ReaderRecover(p memmodel.Proc, rid int) memmodel.Recovery {
+	i, slot := a.group(rid)
+	aux, phase := memmodel.UnpackSig(p.Read(a.rann[rid]))
+	switch phase {
+	case rpIdle:
+		return memmodel.RecoverAbort
+
+	case rpCIn:
+		if !addApplied(p, a.c[i], slot, uint32(aux)) {
+			// The passage never became visible: roll back.
+			p.Write(a.rann[rid], memmodel.PackSig(0, rpIdle))
+			return memmodel.RecoverAbort
+		}
+		a.c[i].Repair(p, slot) // finish the interrupted propagation
+		a.readerEnterFromSignal(p, rid, i, slot)
+		return memmodel.RecoverCS
+
+	case rpWIn:
+		if addApplied(p, a.w[i], slot, uint32(aux)) {
+			a.w[i].Repair(p, slot)
+			a.recoverWaitPhase(p, rid, i, slot)
+		} else {
+			// The W increment never applied; the reader is registered in
+			// C only. Re-check RSIG and redo the waiting protocol if a
+			// writer passage is (still) in progress, exactly as a fresh
+			// arrival at line 32 would.
+			if seq, op := memmodel.UnpackSig(p.Read(a.rsig)); op == opWait {
+				a.countAdd(p, rid, a.w[i], slot, 1, rpWIn)
+				a.readerWait(p, rid, i, slot, seq)
+			}
+		}
+		p.Write(a.rann[rid], memmodel.PackSig(0, rpInCS))
+		return memmodel.RecoverCS
+
+	case rpWait:
+		a.recoverWaitPhase(p, rid, i, slot)
+		p.Write(a.rann[rid], memmodel.PackSig(0, rpInCS))
+		return memmodel.RecoverCS
+
+	case rpWOut:
+		if addApplied(p, a.w[i], slot, uint32(aux)) {
+			a.w[i].Repair(p, slot)
+		} else {
+			a.w[i].Add(p, slot, -1) // redo the decrement
+		}
+		p.Write(a.rann[rid], memmodel.PackSig(0, rpInCS))
+		return memmodel.RecoverCS
+
+	case rpInCS:
+		return memmodel.RecoverCS
+
+	case rpCOut:
+		if addApplied(p, a.c[i], slot, uint32(aux)) {
+			a.c[i].Repair(p, slot)
+		} else {
+			a.c[i].Add(p, slot, -1) // redo the decrement
+		}
+		p.Write(a.rann[rid], memmodel.PackSig(0, rpExitSig))
+		a.readerExitSignal(p, i)
+		p.Write(a.rann[rid], memmodel.PackSig(0, rpIdle))
+		return memmodel.RecoverDone
+
+	case rpExitSig:
+		a.readerExitSignal(p, i)
+		p.Write(a.rann[rid], memmodel.PackSig(0, rpIdle))
+		return memmodel.RecoverDone
+
+	default:
+		panic(fmt.Sprintf("recoverable: reader %d has corrupt announcement phase %d", rid, phase))
+	}
+}
+
+// recoverWaitPhase resumes a reader that crashed while registered in both
+// C[i] and W[i] (anywhere between the W increment's completion and the W
+// decrement's announcement). It re-reads RSIG fresh: if a writer passage is
+// in WAIT — the original one or a later one — it redoes the help-and-park
+// protocol under that sequence number, which is precisely what a registered
+// waiting reader owes the writer; otherwise the parked wait is over and
+// only the W deregistration remains.
+func (a *AF) recoverWaitPhase(p memmodel.Proc, rid, i, slot int) {
+	if seq, op := memmodel.UnpackSig(p.Read(a.rsig)); op == opWait {
+		p.Write(a.rann[rid], memmodel.PackSig(seq, rpWait))
+		a.helpWCS(p, i, seq)
+		waitWord := memmodel.PackSig(seq, opWait)
+		p.Await(a.rsig, func(x uint64) bool { return x != waitWord })
+	}
+	a.countAdd(p, rid, a.w[i], slot, -1, rpWOut)
+}
+
+// writerSignal runs the entry signaling rounds (lines 7-23) under seq.
+func (a *AF) writerSignal(p memmodel.Proc, seq uint64) {
+	for i := 0; i < a.groups; i++ { // lines 7-9
+		p.Write(a.wsig[i], memmodel.PackSig(seq, wsBottom))
+	}
+	p.Write(a.rsig, memmodel.PackSig(seq, opPreentry)) // line 11
+
+	for i := 0; i < a.groups; i++ { // lines 12-17
+		if a.c[i].Read(p) > 0 { // line 13
+			proceed := memmodel.PackSig(seq, wsProceed)
+			p.Await(a.wsig[i], func(x uint64) bool { return x == proceed }) // line 14
+		}
+		p.Write(a.wsig[i], memmodel.PackSig(seq, wsWait)) // line 16
+	}
+
+	p.Write(a.rsig, memmodel.PackSig(seq, opWait)) // line 18
+
+	for i := 0; i < a.groups; i++ { // lines 19-23
+		if a.c[i].Read(p) > 0 { // line 20
+			cs := memmodel.PackSig(seq, wsCS)
+			p.Await(a.wsig[i], func(x uint64) bool { return x == cs }) // line 21
+		}
+	}
+}
+
+// WriterEnter implements lines 6-23 of Algorithm 1 with announcements.
+func (a *AF) WriterEnter(p memmodel.Proc, wid int) {
+	p.Write(a.wann[wid], memmodel.PackSig(0, phWL))
+	a.wl.Enter(p, wid)    // line 6
+	seq := p.Read(a.wseq) // the passage's sequence number
+	p.Write(a.wann[wid], memmodel.PackSig(seq, phEntry))
+	a.writerSignal(p, seq)
+	p.Write(a.wann[wid], memmodel.PackSig(seq, phCS))
+}
+
+// WriterExit implements lines 25-27 of Algorithm 1 with announcements.
+// WSEQ is re-read instead of carried in a Go-local (it is stable while WL
+// is held and only its holder writes it).
+func (a *AF) WriterExit(p memmodel.Proc, wid int) {
+	seq := p.Read(a.wseq)
+	p.Write(a.wann[wid], memmodel.PackSig(seq, phExitSeq))
+	p.Write(a.wseq, seq+1)                          // line 25
+	p.Write(a.rsig, memmodel.PackSig(seq+1, opNOP)) // line 26
+	p.Write(a.wann[wid], memmodel.PackSig(seq, phExitWL))
+	a.wl.Exit(p, wid) // line 27
+	p.Write(a.wann[wid], memmodel.PackSig(0, phIdle))
+}
+
+// writerAbandonAndResignal abandons the sequence number whose signaling
+// round the crash interrupted and runs a fresh round: advance WSEQ, publish
+// <seq+1, NOP> (waking readers parked on <seq, WAIT>), then signal under
+// seq+1 — the abortable-entry rollback, executed while still holding WL.
+// See the type comment for why re-signaling under the old seq is unsound.
+func (a *AF) writerAbandonAndResignal(p memmodel.Proc, wid int) {
+	seq := p.Read(a.wseq)
+	p.Write(a.wseq, seq+1)
+	p.Write(a.rsig, memmodel.PackSig(seq+1, opNOP))
+	p.Write(a.wann[wid], memmodel.PackSig(seq+1, phEntry))
+	a.writerSignal(p, seq+1)
+	p.Write(a.wann[wid], memmodel.PackSig(seq+1, phCS))
+}
+
+// WriterRecover implements memmodel.RecoverableAlgorithm.
+func (a *AF) WriterRecover(p memmodel.Proc, wid int) memmodel.Recovery {
+	_, phase := memmodel.UnpackSig(p.Read(a.wann[wid]))
+	switch phase {
+	case phIdle:
+		return memmodel.RecoverAbort
+
+	case phWL:
+		// Crashed inside (or just after) the WL acquisition, before any
+		// signaling. The tournament's progress word decides.
+		if !a.wl.Recover(p, wid) {
+			p.Write(a.wann[wid], memmodel.PackSig(0, phIdle))
+			return memmodel.RecoverAbort
+		}
+		// WL is held and no signal of ours is out yet: run the entry
+		// signaling under the current sequence number.
+		seq := p.Read(a.wseq)
+		p.Write(a.wann[wid], memmodel.PackSig(seq, phEntry))
+		a.writerSignal(p, seq)
+		p.Write(a.wann[wid], memmodel.PackSig(seq, phCS))
+		return memmodel.RecoverCS
+
+	case phEntry:
+		a.writerAbandonAndResignal(p, wid)
+		return memmodel.RecoverCS
+
+	case phCS:
+		return memmodel.RecoverCS
+
+	case phExitSeq:
+		// Crashed between the exit's marker and the WL release marker: the
+		// WSEQ advance and NOP publication may each have happened or not.
+		// Both writes are idempotent redone under the announced seq.
+		seq, _ := memmodel.UnpackSig(p.Read(a.wann[wid]))
+		p.Write(a.wseq, seq+1)
+		p.Write(a.rsig, memmodel.PackSig(seq+1, opNOP))
+		p.Write(a.wann[wid], memmodel.PackSig(seq, phExitWL))
+		a.wl.Exit(p, wid)
+		p.Write(a.wann[wid], memmodel.PackSig(0, phIdle))
+		return memmodel.RecoverDone
+
+	case phExitWL:
+		// Crashed inside the WL release; finish it (Recover reports held
+		// if the release had not taken its first step).
+		if a.wl.Recover(p, wid) {
+			a.wl.Exit(p, wid)
+		}
+		p.Write(a.wann[wid], memmodel.PackSig(0, phIdle))
+		return memmodel.RecoverDone
+
+	default:
+		panic(fmt.Sprintf("recoverable: writer %d has corrupt announcement phase %d", wid, phase))
+	}
+}
+
+// Props implements memmodel.Algorithm.
+func (a *AF) Props() memmodel.Props {
+	f := a.f
+	return memmodel.Props{
+		UsesCAS:              true,
+		ConcurrentEntering:   true,
+		ReaderStarvationFree: true,
+		PredictedReaderRMR: func(n, _ int) float64 {
+			return math.Log2(float64(f.GroupSize(n))) + 1
+		},
+		PredictedWriterRMR: func(n, m int) float64 {
+			return float64(f.Groups(n)) + math.Log2(float64(max(m, 2)))
+		},
+	}
+}

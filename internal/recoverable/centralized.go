@@ -1,0 +1,220 @@
+// Package recoverable implements reader-writer locks for the
+// crash-recovery failure model (memmodel.RecoverableAlgorithm): a process
+// may crash anywhere in a passage, lose all local state, and restart as a
+// fresh incarnation whose recovery section inspects per-process
+// announcement variables in shared memory and either completes the
+// interrupted passage or rolls it back — the Golab–Ramaraju recoverable
+// mutual exclusion structure the RME literature builds on (Chan–Woelfel).
+//
+// Two locks are provided:
+//
+//   - Centralized: a recoverable version of the folklore single-word lock.
+//     The state word gives every reader its own presence bit and writers a
+//     CAS-claimed owner field, so a restarted incarnation can decide "was I
+//     in?" from one read. The per-process announcement slot records which
+//     passage stage the process was executing.
+//   - AF: a recoverable member of the paper's A_f family, with repair
+//     paths for the group counters (f-array leaf version tags decide
+//     whether an interrupted Add applied), the writer signal words (an
+//     interrupted signaling round is abandoned by advancing WSEQ, exactly
+//     like the abortable writer entry), and the writer tournament
+//     (mutex.RTournament's progress-word repair).
+package recoverable
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// Centralized state-word layout: readers 0..47 own presence bits 0..47;
+// bits 48..62 hold the writer owner field (wid+1, 0 = no writer).
+const (
+	centralReaderBits = 48
+	centralReaderMask = (uint64(1) << centralReaderBits) - 1
+	centralOwnerShift = centralReaderBits
+	centralOwnerMask  = uint64(1<<15-1) << centralOwnerShift
+)
+
+// Announcement stages for the centralized lock. Announcement slots are
+// single-writer (only the owning process writes its slot), so plain reads
+// and writes suffice.
+const (
+	annIdle     = 0 // no passage in progress
+	annEntering = 1 // registering: the presence bit / owner claim is in flight
+	annInCS     = 2 // registered; in (or entitled to) the critical section
+	annExiting  = 3 // deregistering: the release CAS is in flight
+)
+
+// Centralized is the recoverable single-word reader-writer lock. See the
+// package comment. Populations are capped by the word layout: at most 48
+// readers and 32766 writers.
+type Centralized struct {
+	state memmodel.Var
+	rann  []memmodel.Var // rann[rid]: reader rid's announcement slot
+	wann  []memmodel.Var // wann[wid]: writer wid's announcement slot
+}
+
+var _ memmodel.RecoverableAlgorithm = (*Centralized)(nil)
+
+// NewCentralized returns an uninitialized recoverable centralized lock.
+func NewCentralized() *Centralized { return &Centralized{} }
+
+// Name implements memmodel.Algorithm.
+func (c *Centralized) Name() string { return "r-centralized" }
+
+// Init implements memmodel.Algorithm.
+func (c *Centralized) Init(a memmodel.Allocator, nReaders, nWriters int) error {
+	if nReaders > centralReaderBits {
+		return fmt.Errorf("recoverable: centralized supports at most %d readers, got %d", centralReaderBits, nReaders)
+	}
+	if lim := int(centralOwnerMask >> centralOwnerShift); nWriters >= lim {
+		return fmt.Errorf("recoverable: centralized supports at most %d writers, got %d", lim-1, nWriters)
+	}
+	c.state = a.Alloc("state", 0)
+	c.rann = a.AllocN("RANN", max(nReaders, 1), annIdle)
+	c.wann = a.AllocN("WANN", max(nWriters, 1), annIdle)
+	return nil
+}
+
+func (c *Centralized) readerBit(rid int) uint64 { return uint64(1) << rid }
+func (c *Centralized) ownerWord(wid int) uint64 {
+	return uint64(wid+1) << centralOwnerShift
+}
+
+// ReaderEnter announces, then spins until no writer owns the lock and
+// registers the reader's presence bit with a CAS. The announcement is
+// written before the first shared step of the registration, so after a
+// crash the bit's value alone decides whether the entry took effect.
+func (c *Centralized) ReaderEnter(p memmodel.Proc, rid int) {
+	p.Write(c.rann[rid], annEntering)
+	bit := c.readerBit(rid)
+	for {
+		s := p.Await(c.state, func(x uint64) bool { return x&centralOwnerMask == 0 })
+		if _, ok := p.CAS(c.state, s, s|bit); ok {
+			break
+		}
+	}
+	p.Write(c.rann[rid], annInCS)
+}
+
+// ReaderExit clears the presence bit with a CAS retry loop.
+func (c *Centralized) ReaderExit(p memmodel.Proc, rid int) {
+	p.Write(c.rann[rid], annExiting)
+	c.readerClear(p, rid)
+	p.Write(c.rann[rid], annIdle)
+}
+
+func (c *Centralized) readerClear(p memmodel.Proc, rid int) {
+	bit := c.readerBit(rid)
+	for {
+		s := p.Read(c.state)
+		if s&bit == 0 {
+			return // already clear (a re-run after a crash mid-exit)
+		}
+		if _, ok := p.CAS(c.state, s, s&^bit); ok {
+			return
+		}
+	}
+}
+
+// WriterEnter claims the owner field with a CAS, then drains readers.
+func (c *Centralized) WriterEnter(p memmodel.Proc, wid int) {
+	p.Write(c.wann[wid], annEntering)
+	own := c.ownerWord(wid)
+	for {
+		s := p.Await(c.state, func(x uint64) bool { return x&centralOwnerMask == 0 })
+		if _, ok := p.CAS(c.state, s, s|own); ok {
+			break
+		}
+	}
+	// Drain: readers cannot register while the owner field is set, so the
+	// reader bits only fall.
+	p.Await(c.state, func(x uint64) bool { return x&centralReaderMask == 0 })
+	p.Write(c.wann[wid], annInCS)
+}
+
+// WriterExit releases the owner field.
+func (c *Centralized) WriterExit(p memmodel.Proc, wid int) {
+	p.Write(c.wann[wid], annExiting)
+	// No readers are registered and no other writer can claim while the
+	// field holds our id, so a single CAS releases; a failed CAS means a
+	// crashed predecessor already released (re-run during recovery).
+	p.CAS(c.state, c.ownerWord(wid), 0)
+	p.Write(c.wann[wid], annIdle)
+}
+
+// ReaderRecover implements memmodel.RecoverableAlgorithm. One read of the
+// state word decides every case: the announcement stage says which step was
+// in flight, the presence bit says whether it took effect.
+func (c *Centralized) ReaderRecover(p memmodel.Proc, rid int) memmodel.Recovery {
+	bit := c.readerBit(rid)
+	switch ann := p.Read(c.rann[rid]); ann {
+	case annIdle:
+		return memmodel.RecoverAbort
+	case annEntering:
+		if p.Read(c.state)&bit != 0 {
+			// The registration CAS applied: the dead incarnation was in.
+			p.Write(c.rann[rid], annInCS)
+			return memmodel.RecoverCS
+		}
+		p.Write(c.rann[rid], annIdle)
+		return memmodel.RecoverAbort
+	case annInCS:
+		if p.Read(c.state)&bit != 0 {
+			return memmodel.RecoverCS
+		}
+		// Unreachable in a correct history (the bit persists until exit);
+		// tolerate by rolling back.
+		p.Write(c.rann[rid], annIdle)
+		return memmodel.RecoverAbort
+	case annExiting:
+		c.readerClear(p, rid) // finish the interrupted deregistration
+		p.Write(c.rann[rid], annIdle)
+		return memmodel.RecoverDone
+	default:
+		panic(fmt.Sprintf("recoverable: reader %d has corrupt announcement %d", rid, ann))
+	}
+}
+
+// WriterRecover implements memmodel.RecoverableAlgorithm.
+func (c *Centralized) WriterRecover(p memmodel.Proc, wid int) memmodel.Recovery {
+	own := c.ownerWord(wid)
+	switch ann := p.Read(c.wann[wid]); ann {
+	case annIdle:
+		return memmodel.RecoverAbort
+	case annEntering:
+		if p.Read(c.state)&centralOwnerMask == own {
+			// The claim CAS applied: finish the entry (drain readers).
+			p.Await(c.state, func(x uint64) bool { return x&centralReaderMask == 0 })
+			p.Write(c.wann[wid], annInCS)
+			return memmodel.RecoverCS
+		}
+		p.Write(c.wann[wid], annIdle)
+		return memmodel.RecoverAbort
+	case annInCS:
+		if p.Read(c.state)&centralOwnerMask == own {
+			return memmodel.RecoverCS
+		}
+		p.Write(c.wann[wid], annIdle)
+		return memmodel.RecoverAbort
+	case annExiting:
+		// Redo the release; a no-op if the dead incarnation's CAS applied
+		// (the field is 0 or already claimed by another writer).
+		p.CAS(c.state, own, 0)
+		p.Write(c.wann[wid], annIdle)
+		return memmodel.RecoverDone
+	default:
+		panic(fmt.Sprintf("recoverable: writer %d has corrupt announcement %d", wid, ann))
+	}
+}
+
+// Props implements memmodel.Algorithm.
+func (c *Centralized) Props() memmodel.Props {
+	return memmodel.Props{
+		UsesCAS:            true,
+		ConcurrentEntering: true,
+		PredictedReaderRMR: func(n, _ int) float64 { return float64(n) },
+		PredictedWriterRMR: func(n, m int) float64 { return float64(n + m) },
+	}
+}

@@ -1,0 +1,318 @@
+package recoverable
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// recHarness drives a recoverable algorithm population (readers pid
+// 0..nR-1, writers pid nR..nR+nW-1) with a Go-side occupancy monitor: each
+// process marks itself in-CS around a single CS read step, and checks the
+// marks of every conflicting process on CS entry. Go-side state is updated
+// only at step boundaries, so the marks are crash-consistent: a crash in
+// the CS leaves the mark set, and the RecoverCS path resumes it.
+type recHarness struct {
+	alg        memmodel.RecoverableAlgorithm
+	nR, nW     int
+	passages   int
+	r          *sim.Runner
+	scratch    memmodel.Var
+	inCS       []bool
+	counts     []int
+	violations int
+}
+
+func newRecHarness(t *testing.T, alg memmodel.RecoverableAlgorithm, nR, nW, passages int, seed int64) *recHarness {
+	t.Helper()
+	h := &recHarness{
+		alg: alg, nR: nR, nW: nW, passages: passages,
+		r:      sim.New(sim.Config{Scheduler: sched.NewRandom(seed), MaxSteps: 500_000}),
+		inCS:   make([]bool, nR+nW),
+		counts: make([]int, nR+nW),
+	}
+	if err := alg.Init(h.r, nR, nW); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	h.scratch = h.r.Alloc("scratch", 0)
+	for pid := 0; pid < nR+nW; pid++ {
+		pid := pid
+		h.r.AddProc(func(p sim.Proc) {
+			for h.counts[pid] < passages {
+				h.passage(p, pid)
+			}
+		})
+	}
+	if err := h.r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return h
+}
+
+func (h *recHarness) enter(p sim.Proc, pid int) {
+	if pid < h.nR {
+		h.alg.ReaderEnter(p, pid)
+	} else {
+		h.alg.WriterEnter(p, pid-h.nR)
+	}
+}
+
+func (h *recHarness) exit(p sim.Proc, pid int) {
+	if pid < h.nR {
+		h.alg.ReaderExit(p, pid)
+	} else {
+		h.alg.WriterExit(p, pid-h.nR)
+	}
+}
+
+// check records a violation if any conflicting process is marked in-CS.
+func (h *recHarness) check(pid int) {
+	writer := pid >= h.nR
+	for q := range h.inCS {
+		if q == pid || !h.inCS[q] {
+			continue
+		}
+		if writer || q >= h.nR {
+			h.violations++
+		}
+	}
+}
+
+// csBody is the critical section: occupancy check, mark, one shared step,
+// unmark. The single step gives crashes a landing point inside the CS.
+func (h *recHarness) csBody(p sim.Proc, pid int) {
+	h.check(pid)
+	h.inCS[pid] = true
+	p.Read(h.scratch)
+	h.inCS[pid] = false
+}
+
+func (h *recHarness) passage(p sim.Proc, pid int) {
+	p.Section(memmodel.SecEntry)
+	h.enter(p, pid)
+	p.Section(memmodel.SecCS)
+	h.csBody(p, pid)
+	p.Section(memmodel.SecExit)
+	h.exit(p, pid)
+	p.Section(memmodel.SecRemainder)
+	h.counts[pid]++
+}
+
+// recoveryProg is the program a restarted incarnation of pid runs: recovery
+// section, then the continuation the verdict prescribes, then the remaining
+// passages.
+func (h *recHarness) recoveryProg(pid int) sim.Program {
+	return func(p sim.Proc) {
+		p.Section(memmodel.SecRecover)
+		var rec memmodel.Recovery
+		if pid < h.nR {
+			rec = h.alg.ReaderRecover(p, pid)
+		} else {
+			rec = h.alg.WriterRecover(p, pid-h.nR)
+		}
+		switch rec {
+		case memmodel.RecoverCS:
+			p.Section(memmodel.SecCS)
+			h.csBody(p, pid)
+			p.Section(memmodel.SecExit)
+			h.exit(p, pid)
+			p.Section(memmodel.SecRemainder)
+			h.counts[pid]++
+		case memmodel.RecoverDone:
+			p.Section(memmodel.SecRemainder)
+			h.counts[pid]++
+		case memmodel.RecoverAbort:
+			p.Section(memmodel.SecRemainder)
+		}
+		for h.counts[pid] < h.passages {
+			h.passage(p, pid)
+		}
+	}
+}
+
+// complete reports whether every process finished all its passages.
+func (h *recHarness) complete() bool {
+	for _, c := range h.counts {
+		if c != h.passages {
+			return false
+		}
+	}
+	return true
+}
+
+// crashRestart steps `after` times, then crashes victim and immediately
+// restarts it with the recovery program. It reports false if the victim
+// finished first.
+func (h *recHarness) crashRestart(t *testing.T, victim, after int) bool {
+	t.Helper()
+	for i := 0; i < after; i++ {
+		progressed, err := h.r.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if !progressed {
+			break
+		}
+	}
+	if !h.r.Alive(victim) {
+		return false
+	}
+	if err := h.r.Crash(victim); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	// A crash in the CS leaves the victim's mark set for its successor.
+	if err := h.r.Restart(victim, h.recoveryProg(victim)); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	return true
+}
+
+// referenceSteps runs the crash-free execution to completion and returns
+// its step count.
+func referenceSteps(t *testing.T, build func() memmodel.RecoverableAlgorithm, nR, nW, passages int, seed int64) int {
+	t.Helper()
+	h := newRecHarness(t, build(), nR, nW, passages, seed)
+	defer h.r.Close()
+	if err := h.r.Run(); err != nil {
+		t.Fatalf("reference Run: %v", err)
+	}
+	if h.violations != 0 || !h.complete() {
+		t.Fatalf("reference run broken: %d violations, complete=%v", h.violations, h.complete())
+	}
+	return h.r.StepCount()
+}
+
+// sweepRecoverable crashes `victim` at every `stride`-th step of the
+// execution (plus optionally a second crash of the same victim shortly
+// after its restart) and requires zero ME violations and full passage
+// completion in every configuration.
+func sweepRecoverable(t *testing.T, build func() memmodel.RecoverableAlgorithm, nR, nW, passages int, seed int64, victim, stride int, recrash bool) {
+	t.Helper()
+	steps := referenceSteps(t, build, nR, nW, passages, seed)
+	applied := 0
+	for k := 0; k <= steps; k += stride {
+		seconds := []int{-1}
+		if recrash {
+			seconds = []int{0, 1, 2, 3}
+		}
+		for _, j := range seconds {
+			h := newRecHarness(t, build(), nR, nW, passages, seed)
+			if !h.crashRestart(t, victim, k) {
+				h.r.Close()
+				continue
+			}
+			if j >= 0 {
+				h.crashRestart(t, victim, j)
+			}
+			if err := h.r.Run(); err != nil {
+				t.Fatalf("victim=%d crash=%d second=%d: Run: %v", victim, k, j, err)
+			}
+			if h.violations != 0 {
+				t.Errorf("victim=%d crash=%d second=%d: %d ME violations", victim, k, j, h.violations)
+			}
+			if !h.complete() {
+				t.Errorf("victim=%d crash=%d second=%d: incomplete passages %v", victim, k, j, h.counts)
+			}
+			applied++
+			h.r.Close()
+		}
+	}
+	if applied == 0 {
+		t.Fatal("sweep never applied a crash")
+	}
+}
+
+func buildCentralized() memmodel.RecoverableAlgorithm { return NewCentralized() }
+func buildAFLog() memmodel.RecoverableAlgorithm       { return NewAF(core.FLog) }
+func buildAFOne() memmodel.RecoverableAlgorithm       { return NewAF(core.FOne) }
+
+func TestCentralizedNoCrash(t *testing.T) {
+	for _, seed := range []int64{1, 5, 9} {
+		h := newRecHarness(t, NewCentralized(), 3, 2, 3, seed)
+		if err := h.r.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if h.violations != 0 || !h.complete() {
+			t.Errorf("seed %d: %d violations, complete=%v", seed, h.violations, h.complete())
+		}
+		h.r.Close()
+	}
+}
+
+func TestAFNoCrash(t *testing.T) {
+	for _, build := range []func() memmodel.RecoverableAlgorithm{buildAFLog, buildAFOne} {
+		for _, seed := range []int64{2, 7} {
+			h := newRecHarness(t, build(), 4, 2, 2, seed)
+			if err := h.r.Run(); err != nil {
+				t.Fatalf("%s seed %d: Run: %v", h.alg.Name(), seed, err)
+			}
+			if h.violations != 0 || !h.complete() {
+				t.Errorf("%s seed %d: %d violations, complete=%v", h.alg.Name(), seed, h.violations, h.complete())
+			}
+			h.r.Close()
+		}
+	}
+}
+
+func TestCentralizedCrashSweepReader(t *testing.T) {
+	sweepRecoverable(t, buildCentralized, 2, 1, 2, 3, 0, 1, false)
+}
+
+func TestCentralizedCrashSweepWriter(t *testing.T) {
+	sweepRecoverable(t, buildCentralized, 2, 2, 2, 3, 2, 1, false)
+}
+
+func TestCentralizedRecrashRecovery(t *testing.T) {
+	sweepRecoverable(t, buildCentralized, 2, 2, 2, 3, 2, 2, true)
+}
+
+func TestAFCrashSweepReader(t *testing.T) {
+	sweepRecoverable(t, buildAFLog, 3, 1, 2, 11, 0, 3, false)
+}
+
+func TestAFCrashSweepWriter(t *testing.T) {
+	sweepRecoverable(t, buildAFLog, 3, 2, 2, 11, 3, 3, false)
+}
+
+func TestAFRecrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic sweep")
+	}
+	sweepRecoverable(t, buildAFLog, 2, 2, 2, 11, 2, 5, true)
+	sweepRecoverable(t, buildAFOne, 2, 2, 2, 11, 0, 5, true)
+}
+
+func TestCentralizedInitLimits(t *testing.T) {
+	r := sim.New(sim.Config{})
+	if err := NewCentralized().Init(r, 49, 1); err == nil {
+		t.Error("Init with 49 readers did not error")
+	}
+	r2 := sim.New(sim.Config{})
+	if err := NewCentralized().Init(r2, 1, 40000); err == nil {
+		t.Error("Init with 40000 writers did not error")
+	}
+}
+
+func TestAFInitTwice(t *testing.T) {
+	r := sim.New(sim.Config{})
+	a := NewAF(core.FLog)
+	if err := a.Init(r, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Init(r, 2, 1); err == nil {
+		t.Error("second Init did not error")
+	}
+}
+
+// TestNames pins the registry-facing names.
+func TestNames(t *testing.T) {
+	if got := NewCentralized().Name(); got != "r-centralized" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewAF(core.FLog).Name(); got != "r-af-log" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -23,9 +23,14 @@ func (p Passage) RMR() int { return p.EntryRMR + p.CSRMR + p.ExitRMR }
 func (p Passage) Steps() int { return p.EntrySteps + p.CSSteps + p.ExitSteps }
 
 // Account accumulates per-process cost attribution for one execution.
+// Under the crash-recovery failure model each incarnation of a process gets
+// its own account (see Runner.Restart); Incarnation tells them apart.
 type Account struct {
 	// Proc is the process id the account belongs to.
 	Proc int
+	// Incarnation is the incarnation number the account covers: 0 for the
+	// process admitted at Start, incremented by every Restart.
+	Incarnation int
 	// TotalRMR counts all RMRs the process incurred.
 	TotalRMR int
 	// TotalSteps counts all shared-memory steps the process took.
@@ -43,8 +48,8 @@ type Account struct {
 	section memmodel.Section
 }
 
-func newAccount(proc int) *Account {
-	return &Account{Proc: proc, section: memmodel.SecRemainder}
+func newAccount(proc, incarnation int) *Account {
+	return &Account{Proc: proc, Incarnation: incarnation, section: memmodel.SecRemainder}
 }
 
 // recordStep attributes one executed step to the current section.
@@ -83,7 +88,12 @@ func (a *Account) transition(s memmodel.Section) {
 	if s == a.section {
 		return
 	}
-	if s == memmodel.SecEntry && !a.inPass {
+	// A passage normally opens at its entry section. A restarted
+	// incarnation whose recovery section completed the interrupted entry
+	// transitions straight from SecRecover to SecCS; that resumed passage
+	// opens at the CS (with zero entry cost — the recovery section's costs
+	// are accounted under SecRecover, not per passage).
+	if (s == memmodel.SecEntry || s == memmodel.SecCS) && !a.inPass {
 		a.open = Passage{}
 		a.inPass = true
 	}

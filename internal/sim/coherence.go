@@ -133,6 +133,23 @@ func (c *coherence) read(p int, v memmodel.Var) bool {
 	}
 }
 
+// restart drops every cached copy process p holds, modeling the cold cache
+// of a restarted incarnation: its first access to each variable is a miss.
+// Values are never lost — the simulator's memory array is always current —
+// so demoting a write-back exclusive copy needs no write-back step. No-op
+// under DSM, which has no caches.
+func (c *coherence) restart(p int) {
+	if c.protocol == DSM {
+		return
+	}
+	for v := range c.sharers {
+		c.sharers[v].Remove(p)
+		if c.owner[v] == int32(p) {
+			c.owner[v] = -1
+		}
+	}
+}
+
 // write applies the coherence transition for a value-changing step on v by
 // p and reports whether it incurs an RMR. All other cached copies are
 // invalidated.

@@ -107,12 +107,13 @@ type response struct {
 }
 
 type procState struct {
-	id      int
-	prog    Program
-	req     chan request
-	resp    chan response
-	status  procStatus
-	pending request
+	id          int
+	incarnation int
+	prog        Program
+	req         chan request
+	resp        chan response
+	status      procStatus
+	pending     request
 }
 
 // Runner owns one simulated execution. It implements memmodel.Allocator
@@ -126,6 +127,9 @@ type Runner struct {
 	coh   *coherence
 	procs []*procState
 	accts []*Account
+	// acctHist[id] holds the accounts of id's dead incarnations, oldest
+	// first; accts[id] is always the current incarnation's account.
+	acctHist [][]*Account
 
 	started  bool
 	steps    int
@@ -197,7 +201,7 @@ func (r *Runner) AddProc(prog Program) int {
 		req:  make(chan request),
 		resp: make(chan response),
 	})
-	r.accts = append(r.accts, newAccount(id))
+	r.accts = append(r.accts, newAccount(id, 0))
 	return id
 }
 
@@ -217,8 +221,24 @@ func (r *Runner) Value(v memmodel.Var) uint64 { return r.mem[v] }
 // StepCount returns the number of shared-memory steps executed so far.
 func (r *Runner) StepCount() int { return r.steps }
 
-// Account returns the cost account of process id.
+// Account returns the cost account of process id's current incarnation.
 func (r *Runner) Account(id int) *Account { return r.accts[id] }
+
+// AccountsOf returns every incarnation's account for process id, oldest
+// first (the last element is the current incarnation's account). Without
+// restarts it is a one-element slice.
+func (r *Runner) AccountsOf(id int) []*Account {
+	if len(r.acctHist) == 0 || len(r.acctHist[id]) == 0 {
+		return []*Account{r.accts[id]}
+	}
+	out := make([]*Account, 0, len(r.acctHist[id])+1)
+	out = append(out, r.acctHist[id]...)
+	return append(out, r.accts[id])
+}
+
+// Incarnation returns process id's current incarnation number: 0 until the
+// first Restart, then incremented per restart.
+func (r *Runner) Incarnation(id int) int { return r.procs[id].incarnation }
 
 // Protocol returns the coherence protocol in effect.
 func (r *Runner) Protocol() Protocol { return r.cfg.Protocol }
@@ -231,24 +251,29 @@ func (r *Runner) Start() error {
 	}
 	r.started = true
 	r.coh = newCoherence(r.cfg.Protocol, len(r.procs), len(r.mem), r.homes)
+	r.acctHist = make([][]*Account, len(r.procs))
 	for _, ps := range r.procs {
-		ps := ps
-		r.wg.Add(1)
-		go func() {
-			defer r.wg.Done()
-			defer close(ps.req)
-			defer func() {
-				if v := recover(); v != nil && v != errAborted { //nolint:errorlint // sentinel identity
-					panic(v)
-				}
-			}()
-			ps.prog(&simProc{r: r, ps: ps})
-		}()
+		r.launch(ps)
 	}
 	for _, ps := range r.procs {
 		r.settle(ps)
 	}
 	return nil
+}
+
+// launch starts the goroutine running ps's program.
+func (r *Runner) launch(ps *procState) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(ps.req)
+		defer func() {
+			if v := recover(); v != nil && v != errAborted { //nolint:errorlint // sentinel identity
+				panic(v)
+			}
+		}()
+		ps.prog(&simProc{r: r, ps: ps})
+	}()
 }
 
 // Close aborts any still-running process goroutines and waits for them to
@@ -304,12 +329,13 @@ func (r *Runner) Done() bool { return r.nDone == len(r.procs) }
 // crash-stopped by the driver.
 func (r *Runner) Terminated() bool { return r.nDone+r.nCrashed == len(r.procs) }
 
-// Crash kills process id in the crash-stop failure model: the process takes
-// no further shared-memory steps, forever, regardless of its current state
-// (poised, awaiting, or at a barrier). Its writes so far remain visible —
-// crash-stop removes future steps only. Crashing a process that already
-// finished, or crashing twice, is an error. Recovery is out of scope (see
-// DESIGN.md, "Fault model").
+// Crash kills process id: the process takes no further shared-memory
+// steps, regardless of its current state (poised, awaiting, or at a
+// barrier). Its writes so far remain visible — a crash removes future
+// steps only. Crashing a process that already finished, or crashing twice,
+// is an error. Under the crash-stop model the process stays dead forever;
+// under the crash-recovery model a driver later re-admits it with Restart
+// (see DESIGN.md, "Fault model" and "Crash-recovery model").
 func (r *Runner) Crash(id int) error {
 	if id < 0 || id >= len(r.procs) {
 		return fmt.Errorf("sim: Crash(%d): no such process", id)
@@ -323,6 +349,52 @@ func (r *Runner) Crash(id int) error {
 	}
 	ps.status = statusCrashed
 	r.nCrashed++
+	return nil
+}
+
+// Restart re-admits crashed process id as a fresh incarnation running prog
+// (typically a recovery section followed by the process's remaining work).
+// The incarnation number increments, a fresh cost account opens (the dead
+// incarnation's account moves to AccountsOf history), and the new
+// incarnation starts with no cached copies: its first access to every
+// variable is a miss, exactly as the crash-recovery model prescribes for a
+// process whose local state was lost.
+//
+// The dead incarnation's goroutine stays parked at its interrupted
+// operation until Close; it takes no further steps and its program's
+// remaining effects never happen. Restarting a process that is alive or
+// finished is an error.
+//
+// A pending restart is progress potential: after Step returns a
+// *NoProgressError (the watchdog's wedge verdict), the runner remains
+// usable — a driver holding a scheduled restart applies it and resumes
+// stepping, which is how fault.DriveRecover turns crash-stop wedges into
+// recovery opportunities.
+func (r *Runner) Restart(id int, prog Program) error {
+	if !r.started {
+		return errors.New("sim: Restart before Start")
+	}
+	if id < 0 || id >= len(r.procs) {
+		return fmt.Errorf("sim: Restart(%d): no such process", id)
+	}
+	old := r.procs[id]
+	if old.status != statusCrashed {
+		return fmt.Errorf("sim: Restart(%d): process is not crashed", id)
+	}
+	ps := &procState{
+		id:          id,
+		incarnation: old.incarnation + 1,
+		prog:        prog,
+		req:         make(chan request),
+		resp:        make(chan response),
+	}
+	r.procs[id] = ps
+	r.acctHist[id] = append(r.acctHist[id], r.accts[id])
+	r.accts[id] = newAccount(id, ps.incarnation)
+	r.coh.restart(id)
+	r.nCrashed--
+	r.launch(ps)
+	r.settle(ps)
 	return nil
 }
 

@@ -146,11 +146,28 @@ func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 			return nil, fmt.Errorf("crash sweep: reference run of %s (seed %d) failed: %s",
 				rep.Algorithm, seed, rep.Failures())
 		}
-		for _, pt := range fault.RandomPoints(seed, victims, rep.Steps+1, perSeed) {
+		for _, pt := range dedupPoints(fault.RandomPoints(seed, victims, rep.Steps+1, perSeed)) {
 			run := sc
 			run.Scheduler = mkSched(seed)
 			outs = append(outs, RunCrash(newAlg(), run, pt))
 		}
 	}
 	return outs, nil
+}
+
+// dedupPoints drops duplicate sampled crash points, keeping first
+// occurrences in draw order. Under a fixed scheduler seed a duplicate
+// point re-runs the identical execution, which would double-count its
+// outcome in the sweep's tallies.
+func dedupPoints(pts []fault.Point) []fault.Point {
+	seen := make(map[fault.Point]bool, len(pts))
+	out := pts[:0]
+	for _, pt := range pts {
+		if seen[pt] {
+			continue
+		}
+		seen[pt] = true
+		out = append(out, pt)
+	}
+	return out
 }

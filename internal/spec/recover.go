@@ -1,0 +1,353 @@
+// Crash-recovery property: under the crash-recovery failure model (see
+// internal/fault), crashing a process at an arbitrary step boundary and
+// restarting it as a fresh incarnation must preserve Mutual Exclusion
+// across incarnations AND liveness: every process — survivor or restarted
+// — completes all its passages. This is strictly stronger than the
+// crash-stop sweep's safety-only check, and only algorithms implementing
+// memmodel.RecoverableAlgorithm can pass it. The harness also measures the
+// recovery section's RMR cost, the quantity Chan & Woelfel's RME lower
+// bounds speak to.
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RecoverOutcome is the result of one crash-recovery execution.
+type RecoverOutcome struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Scenario echoes the input.
+	Scenario Scenario
+	// Points echoes the injected restart points.
+	Points []fault.RestartPoint
+	// Events reports what each point did (crash section, restart step).
+	Events []fault.RecoverEvent
+	// Crashes and Restarts count the applied events.
+	Crashes, Restarts int
+	// Recoveries lists the recovery verdicts returned by the restarted
+	// incarnations' ReaderRecover/WriterRecover calls, in completion order.
+	// An incarnation whose recovery section was itself crashed contributes
+	// no verdict (its successor does).
+	Recoveries []memmodel.Recovery
+	// MEViolations lists Mutual Exclusion violations across the whole
+	// execution, incarnations included. Must always be empty.
+	MEViolations []string
+	// Incomplete lists processes that failed to complete their passage
+	// quota. Must always be empty: recovery makes liveness a pass/fail
+	// axis, unlike the crash-stop sweep.
+	Incomplete []string
+	// Steps is the execution's total step count.
+	Steps int
+	// RecoveryRMR and RecoverySteps total the cost incurred inside
+	// recovery sections, across all processes and incarnations.
+	RecoveryRMR, RecoverySteps int
+	// Hung reports that the watchdog detected global non-progress even
+	// after all pending restarts were applied.
+	Hung bool
+	// Stuck is the watchdog's diagnostic when Hung.
+	Stuck []sim.StuckProc
+	// BudgetExceeded reports that the run hit the step budget. Must never
+	// happen: every wait is a local-spin Await, so a hang is caught
+	// deterministically by the watchdog instead.
+	BudgetExceeded bool
+	// Err holds any other execution error (setup failure etc).
+	Err error
+}
+
+// OK reports whether the execution was safe AND live: no ME violations,
+// full passage completion, no hang, no budget hit, no error.
+func (o *RecoverOutcome) OK() bool {
+	return len(o.MEViolations) == 0 && len(o.Incomplete) == 0 &&
+		!o.Hung && !o.BudgetExceeded && o.Err == nil
+}
+
+// CrashedInRecovery reports whether any crash landed inside a recovery
+// section — the re-crashed-recovery configuration the acceptance gate
+// requires at least one of.
+func (o *RecoverOutcome) CrashedInRecovery() bool {
+	for _, e := range o.Events {
+		if e.Crashed && e.CrashSection == memmodel.SecRecover {
+			return true
+		}
+	}
+	return false
+}
+
+// Failures renders all problems as one string.
+func (o *RecoverOutcome) Failures() string {
+	s := ""
+	for _, v := range o.MEViolations {
+		s += v + "\n"
+	}
+	for _, v := range o.Incomplete {
+		s += v + "\n"
+	}
+	if o.Hung {
+		s += fmt.Sprintf("hung with %d stuck processes after recovery\n", len(o.Stuck))
+	}
+	if o.BudgetExceeded {
+		s += "step budget exceeded\n"
+	}
+	if o.Err != nil {
+		s += o.Err.Error() + "\n"
+	}
+	return s
+}
+
+// RunCrashRecover executes the scenario against a fresh alg under the
+// crash-recovery model: each restart point crashes its victim and
+// re-admits it after the point's delay with a recovery program (recovery
+// section, the verdict's continuation, then the victim's remaining
+// passages). Passage quotas are tracked per process across incarnations,
+// so a restarted process finishes exactly the passages its dead
+// incarnations did not.
+func RunCrashRecover(alg memmodel.RecoverableAlgorithm, sc Scenario, pts []fault.RestartPoint) *RecoverOutcome {
+	sc.defaults()
+	out := &RecoverOutcome{Algorithm: alg.Name(), Scenario: sc, Points: pts}
+	mon := newCSMonitor(sc.NReaders)
+	observe := mon.observe
+	if sc.Observer != nil {
+		user := sc.Observer
+		observe = func(e trace.Event) {
+			mon.observe(e)
+			user(e)
+		}
+	}
+	r := sim.New(sim.Config{
+		Protocol:  sc.Protocol,
+		Scheduler: sc.Scheduler,
+		MaxSteps:  sc.MaxSteps,
+		Observer:  observe,
+	})
+	defer r.Close()
+
+	if err := alg.Init(r, sc.NReaders, sc.NWriters); err != nil {
+		out.Err = fmt.Errorf("init: %w", err)
+		return out
+	}
+	scratch := r.Alloc("spec.scratch", 0)
+
+	total := sc.NReaders + sc.NWriters
+	counts := make([]int, total)
+	quota := func(pid int) int {
+		if pid < sc.NReaders {
+			return sc.ReaderPassages
+		}
+		return sc.WriterPassages
+	}
+	enter := func(p sim.Proc, pid int) {
+		if pid < sc.NReaders {
+			alg.ReaderEnter(p, pid)
+		} else {
+			alg.WriterEnter(p, pid-sc.NReaders)
+		}
+	}
+	exit := func(p sim.Proc, pid int) {
+		if pid < sc.NReaders {
+			alg.ReaderExit(p, pid)
+		} else {
+			alg.WriterExit(p, pid-sc.NReaders)
+		}
+	}
+	csBody := func(p sim.Proc) {
+		for k := 0; k < sc.CSReads; k++ {
+			p.Read(scratch)
+		}
+	}
+	passage := func(p sim.Proc, pid int) {
+		p.Section(memmodel.SecEntry)
+		enter(p, pid)
+		p.Section(memmodel.SecCS)
+		csBody(p)
+		p.Section(memmodel.SecExit)
+		exit(p, pid)
+		p.Section(memmodel.SecRemainder)
+		counts[pid]++
+	}
+	for pid := 0; pid < total; pid++ {
+		pid := pid
+		r.AddProc(func(p sim.Proc) {
+			for counts[pid] < quota(pid) {
+				passage(p, pid)
+			}
+		})
+	}
+	if err := r.Start(); err != nil {
+		out.Err = err
+		return out
+	}
+
+	// recoveryProg is what a restarted incarnation runs: recovery section,
+	// the verdict's continuation (finish the interrupted CS and exit, just
+	// the bookkeeping of a completed passage, or nothing for a rollback),
+	// then the remaining passage quota.
+	recoveryProg := func(victim int) sim.Program {
+		return func(p sim.Proc) {
+			p.Section(memmodel.SecRecover)
+			var rec memmodel.Recovery
+			if victim < sc.NReaders {
+				rec = alg.ReaderRecover(p, victim)
+			} else {
+				rec = alg.WriterRecover(p, victim-sc.NReaders)
+			}
+			out.Recoveries = append(out.Recoveries, rec)
+			switch rec {
+			case memmodel.RecoverCS:
+				p.Section(memmodel.SecCS)
+				csBody(p)
+				p.Section(memmodel.SecExit)
+				exit(p, victim)
+				p.Section(memmodel.SecRemainder)
+				counts[victim]++
+			case memmodel.RecoverDone:
+				p.Section(memmodel.SecRemainder)
+				counts[victim]++
+			case memmodel.RecoverAbort:
+				p.Section(memmodel.SecRemainder)
+			}
+			for counts[victim] < quota(victim) {
+				passage(p, victim)
+			}
+		}
+	}
+
+	events, err := fault.DriveRecover(r, pts, recoveryProg)
+	out.Events = events
+	for _, e := range events {
+		if e.Crashed {
+			out.Crashes++
+		}
+		if e.Restarted {
+			out.Restarts++
+		}
+	}
+	out.Steps = r.StepCount()
+	out.MEViolations = mon.violations
+
+	var np *sim.NoProgressError
+	switch {
+	case err == nil:
+	case errors.As(err, &np):
+		out.Hung = true
+		out.Stuck = np.Stuck
+	case errors.Is(err, sim.ErrMaxSteps):
+		out.BudgetExceeded = true
+	default:
+		out.Err = err
+	}
+
+	for pid := 0; pid < total; pid++ {
+		if counts[pid] != quota(pid) {
+			class, id := "reader r", pid
+			if pid >= sc.NReaders {
+				class, id = "writer w", pid-sc.NReaders
+			}
+			out.Incomplete = append(out.Incomplete, fmt.Sprintf(
+				"%s%d completed %d/%d passages across %d incarnation(s)",
+				class, id, counts[pid], quota(pid), r.Incarnation(pid)+1))
+		}
+		for _, acct := range r.AccountsOf(pid) {
+			out.RecoveryRMR += acct.SectionRMR[memmodel.SecRecover]
+			out.RecoverySteps += acct.SectionSteps[memmodel.SecRecover]
+		}
+	}
+	return out
+}
+
+// RecoverySweep runs the scenario once crash-free to learn its length,
+// then re-executes it from scratch for every crash point of the victim,
+// restarting the victim delay steps after each crash. newAlg must return
+// fresh instances and mkSched fresh scheduler state per run; a nil mkSched
+// selects round-robin. The Scenario's Scheduler field is ignored.
+func RecoverySweep(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, victim, delay int, mkSched func() sched.Scheduler) ([]*RecoverOutcome, error) {
+	if mkSched == nil {
+		mkSched = func() sched.Scheduler { return sched.NewRoundRobin() }
+	}
+	ref := sc
+	ref.Scheduler = mkSched()
+	refOut := RunCrashRecover(newAlg(), ref, nil)
+	if !refOut.OK() {
+		return nil, fmt.Errorf("recovery sweep: reference run of %s failed: %s",
+			refOut.Algorithm, refOut.Failures())
+	}
+	outs := make([]*RecoverOutcome, 0, refOut.Steps+1)
+	for k := 0; k <= refOut.Steps; k++ {
+		run := sc
+		run.Scheduler = mkSched()
+		outs = append(outs, RunCrashRecover(newAlg(), run,
+			[]fault.RestartPoint{{Victim: victim, Step: k, Delay: delay}}))
+	}
+	return outs, nil
+}
+
+// RecoverySweepRecrash sweeps double-crash configurations: the victim is
+// crashed at every stride-th boundary and restarted immediately, then
+// crashed AGAIN offset steps later — for small offsets the second crash
+// lands inside the recovery section, exercising re-crashed recovery. The
+// victim's third incarnation must finish the repair.
+func RecoverySweepRecrash(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, victim, stride int, offsets []int, mkSched func() sched.Scheduler) ([]*RecoverOutcome, error) {
+	if mkSched == nil {
+		mkSched = func() sched.Scheduler { return sched.NewRoundRobin() }
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	ref := sc
+	ref.Scheduler = mkSched()
+	refOut := RunCrashRecover(newAlg(), ref, nil)
+	if !refOut.OK() {
+		return nil, fmt.Errorf("recovery sweep: reference run of %s failed: %s",
+			refOut.Algorithm, refOut.Failures())
+	}
+	var outs []*RecoverOutcome
+	for k := 0; k <= refOut.Steps; k += stride {
+		for _, off := range offsets {
+			if off < 1 {
+				// A same-step second point fires while the victim is still
+				// dead and is skipped; only strictly-later offsets re-crash.
+				continue
+			}
+			run := sc
+			run.Scheduler = mkSched()
+			outs = append(outs, RunCrashRecover(newAlg(), run, []fault.RestartPoint{
+				{Victim: victim, Step: k, Delay: 0},
+				{Victim: victim, Step: k + off, Delay: 0},
+			}))
+		}
+	}
+	return outs, nil
+}
+
+// RecoverySweepSampled samples restart points under seed-parameterized
+// schedules, deduplicated per seed like CrashSweepSampled. mkSched builds
+// the scheduler for a seed; nil selects sched.NewRandom.
+func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, victims []int, seeds []int64, perSeed, delay int, mkSched func(seed int64) sched.Scheduler) ([]*RecoverOutcome, error) {
+	if mkSched == nil {
+		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
+	}
+	var outs []*RecoverOutcome
+	for _, seed := range seeds {
+		ref := sc
+		ref.Scheduler = mkSched(seed)
+		refOut := RunCrashRecover(newAlg(), ref, nil)
+		if !refOut.OK() {
+			return nil, fmt.Errorf("recovery sweep: reference run of %s (seed %d) failed: %s",
+				refOut.Algorithm, seed, refOut.Failures())
+		}
+		for _, pt := range dedupPoints(fault.RandomPoints(seed, victims, refOut.Steps+1, perSeed)) {
+			run := sc
+			run.Scheduler = mkSched(seed)
+			outs = append(outs, RunCrashRecover(newAlg(), run,
+				[]fault.RestartPoint{{Victim: pt.Victim, Step: pt.Step, Delay: delay}}))
+		}
+	}
+	return outs, nil
+}
