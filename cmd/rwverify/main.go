@@ -19,9 +19,16 @@
 // restarted incarnations alike — including at least one configuration
 // that crashes a recovery section itself.
 //
+// With -stall it additionally runs experiment E15: the exhaustive
+// fail-slow sweep (pause one reader / one writer at every step boundary,
+// finitely and forever), the readers-only Concurrent-Entering liveness
+// axis with its mutex-rw negative control, and the sampled crash+stall
+// mixed sweep. It fails on any liveness-contract violation, watchdog
+// misattribution, or bypass-budget breach.
+//
 // Usage:
 //
-//	rwverify [-seeds 1,2,3,4,5] [-crash] [-recover]
+//	rwverify [-seeds 1,2,3,4,5] [-crash] [-recover] [-stall]
 package main
 
 import (
@@ -37,10 +44,11 @@ func main() {
 	seedsFlag := flag.String("seeds", "1,2,3,4,5", "comma-separated scheduler seeds")
 	crashFlag := flag.Bool("crash", false, "also run the E13 crash-stop sweep and abort-cost tables")
 	recoverFlag := flag.Bool("recover", false, "also run the E14 crash-recovery sweep")
+	stallFlag := flag.Bool("stall", false, "also run the E15 fail-slow (stall) sweeps")
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
 
-	code, err := run(*seedsFlag, *crashFlag, *recoverFlag)
+	code, err := run(*seedsFlag, *crashFlag, *recoverFlag, *stallFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rwverify:", err)
 		os.Exit(1)
@@ -48,7 +56,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(seedList string, crash, recovery bool) (int, error) {
+func run(seedList string, crash, recovery, stall bool) (int, error) {
 	seeds, err := cliutil.ParseSeeds(seedList)
 	if err != nil {
 		return 1, err
@@ -76,6 +84,13 @@ func run(seedList string, crash, recovery bool) (int, error) {
 	}
 	if recovery {
 		if bad, err := runRecover(); err != nil {
+			return 1, err
+		} else if bad {
+			failed = true
+		}
+	}
+	if stall {
+		if bad, err := runStall(); err != nil {
 			return 1, err
 		} else if bad {
 			failed = true
@@ -182,6 +197,83 @@ func runRecover() (failed bool, err error) {
 	}
 	if !failed {
 		fmt.Println("crash-recovery sweep: all incarnations safe, all passages completed")
+	}
+	return failed, nil
+}
+
+// runStall prints the E15 tables and returns whether the fail-slow gate
+// failed. The experiments themselves enforce the hard axes (the
+// section-sensitive liveness contract, the bypass budget, the
+// Concurrent-Entering claims and the mutex-rw negative control), so a
+// violation surfaces as an error; the per-row re-checks below guard
+// against the aggregation going stale.
+func runStall() (failed bool, err error) {
+	fmt.Println("E15: fail-slow stall sweep (n=2, m=2, 2 passages, round-robin; every boundary, finite + forever)")
+	rows, table, err := experiments.E15StallSweep()
+	if err != nil {
+		return false, err
+	}
+	fmt.Println(table)
+	for _, r := range rows {
+		if r.MEViol > 0 {
+			fmt.Printf("FAIL: %s: stall of %s in %s broke mutual exclusion (%d violations)\n",
+				r.Alg, r.Victim, r.Section, r.MEViol)
+			failed = true
+		}
+		if r.Budget > 0 {
+			fmt.Printf("FAIL: %s: %d hangs escaped the watchdog (step-budget timeout)\n", r.Alg, r.Budget)
+			failed = true
+		}
+		if r.Misclass > 0 {
+			fmt.Printf("FAIL: %s: %d watchdog misattributions under stalls of %s in %s\n",
+				r.Alg, r.Misclass, r.Victim, r.Section)
+			failed = true
+		}
+		if r.FinOK != r.FinPoints {
+			fmt.Printf("FAIL: %s: finite stall of %s in %s wedged the execution (%d/%d complete)\n",
+				r.Alg, r.Victim, r.Section, r.FinOK, r.FinPoints)
+			failed = true
+		}
+		if r.Section == "remainder" && r.SurvLive != r.InfPoints {
+			fmt.Printf("FAIL: %s: remainder-section stall of %s wedged survivors (%d/%d live)\n",
+				r.Alg, r.Victim, r.SurvLive, r.InfPoints)
+			failed = true
+		}
+	}
+
+	fmt.Println("E15: reader liveness under an in-CS reader stall (readers-only; mutex-rw is the negative control)")
+	readerRows, readerTable, err := experiments.E15ReaderLiveness()
+	if err != nil {
+		return false, err
+	}
+	fmt.Println(readerTable)
+	for _, r := range readerRows {
+		if r.ClaimsCE && r.SiblingsLive != r.InCSPoints {
+			fmt.Printf("FAIL: %s: claims Concurrent Entering but %d/%d in-CS stalls doomed sibling readers\n",
+				r.Alg, r.DoomedReaders, r.InCSPoints)
+			failed = true
+		}
+		if r.Alg == "mutex-rw" && r.DoomedReaders == 0 {
+			fmt.Println("FAIL: mutex-rw negative control doomed no readers; the gate cannot detect busy-waiting on a stalled victim")
+			failed = true
+		}
+	}
+	fmt.Println("negative control confirmed: mutex-rw readers wedge behind a stalled in-CS holder; all Concurrent-Entering claimants stay live")
+
+	fmt.Println("E15: sampled crash+stall mixed sweep (one crash victim + one stall victim per run)")
+	mixedRows, mixedTable, err := experiments.E15MixedSweep()
+	if err != nil {
+		return false, err
+	}
+	fmt.Println(mixedTable)
+	for _, r := range mixedRows {
+		if r.MEViol > 0 || r.Budget > 0 || r.Misclass > 0 {
+			fmt.Printf("FAIL: %s: mixed sweep me=%d budget=%d misclass=%d\n", r.Alg, r.MEViol, r.Budget, r.Misclass)
+			failed = true
+		}
+	}
+	if !failed {
+		fmt.Println("fail-slow sweep: every delay safe, every wedge attributed, bypass within budget")
 	}
 	return failed, nil
 }

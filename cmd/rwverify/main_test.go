@@ -23,7 +23,7 @@ func capture(t *testing.T, fn func() (int, error)) (string, int, error) {
 }
 
 func TestRunPasses(t *testing.T) {
-	out, code, err := capture(t, func() (int, error) { return run("1,2", false, false) })
+	out, code, err := capture(t, func() (int, error) { return run("1,2", false, false, false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestRunPasses(t *testing.T) {
 }
 
 func TestRunBadSeeds(t *testing.T) {
-	_, code, err := capture(t, func() (int, error) { return run("nope", false, false) })
+	_, code, err := capture(t, func() (int, error) { return run("nope", false, false, false) })
 	if err == nil || code == 0 {
 		t.Error("bad seeds accepted")
 	}
@@ -50,7 +50,7 @@ func TestRunCrashSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("crash sweep is a full exhaustive enumeration")
 	}
-	out, code, err := capture(t, func() (int, error) { return run("1", true, false) })
+	out, code, err := capture(t, func() (int, error) { return run("1", true, false, false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestRunRecoverSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("recovery sweep is a full exhaustive enumeration")
 	}
-	out, code, err := capture(t, func() (int, error) { return run("1", false, true) })
+	out, code, err := capture(t, func() (int, error) { return run("1", false, true, false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,5 +95,36 @@ func TestRunRecoverSweep(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Errorf("recovery sweep reported failures:\n%s", out)
+	}
+}
+
+// TestRunStallSweep exercises the full -stall path: the E15 tables must
+// print, the liveness gates must pass, and the negative control must be
+// confirmed.
+func TestRunStallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall sweep is a full exhaustive enumeration")
+	}
+	out, code, err := capture(t, func() (int, error) { return run("1", false, false, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"E15: fail-slow stall sweep", "stall section", "max rd byp",
+		"E15: reader liveness", "doomed readers",
+		"negative control confirmed",
+		"E15: sampled crash+stall mixed sweep",
+		"fail-slow sweep: every delay safe, every wedge attributed, bypass within budget",
+		"all claimed properties hold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("stall sweep reported failures:\n%s", out)
 	}
 }

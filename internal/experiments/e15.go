@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/spec"
+	"repro/internal/tablefmt"
+)
+
+// E15 characterizes robustness under the fail-slow model (DESIGN.md
+// "Fault model", §4c): E15StallSweep exhaustively pauses one reader and
+// one writer at every step boundary of a small workload — each boundary
+// once with a finite delay longer than the whole execution and once
+// forever — and aggregates, per stall section, whether the survivors
+// stayed live, were doomed by busy-waiting on the victim, and how often a
+// waiting process was overtaken (bypass) while the victim was slow.
+// E15ReaderLiveness is the Concurrent-Entering axis on a readers-only
+// workload: algorithms with genuine reader concurrency must keep sibling
+// readers live when one reader stalls forever inside the CS, while
+// mutex-rw — readers serialized through its tournament mutex — is the
+// negative control that must demonstrably fail. E15MixedSweep samples the
+// combined crash+stall model and holds the safety axes.
+
+// E15StallRow aggregates the sweep outcomes for one (algorithm, victim
+// class, stall section) cell.
+type E15StallRow struct {
+	Alg string
+	// Victim is "reader" or "writer".
+	Victim string
+	// Section names the section the victim occupied when it stalled.
+	Section string
+	// FinPoints counts finite-delay points in that section; FinOK those
+	// whose execution completed in full (must be all of them: a finite
+	// stall only delays).
+	FinPoints, FinOK int
+	// InfPoints counts indefinite points; SurvLive those after which every
+	// survivor completed, Doomed those that wedged at least one survivor.
+	InfPoints, SurvLive, Doomed int
+	// MEViol counts Mutual Exclusion violations (must be zero).
+	MEViol int
+	// Budget counts runs that hit the step budget (must be zero) and
+	// Misclass watchdog misattributions (must be zero).
+	Budget, Misclass int
+	// MaxRB / MaxWB are the worst single-wait reader and writer bypass
+	// counts observed across the cell's runs.
+	MaxRB, MaxWB int
+}
+
+// e15StallScenario is the sweep workload, shared with the crash sweep
+// (E13) so the two fault models are compared on the same executions.
+func e15StallScenario() spec.Scenario {
+	return spec.Scenario{NReaders: 2, NWriters: 2, ReaderPassages: 2, WriterPassages: 2, CSReads: 1}
+}
+
+// E15StallSweep runs the exhaustive stall sweep for every algorithm and
+// both victim classes, enforcing the section-sensitive liveness contract
+// and the bypass budget: no single wait may be overtaken more often than
+// the other processes have passages to overtake it with.
+func E15StallSweep() ([]E15StallRow, *tablefmt.Table, error) {
+	sc := e15StallScenario()
+	nProcs := sc.NReaders + sc.NWriters
+	// Every other process enters the CS at most its passage quota, so a
+	// single wait can be bypassed at most (N-1) x passages times; more
+	// means the monitor (or the lock) is broken.
+	bypassBudget := (nProcs - 1) * sc.ReaderPassages
+	victims := []struct {
+		name string
+		id   int
+	}{
+		{"reader", 0},
+		{"writer", sc.NReaders},
+	}
+	var rows []E15StallRow
+	for _, fac := range e13CrashAlgs() {
+		for _, v := range victims {
+			outs, err := spec.StallSweep(fac.New, sc, v.id, nil)
+			if err != nil {
+				return nil, nil, fmt.Errorf("E15 %s victim %s: %w", fac.Name, v.name, err)
+			}
+			if viol := spec.StallViolations(outs); len(viol) > 0 {
+				return nil, nil, fmt.Errorf("E15 %s victim %s: %d liveness-contract violations, first: %s",
+					fac.Name, v.name, len(viol), viol[0])
+			}
+			bySection := map[memmodel.Section]*E15StallRow{}
+			order := []memmodel.Section{memmodel.SecRemainder, memmodel.SecEntry, memmodel.SecCS, memmodel.SecExit}
+			for _, s := range order {
+				bySection[s] = &E15StallRow{Alg: fac.Name, Victim: v.name, Section: s.String()}
+			}
+			for _, o := range outs {
+				row := bySection[o.StallSection]
+				row.MEViol += len(o.MEViolations)
+				row.Misclass += len(o.Misclassified)
+				if o.BudgetExceeded {
+					row.Budget++
+				}
+				if o.Point.Indefinite() {
+					row.InfPoints++
+					if o.SurvivorsDone {
+						row.SurvLive++
+					}
+					if o.Doomed() {
+						row.Doomed++
+					}
+				} else {
+					row.FinPoints++
+					if o.Completed {
+						row.FinOK++
+					}
+				}
+				row.MaxRB = max(row.MaxRB, o.MaxReaderBypass)
+				row.MaxWB = max(row.MaxWB, o.MaxWriterBypass)
+				if o.MaxReaderBypass > bypassBudget || o.MaxWriterBypass > bypassBudget {
+					return nil, nil, fmt.Errorf("E15 %s victim %s %s: bypass %d/%d exceeds the budget of %d",
+						fac.Name, v.name, o.Point, o.MaxReaderBypass, o.MaxWriterBypass, bypassBudget)
+				}
+			}
+			for _, s := range order {
+				if r := bySection[s]; r.FinPoints+r.InfPoints > 0 {
+					rows = append(rows, *r)
+				}
+			}
+		}
+	}
+	return rows, e15StallTable(rows), nil
+}
+
+func e15StallTable(rows []E15StallRow) *tablefmt.Table {
+	t := tablefmt.New("algorithm", "victim", "stall section", "fin pts", "fin ok",
+		"inf pts", "surv live", "doomed", "me viol", "budget", "misclass", "max rd byp", "max wr byp")
+	for _, r := range rows {
+		t.AddRow(r.Alg, r.Victim, r.Section, tablefmt.Itoa(r.FinPoints), tablefmt.Itoa(r.FinOK),
+			tablefmt.Itoa(r.InfPoints), tablefmt.Itoa(r.SurvLive), tablefmt.Itoa(r.Doomed),
+			tablefmt.Itoa(r.MEViol), tablefmt.Itoa(r.Budget), tablefmt.Itoa(r.Misclass),
+			tablefmt.Itoa(r.MaxRB), tablefmt.Itoa(r.MaxWB))
+	}
+	return t
+}
+
+// E15ReaderRow is the Concurrent-Entering axis result for one algorithm.
+type E15ReaderRow struct {
+	Alg string
+	// ClaimsCE echoes the algorithm's Props().ConcurrentEntering claim.
+	ClaimsCE bool
+	// InCSPoints counts indefinite stall points landing inside the
+	// victim reader's CS.
+	InCSPoints int
+	// SiblingsLive counts those points after which the sibling readers
+	// all completed; DoomedReaders counts points that wedged at least one
+	// sibling.
+	SiblingsLive, DoomedReaders int
+}
+
+// E15ReaderLiveness stall-sweeps a readers-only workload with reader 0 as
+// the victim. The gate is two-sided: every algorithm claiming Concurrent
+// Entering must keep the sibling readers live through every indefinite
+// in-CS stall of the victim, and mutex-rw — the negative control, whose
+// readers busy-wait on the stalled holder inside the tournament mutex —
+// must demonstrably doom them (otherwise the axis cannot detect the
+// failure mode it exists for).
+func E15ReaderLiveness() ([]E15ReaderRow, *tablefmt.Table, error) {
+	// Readers-only: mixed workloads would let a phase-fair lock park
+	// readers behind a pending writer, conflating writer preference with
+	// broken reader concurrency.
+	sc := spec.Scenario{NReaders: 3, NWriters: 0, ReaderPassages: 2, CSReads: 2}
+	var rows []E15ReaderRow
+	sawNegativeControl := false
+	for _, fac := range e13CrashAlgs() {
+		outs, err := spec.StallSweep(fac.New, sc, 0, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("E15 reader-liveness %s: %w", fac.Name, err)
+		}
+		if viol := spec.StallViolations(outs); len(viol) > 0 {
+			return nil, nil, fmt.Errorf("E15 reader-liveness %s: %d contract violations, first: %s",
+				fac.Name, len(viol), viol[0])
+		}
+		row := E15ReaderRow{Alg: fac.Name, ClaimsCE: fac.New().Props().ConcurrentEntering}
+		for _, o := range outs {
+			if !o.Point.Indefinite() || o.StallSection != memmodel.SecCS {
+				continue
+			}
+			row.InCSPoints++
+			if o.SurvivorsDone {
+				row.SiblingsLive++
+			}
+			if o.Doomed() {
+				row.DoomedReaders++
+			}
+		}
+		if row.InCSPoints == 0 {
+			return nil, nil, fmt.Errorf("E15 reader-liveness %s: no indefinite in-CS stall point; sweep not reaching the CS", fac.Name)
+		}
+		if row.ClaimsCE && (row.DoomedReaders > 0 || row.SiblingsLive != row.InCSPoints) {
+			return nil, nil, fmt.Errorf(
+				"E15 reader-liveness %s: claims Concurrent Entering but %d/%d in-CS stalls doomed sibling readers",
+				fac.Name, row.DoomedReaders, row.InCSPoints)
+		}
+		if fac.Name == "mutex-rw" {
+			if row.DoomedReaders == 0 {
+				return nil, nil, fmt.Errorf(
+					"E15 reader-liveness: negative control mutex-rw doomed no sibling readers — the axis cannot detect busy-waiting on a stalled victim")
+			}
+			sawNegativeControl = true
+		}
+		rows = append(rows, row)
+	}
+	if !sawNegativeControl {
+		return nil, nil, fmt.Errorf("E15 reader-liveness: population lost the mutex-rw negative control")
+	}
+	return rows, e15ReaderTable(rows), nil
+}
+
+func e15ReaderTable(rows []E15ReaderRow) *tablefmt.Table {
+	t := tablefmt.New("algorithm", "claims CE", "in-cs stalls", "siblings live", "doomed readers")
+	for _, r := range rows {
+		ce := "no"
+		if r.ClaimsCE {
+			ce = "yes"
+		}
+		t.AddRow(r.Alg, ce, tablefmt.Itoa(r.InCSPoints), tablefmt.Itoa(r.SiblingsLive), tablefmt.Itoa(r.DoomedReaders))
+	}
+	return t
+}
+
+// E15MixedRow aggregates the sampled crash+stall sweep for one algorithm.
+type E15MixedRow struct {
+	Alg string
+	// Runs counts sampled executions; SurvLive those where every
+	// non-victim met its quota; Doomed those that wedged a survivor.
+	Runs, SurvLive, Doomed int
+	// MEViol, Budget, Misclass are the safety/attribution axes (must be
+	// zero).
+	MEViol, Budget, Misclass int
+}
+
+// E15MixedSweep samples the combined fault model — one crash victim and
+// one stall victim per run — over seeded random schedules. Liveness under
+// two simultaneous faults is characterized, not gated; safety and
+// watchdog attribution must hold in every run.
+func E15MixedSweep() ([]E15MixedRow, *tablefmt.Table, error) {
+	sc := e15StallScenario()
+	seeds := []int64{1, 2, 3}
+	var rows []E15MixedRow
+	for _, fac := range e13CrashAlgs() {
+		outs, err := spec.MixedSweepSampled(fac.New, sc,
+			[]int{0, 1}, []int{sc.NReaders, sc.NReaders + 1}, seeds, 6, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("E15 mixed %s: %w", fac.Name, err)
+		}
+		row := E15MixedRow{Alg: fac.Name}
+		for _, o := range outs {
+			if o.Err != nil {
+				return nil, nil, fmt.Errorf("E15 mixed %s %s: %w", fac.Name, o.Point, o.Err)
+			}
+			row.Runs++
+			row.MEViol += len(o.MEViolations)
+			row.Misclass += len(o.Misclassified)
+			if o.BudgetExceeded {
+				row.Budget++
+			}
+			if o.SurvivorsDone {
+				row.SurvLive++
+			}
+			if o.Doomed() {
+				row.Doomed++
+			}
+		}
+		if row.MEViol > 0 || row.Budget > 0 || row.Misclass > 0 {
+			return nil, nil, fmt.Errorf("E15 mixed %s: %d ME violations, %d budget hits, %d misclassifications",
+				fac.Name, row.MEViol, row.Budget, row.Misclass)
+		}
+		rows = append(rows, row)
+	}
+	return rows, e15MixedTable(rows), nil
+}
+
+func e15MixedTable(rows []E15MixedRow) *tablefmt.Table {
+	t := tablefmt.New("algorithm", "runs", "surv live", "doomed", "me viol", "budget", "misclass")
+	for _, r := range rows {
+		t.AddRow(r.Alg, tablefmt.Itoa(r.Runs), tablefmt.Itoa(r.SurvLive), tablefmt.Itoa(r.Doomed),
+			tablefmt.Itoa(r.MEViol), tablefmt.Itoa(r.Budget), tablefmt.Itoa(r.Misclass))
+	}
+	return t
+}

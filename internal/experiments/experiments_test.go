@@ -485,3 +485,107 @@ func TestE14RecoverySweep(t *testing.T) {
 		t.Error("no crash landed in a recovery section")
 	}
 }
+
+// TestE15StallSweep runs the full fail-slow characterization:
+// E15StallSweep itself errors on any liveness-contract violation or
+// bypass-budget breach, so the test pins the aggregate shape — finite
+// stalls always complete, remainder stalls never doom, in-CS stalls of
+// non-recoverable locks always do.
+func TestE15StallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive stall sweeps across the full population")
+	}
+	rows, table, err := E15StallSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || table == nil {
+		t.Fatal("empty E15 result")
+	}
+	algs := map[string]bool{}
+	doomedCS := 0
+	for _, r := range rows {
+		algs[r.Alg] = true
+		if r.FinOK != r.FinPoints {
+			t.Errorf("%s %s %s: %d/%d finite stalls completed", r.Alg, r.Victim, r.Section, r.FinOK, r.FinPoints)
+		}
+		if r.MEViol+r.Budget+r.Misclass != 0 {
+			t.Errorf("%s %s %s: me=%d budget=%d misclass=%d", r.Alg, r.Victim, r.Section, r.MEViol, r.Budget, r.Misclass)
+		}
+		switch r.Section {
+		case memmodel.SecRemainder.String():
+			if r.SurvLive != r.InfPoints || r.Doomed != 0 {
+				t.Errorf("%s %s remainder: %d/%d live, %d doomed", r.Alg, r.Victim, r.SurvLive, r.InfPoints, r.Doomed)
+			}
+		case memmodel.SecCS.String():
+			doomedCS += r.Doomed
+			if r.Doomed != r.InfPoints {
+				t.Errorf("%s %s cs: %d/%d doomed — a non-recoverable lock stalled in the CS must wedge the rest",
+					r.Alg, r.Victim, r.Doomed, r.InfPoints)
+			}
+		}
+	}
+	if doomedCS == 0 {
+		t.Error("no in-CS stall doomed anyone across the whole population")
+	}
+	for _, want := range []string{"af-1", "af-log", "centralized", "faa-phasefair", "mutex-rw"} {
+		if !algs[want] {
+			t.Errorf("no rows for %s", want)
+		}
+	}
+}
+
+// TestE15ReaderLiveness pins the Concurrent-Entering axis including its
+// negative control: the experiment itself fails if a CE-claiming
+// algorithm dooms sibling readers or if mutex-rw stops failing.
+func TestE15ReaderLiveness(t *testing.T) {
+	rows, table, err := E15ReaderLiveness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || table == nil {
+		t.Fatal("empty reader-liveness result")
+	}
+	var mutexRow *E15ReaderRow
+	for i, r := range rows {
+		if r.Alg == "mutex-rw" {
+			mutexRow = &rows[i]
+		}
+		if r.ClaimsCE && r.SiblingsLive != r.InCSPoints {
+			t.Errorf("%s: claims CE but only %d/%d in-CS stalls left siblings live", r.Alg, r.SiblingsLive, r.InCSPoints)
+		}
+	}
+	if mutexRow == nil {
+		t.Fatal("mutex-rw negative control missing")
+	}
+	if mutexRow.DoomedReaders == 0 {
+		t.Error("mutex-rw doomed no readers; the negative control is dead")
+	}
+	if mutexRow.SiblingsLive != 0 {
+		t.Errorf("mutex-rw left siblings live at %d points; its readers serialize through the tournament mutex", mutexRow.SiblingsLive)
+	}
+}
+
+// TestE15MixedSweep: the combined crash+stall sample holds safety and
+// watchdog attribution (the experiment gates them) and actually produced
+// runs for every algorithm.
+func TestE15MixedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled mixed-fault sweeps across the full population")
+	}
+	rows, table, err := E15MixedSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || table == nil {
+		t.Fatal("empty mixed result")
+	}
+	for _, r := range rows {
+		if r.Runs == 0 {
+			t.Errorf("%s: no mixed runs sampled", r.Alg)
+		}
+		if r.SurvLive+r.Doomed == 0 {
+			t.Errorf("%s: no run classified as live or doomed", r.Alg)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package fairness_test
+
+import (
+	"testing"
+
+	"repro/internal/fairness"
+	"repro/internal/memmodel"
+	"repro/internal/trace"
+)
+
+func sec(proc int, s memmodel.Section) trace.Event {
+	return trace.Event{Proc: proc, Section: s, SectionChange: true}
+}
+
+// TestBypassCounting: p1 and p2 each complete a CS passage while p0 waits
+// in its entry section — two overtakes in one wait.
+func TestBypassCounting(t *testing.T) {
+	m := fairness.NewBypassMonitor(3, 1)
+	m.Observe(sec(0, memmodel.SecEntry))
+	for _, p := range []int{1, 2} {
+		m.Observe(sec(p, memmodel.SecEntry))
+		m.Observe(sec(p, memmodel.SecCS))
+		m.Observe(sec(p, memmodel.SecExit))
+		m.Observe(sec(p, memmodel.SecRemainder))
+	}
+	if got := m.MaxBypass(0); got != 2 {
+		t.Errorf("MaxBypass(0) = %d, want 2 (wait still open)", got)
+	}
+	m.Observe(sec(0, memmodel.SecCS))
+	m.Observe(sec(0, memmodel.SecRemainder))
+	if got := m.MaxBypass(0); got != 2 {
+		t.Errorf("MaxBypass(0) = %d after closing, want 2", got)
+	}
+	if got := m.TotalBypass(0); got != 2 {
+		t.Errorf("TotalBypass(0) = %d, want 2", got)
+	}
+	// The overtakers were never overtaken themselves.
+	for _, p := range []int{1, 2} {
+		if got := m.MaxBypass(p); got != 0 {
+			t.Errorf("MaxBypass(%d) = %d, want 0", p, got)
+		}
+	}
+}
+
+// TestBypassPerWaitMaxVsTotal: two separate waits of one overtake each
+// give max 1, total 2.
+func TestBypassPerWaitMaxVsTotal(t *testing.T) {
+	m := fairness.NewBypassMonitor(2, 1)
+	for i := 0; i < 2; i++ {
+		m.Observe(sec(0, memmodel.SecEntry))
+		m.Observe(sec(1, memmodel.SecEntry))
+		m.Observe(sec(1, memmodel.SecCS))
+		m.Observe(sec(1, memmodel.SecRemainder))
+		m.Observe(sec(0, memmodel.SecCS))
+		m.Observe(sec(0, memmodel.SecRemainder))
+	}
+	if got := m.MaxBypass(0); got != 1 {
+		t.Errorf("MaxBypass(0) = %d, want 1", got)
+	}
+	if got := m.TotalBypass(0); got != 2 {
+		t.Errorf("TotalBypass(0) = %d, want 2", got)
+	}
+}
+
+// TestBypassWinnerClosesOwnWaitFirst: a process entering the CS ends its
+// own wait before the overtake is charged, so it never overtakes itself.
+func TestBypassWinnerClosesOwnWaitFirst(t *testing.T) {
+	m := fairness.NewBypassMonitor(2, 1)
+	m.Observe(sec(0, memmodel.SecEntry))
+	m.Observe(sec(0, memmodel.SecCS))
+	if got := m.MaxBypass(0); got != 0 {
+		t.Errorf("MaxBypass(0) = %d, want 0 (no self-overtake)", got)
+	}
+	if got := m.TotalBypass(0); got != 0 {
+		t.Errorf("TotalBypass(0) = %d, want 0", got)
+	}
+}
+
+// TestBypassClassMaxima: reader/writer split follows the spec numbering.
+func TestBypassClassMaxima(t *testing.T) {
+	m := fairness.NewBypassMonitor(4, 2) // readers 0,1; writers 2,3
+	m.Observe(sec(1, memmodel.SecEntry))
+	m.Observe(sec(3, memmodel.SecEntry))
+	for i := 0; i < 3; i++ {
+		m.Observe(sec(2, memmodel.SecEntry))
+		m.Observe(sec(2, memmodel.SecCS))
+		m.Observe(sec(2, memmodel.SecRemainder))
+	}
+	if got := m.MaxReaderBypass(); got != 3 {
+		t.Errorf("MaxReaderBypass = %d, want 3", got)
+	}
+	if got := m.MaxWriterBypass(); got != 3 {
+		t.Errorf("MaxWriterBypass = %d, want 3", got)
+	}
+	if got := m.MaxBypass(0); got != 0 {
+		t.Errorf("MaxBypass(0) = %d, want 0 (never waited)", got)
+	}
+}
+
+// TestBypassAbortedWaitCloses: leaving the entry section without reaching
+// the CS (aborted attempt, recovery) still folds the wait into the max.
+func TestBypassAbortedWaitCloses(t *testing.T) {
+	m := fairness.NewBypassMonitor(2, 1)
+	m.Observe(sec(0, memmodel.SecEntry))
+	m.Observe(sec(1, memmodel.SecEntry))
+	m.Observe(sec(1, memmodel.SecCS))
+	m.Observe(sec(1, memmodel.SecRemainder))
+	m.Observe(sec(0, memmodel.SecRemainder)) // aborted: never reached the CS
+	if got := m.MaxBypass(0); got != 1 {
+		t.Errorf("MaxBypass(0) = %d, want 1", got)
+	}
+	// A later clean wait does not resurrect the aborted one.
+	m.Observe(sec(0, memmodel.SecEntry))
+	m.Observe(sec(0, memmodel.SecCS))
+	if got := m.MaxBypass(0); got != 1 {
+		t.Errorf("MaxBypass(0) = %d after clean wait, want 1", got)
+	}
+}
+
+// TestBypassIgnoresForeignEvents: non-section events and out-of-range proc
+// ids are ignored.
+func TestBypassIgnoresForeignEvents(t *testing.T) {
+	m := fairness.NewBypassMonitor(2, 1)
+	m.Observe(trace.Event{Proc: 0, Section: memmodel.SecCS}) // not a SectionChange
+	m.Observe(sec(9, memmodel.SecCS))                        // out of range
+	m.Observe(sec(-1, memmodel.SecEntry))
+	if got := m.MaxBypass(0); got != 0 {
+		t.Errorf("MaxBypass(0) = %d, want 0", got)
+	}
+}

@@ -1,4 +1,4 @@
-package fairness
+package fairness_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/fairness"
 	"repro/internal/memmodel"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -13,7 +14,7 @@ import (
 )
 
 func TestName(t *testing.T) {
-	if got := New(core.New(core.FLog)).Name(); got != "af-log+wpri" {
+	if got := fairness.New(core.New(core.FLog)).Name(); got != "af-log+wpri" {
 		t.Errorf("Name = %q", got)
 	}
 }
@@ -32,7 +33,7 @@ func TestWrappedPropertiesGrid(t *testing.T) {
 	for _, mk := range inners {
 		for _, protocol := range []sim.Protocol{sim.WriteThrough, sim.WriteBack} {
 			for _, seed := range []int64{1, 2, 3} {
-				alg := New(mk())
+				alg := fairness.New(mk())
 				rep := spec.Run(alg, spec.Scenario{
 					NReaders: 4, NWriters: 2,
 					ReaderPassages: 3, WriterPassages: 2,
@@ -55,7 +56,7 @@ func TestWrappedExhaustive(t *testing.T) {
 		cap = 5_000
 	}
 	res, err := explore.Algorithm(
-		func() memmodel.Algorithm { return New(core.New(core.FOne)) },
+		func() memmodel.Algorithm { return fairness.New(core.New(core.FOne)) },
 		spec.Scenario{NReaders: 1, NWriters: 1, ReaderPassages: 1, WriterPassages: 1},
 		explore.Config{MaxRuns: cap})
 	if err != nil {
@@ -75,7 +76,7 @@ func TestGateCostConstant(t *testing.T) {
 		ReaderPassages: 2, WriterPassages: 2,
 		Scheduler: sched.NewSticky(),
 	})
-	wrapped := spec.Run(New(core.New(core.FLog)), spec.Scenario{
+	wrapped := spec.Run(fairness.New(core.New(core.FLog)), spec.Scenario{
 		NReaders: 8, NWriters: 1,
 		ReaderPassages: 2, WriterPassages: 2,
 		Scheduler: sched.NewSticky(),
@@ -201,7 +202,7 @@ func (s *staged) driveWhilePoised(id int) {
 // re-entry attempt now blocks at the gate instead of keeping C above zero,
 // the churn dies out, and the writer gets in.
 func TestWriterNoLongerStarves(t *testing.T) {
-	s := newStaged(t, New(core.New(core.FOne)), 2, 1)
+	s := newStaged(t, fairness.New(core.New(core.FOne)), 2, 1)
 	const r0, r1, w = 0, 1, 2
 
 	// R0 into the CS.
@@ -251,7 +252,7 @@ func TestWriterNoLongerStarves(t *testing.T) {
 // writers keep the gate closed, so a reader makes no progress while
 // writers keep arriving — reader starvation-freedom is gone (deliberately).
 func TestReaderCanStarveUnderWriterChurn(t *testing.T) {
-	s := newStaged(t, New(core.New(core.FOne)), 1, 2)
+	s := newStaged(t, fairness.New(core.New(core.FOne)), 1, 2)
 	const rd, w0, w1 = 0, 1, 2
 
 	// W0 announces and enters the CS.
@@ -297,7 +298,7 @@ func TestReaderCanStarveUnderWriterChurn(t *testing.T) {
 
 // TestPropsAdjusted: the wrapper declares the fairness trade.
 func TestPropsAdjusted(t *testing.T) {
-	props := New(core.New(core.FLog)).Props()
+	props := fairness.New(core.New(core.FLog)).Props()
 	if props.ReaderStarvationFree {
 		t.Error("wrapper must not claim reader starvation-freedom")
 	}

@@ -1,5 +1,5 @@
-// Package fault injects crash failures into simulator executions, under
-// two failure models.
+// Package fault injects failures into simulator executions, under three
+// failure models: crash-stop, crash-recovery, and fail-slow (stalls).
 //
 // Crash-stop (Drive): a crashed process takes no further steps, forever,
 // but every step it already took — including writes that other processes
@@ -22,7 +22,16 @@
 // survivors wedge on a dead process, DriveRecover applies the pending
 // restarts immediately instead of reporting the no-progress error.
 //
-// Crash points are enumerated exhaustively for tiny scenarios (every step
+// Fail-slow (DriveStall, DriveMixed): a stalled process is merely delayed —
+// finitely or indefinitely — rather than killed. It keeps every step it
+// took, resumes exactly where it paused, and the paper's Section-5 liveness
+// properties are precisely claims about what survives such delays. The
+// stall drivers in stall.go pause a victim at a chosen step boundary; the
+// simulator fast-forwards finite stalls that would otherwise wedge the
+// execution and reports indefinite-stall wedges through the watchdog's
+// stalled/blocked/doomed classification.
+//
+// Fault points are enumerated exhaustively for tiny scenarios (every step
 // boundary of a reference execution) and sampled with seeded randomness
 // for larger ones.
 package fault
@@ -253,21 +262,64 @@ func ExhaustivePoints(victim, totalSteps int) []Point {
 	return pts
 }
 
-// RandomPoints samples count crash points with a seeded generator: victims
-// drawn uniformly from victims, steps uniformly from [0, maxStep). The
-// sample is deterministic per seed, so sweeps are reproducible. Duplicates
-// are possible and harmless (each point drives its own execution).
+// RandomPoints samples count distinct crash points with a seeded
+// generator: victims drawn uniformly from victims, steps uniformly from
+// [0, maxStep). The sample is deterministic per seed, so sweeps are
+// reproducible, and duplicate-free at the source: a repeated point would
+// re-run the identical execution under a fixed scheduler seed and skew a
+// sampled sweep's tallies toward whatever outcome it happens to have. When
+// fewer than count distinct points exist, every point is returned (in a
+// seeded random order).
 func RandomPoints(seed int64, victims []int, maxStep, count int) []Point {
+	victims = dedupVictims(victims)
 	if len(victims) == 0 || maxStep <= 0 || count <= 0 {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
+	total := len(victims) * maxStep
+	if count > total {
+		count = total
+	}
+	if 2*count >= total {
+		// Dense request: enumerate the whole space and shuffle, which is
+		// both cheaper and guaranteed to terminate where rejection sampling
+		// degenerates into a coupon-collector walk.
+		all := make([]Point, 0, total)
+		for _, v := range victims {
+			for s := 0; s < maxStep; s++ {
+				all = append(all, Point{Victim: v, Step: s})
+			}
+		}
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		return all[:count]
+	}
+	seen := make(map[Point]bool, count)
 	pts := make([]Point, 0, count)
-	for i := 0; i < count; i++ {
-		pts = append(pts, Point{
+	for len(pts) < count {
+		pt := Point{
 			Victim: victims[rng.Intn(len(victims))],
 			Step:   rng.Intn(maxStep),
-		})
+		}
+		if seen[pt] {
+			continue
+		}
+		seen[pt] = true
+		pts = append(pts, pt)
 	}
 	return pts
+}
+
+// dedupVictims drops duplicate victim ids, preserving first-occurrence
+// order, so the sampled point space is not skewed toward repeated entries.
+func dedupVictims(victims []int) []int {
+	seen := make(map[int]bool, len(victims))
+	out := make([]int, 0, len(victims))
+	for _, v := range victims {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
 }

@@ -206,3 +206,40 @@ func TestRandomPointsDeterministic(t *testing.T) {
 		t.Error("empty victims must yield nil")
 	}
 }
+
+// TestRandomPointsDistinct is the dedup regression: whatever the density
+// of the request, the sample never contains a repeated (victim, step)
+// point — a duplicate would re-run the identical execution under a fixed
+// scheduler seed and silently skew a sampled sweep's tallies.
+func TestRandomPointsDistinct(t *testing.T) {
+	cases := []struct {
+		name           string
+		victims        []int
+		maxStep, count int
+		wantLen        int
+	}{
+		{"sparse", []int{0, 1, 2}, 100, 40, 40},
+		{"dense", []int{0, 1}, 10, 15, 15},
+		{"overfull", []int{0, 1}, 5, 100, 10},
+		{"exact", []int{0}, 8, 8, 8},
+		{"duplicate victims", []int{0, 0, 1, 1}, 5, 100, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := RandomPoints(99, tc.victims, tc.maxStep, tc.count)
+			if len(pts) != tc.wantLen {
+				t.Fatalf("len = %d, want %d", len(pts), tc.wantLen)
+			}
+			seen := make(map[Point]bool, len(pts))
+			for _, pt := range pts {
+				if seen[pt] {
+					t.Errorf("duplicate point %+v", pt)
+				}
+				seen[pt] = true
+				if pt.Step < 0 || pt.Step >= tc.maxStep {
+					t.Errorf("point %+v out of step range", pt)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// Forever is the StallPoint duration of an indefinite stall: the victim
+// never resumes on its own, modeling a fail-slow process whose delay the
+// survivors must not depend on.
+const Forever = -1
+
+// StallPoint schedules one fail-slow fault: Victim is paused at the
+// boundary before the execution's global step index Step, for Duration
+// further global steps (Forever for an indefinite stall). Step 0 stalls
+// the victim before it takes any step at all.
+type StallPoint struct {
+	// Victim is the process id to stall.
+	Victim int
+	// Step is the global step index before which the victim pauses.
+	Step int
+	// Duration is how many further global steps the victim stays paused.
+	// The simulator fast-forwards a finite stall when no other process can
+	// step (time passes regardless), so finite durations delay but never
+	// wedge. A negative Duration (Forever) never expires.
+	Duration int
+}
+
+// Indefinite reports whether the stall never expires on its own.
+func (p StallPoint) Indefinite() bool { return p.Duration < 0 }
+
+func (p StallPoint) String() string {
+	if p.Indefinite() {
+		return fmt.Sprintf("stall p%d @%d forever", p.Victim, p.Step)
+	}
+	return fmt.Sprintf("stall p%d @%d for %d", p.Victim, p.Step, p.Duration)
+}
+
+// StallEvent reports what one StallPoint actually did.
+type StallEvent struct {
+	// Point echoes the scheduled point.
+	Point StallPoint
+	// Stalled reports whether the stall was applied; false means the
+	// victim was already finished, crashed, or still under an earlier
+	// stall when the point fired (a moot point).
+	Stalled bool
+	// StallStep is the global step index at which the stall landed.
+	StallStep int
+	// StallSection is the passage section the victim occupied when it
+	// stalled.
+	StallSection memmodel.Section
+}
+
+// DriveStall steps r until termination, pausing each point's victim at its
+// step boundary. Points whose victim already finished, crashed, or is
+// still stalled when they fire are skipped. It returns one StallEvent per
+// point in firing order (sorted by Step, ties in input order), plus the
+// runner's terminal error: nil when every process completes (finite stalls
+// only delay), and a *sim.NoProgressError when an indefinite stall is
+// still pending at the end — callers classify that error via its
+// Stuck/Stalled fields: empty Stuck means every survivor completed and
+// only stalled victims remain (the benign outcome), while a non-empty
+// Stuck lists the survivors doomed by the stall. Barrier-parked processes
+// are released all at once, as in Drive.
+func DriveStall(r *sim.Runner, points []StallPoint) ([]StallEvent, error) {
+	return DriveMixed(r, nil, points)
+}
+
+// DriveMixed steps r until termination, applying crash-stop points and
+// fail-slow points together — the combined fault model in which some peers
+// die and others merely go slow. Crash points due at the same boundary as
+// stall points are applied first (a crash supersedes a stall). Error
+// semantics match DriveStall.
+func DriveMixed(r *sim.Runner, crashes []Point, stalls []StallPoint) ([]StallEvent, error) {
+	cpts := make([]Point, len(crashes))
+	copy(cpts, crashes)
+	sort.SliceStable(cpts, func(i, j int) bool { return cpts[i].Step < cpts[j].Step })
+	spts := make([]StallPoint, len(stalls))
+	copy(spts, stalls)
+	sort.SliceStable(spts, func(i, j int) bool { return spts[i].Step < spts[j].Step })
+	events := make([]StallEvent, len(spts))
+	for i := range spts {
+		events[i].Point = spts[i]
+	}
+
+	nextCrash, nextStall := 0, 0
+	for {
+		for nextCrash < len(cpts) && cpts[nextCrash].Step <= r.StepCount() {
+			p := cpts[nextCrash]
+			nextCrash++
+			if !r.Alive(p.Victim) {
+				continue
+			}
+			if err := r.Crash(p.Victim); err != nil {
+				return events, fmt.Errorf("fault: %s: %w", p, err)
+			}
+		}
+		for nextStall < len(spts) && spts[nextStall].Step <= r.StepCount() {
+			p := spts[nextStall]
+			i := nextStall
+			nextStall++
+			if !r.Alive(p.Victim) || r.IsStalled(p.Victim) {
+				continue
+			}
+			events[i].Stalled = true
+			events[i].StallStep = r.StepCount()
+			events[i].StallSection = r.Account(p.Victim).Section()
+			if err := r.Stall(p.Victim, p.Duration); err != nil {
+				return events, fmt.Errorf("fault: %s: %w", p, err)
+			}
+		}
+		progressed, err := r.Step()
+		if err != nil {
+			return events, err
+		}
+		if !progressed {
+			if r.Terminated() {
+				return events, nil
+			}
+			if err := releaseBarriers(r); err != nil {
+				return events, err
+			}
+		}
+	}
+}
+
+// ExhaustiveStallPoints enumerates every stall point for victim in an
+// execution of totalSteps steps, all with the given duration: one
+// StallPoint per step boundary, 0 through totalSteps inclusive. Callers
+// run one fresh execution per point.
+func ExhaustiveStallPoints(victim, totalSteps, duration int) []StallPoint {
+	pts := make([]StallPoint, 0, totalSteps+1)
+	for k := 0; k <= totalSteps; k++ {
+		pts = append(pts, StallPoint{Victim: victim, Step: k, Duration: duration})
+	}
+	return pts
+}
+
+// RandomStallPoints samples count distinct stall points with a seeded
+// generator: victims drawn uniformly from victims, steps uniformly from
+// [0, maxStep), and each point indefinite with probability 1/2 or finite
+// with a duration in [1, maxDuration]. Distinctness is on (victim, step) —
+// the duration is drawn after the location — and the sample is
+// deterministic per seed.
+func RandomStallPoints(seed int64, victims []int, maxStep, count, maxDuration int) []StallPoint {
+	if maxDuration < 1 {
+		maxDuration = 1
+	}
+	locs := RandomPoints(seed, victims, maxStep, count)
+	if locs == nil {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	pts := make([]StallPoint, 0, len(locs))
+	for _, l := range locs {
+		d := Forever
+		if rng.Intn(2) == 1 {
+			d = 1 + rng.Intn(maxDuration)
+		}
+		pts = append(pts, StallPoint{Victim: l.Victim, Step: l.Step, Duration: d})
+	}
+	return pts
+}

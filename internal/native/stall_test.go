@@ -1,0 +1,148 @@
+package native
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+)
+
+// exerciseStalledHolder is the native fail-slow stress: with GOMAXPROCS
+// squeezed far below the goroutine count, a writer acquires the lock and
+// goes to sleep holding it — the scheduler-level analogue of the
+// simulator's stall injection. Oversubscribed readers and writers hammer
+// TryLock with budgets shorter than the holder's nap, so their deadlines
+// expire mid-backoff: every such attempt must return false in bounded
+// time (never block inside the protocol waiting for the sleeping holder),
+// every failed attempt must leave the lock state clean enough for the
+// post-release acquisitions to succeed, and no goroutine may leak.
+func exerciseStalledHolder(t *testing.T, alg memmodel.Algorithm) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+
+	const (
+		nReaders  = 8
+		nWriters  = 4
+		holdTime  = 30 * time.Millisecond
+		tryBudget = 2 * time.Millisecond
+	)
+	lock, err := NewLock(alg, nReaders, nWriters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lock.Abortable() {
+		t.Fatalf("%s is not abortable", alg.Name())
+	}
+
+	before := runtime.NumGoroutine()
+	var timedOut, acquired atomic.Int64
+	held := make(chan struct{})    // closed once the holder has the lock
+	release := make(chan struct{}) // closed when the holder wakes up
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the fail-slow holder: writer 0
+		defer wg.Done()
+		h := lock.Writer(0)
+		h.Lock()
+		close(held)
+		time.Sleep(holdTime) // descheduled while holding the lock
+		close(release)
+		h.Unlock()
+	}()
+	<-held
+
+	// Phase 1: while the holder sleeps, every short-budget attempt must
+	// time out through the backoff loop rather than block.
+	attempt := func(try func(time.Duration) bool) {
+		defer wg.Done()
+		start := time.Now()
+		if try(tryBudget) {
+			// Only possible after the holder released; tolerate the race
+			// but account for the acquisition.
+			acquired.Add(1)
+			return
+		}
+		if elapsed := time.Since(start); elapsed > holdTime {
+			t.Errorf("TryLock with a %v budget blocked for %v; the attempt must not wait on the stalled holder", tryBudget, elapsed)
+		}
+		timedOut.Add(1)
+	}
+	for rid := 0; rid < nReaders; rid++ {
+		h := lock.Reader(rid)
+		wg.Add(1)
+		go attempt(func(d time.Duration) bool {
+			if !h.TryLock(d) {
+				return false
+			}
+			h.Unlock()
+			return true
+		})
+	}
+	for wid := 1; wid < nWriters; wid++ {
+		h := lock.Writer(wid)
+		wg.Add(1)
+		go attempt(func(d time.Duration) bool {
+			if !h.TryLock(d) {
+				return false
+			}
+			h.Unlock()
+			return true
+		})
+	}
+
+	// Phase 2: once the holder resumes and releases, generous-budget
+	// retries must get in — the timeouts above abandoned cleanly.
+	<-release
+	var post sync.WaitGroup
+	var postAcquired atomic.Int64
+	for rid := 0; rid < nReaders; rid++ {
+		h := lock.Reader(rid)
+		post.Add(1)
+		go func() {
+			defer post.Done()
+			if h.TryLock(2 * time.Second) {
+				postAcquired.Add(1)
+				h.Unlock()
+			}
+		}()
+	}
+	post.Wait()
+	wg.Wait()
+
+	if timedOut.Load() == 0 {
+		t.Error("no attempt timed out against the sleeping holder; the stall window never bit")
+	}
+	if got := postAcquired.Load(); got != nReaders {
+		t.Errorf("after release only %d/%d readers acquired; a timed-out attempt corrupted the lock state", got, nReaders)
+	}
+
+	// Leak check: every goroutine this test spawned must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = acquired.Load() // phase-1 stragglers that raced the release are fine
+}
+
+func TestStalledHolderAF(t *testing.T) {
+	exerciseStalledHolder(t, core.New(core.FLog))
+}
+
+func TestStalledHolderCentralized(t *testing.T) {
+	exerciseStalledHolder(t, baseline.NewCentralized())
+}

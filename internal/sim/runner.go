@@ -114,6 +114,15 @@ type procState struct {
 	resp        chan response
 	status      procStatus
 	pending     request
+
+	// stalled marks a process paused by fault injection (fail-slow model).
+	// It is orthogonal to status: the process keeps its pending operation
+	// (or its parked await) but is not schedulable until the stall ends.
+	stalled   bool
+	stalledAt int
+	// stallUntil is the global step index at which the stall expires on its
+	// own; negative means indefinite (ends only through Resume).
+	stallUntil int
 }
 
 // Runner owns one simulated execution. It implements memmodel.Allocator
@@ -348,6 +357,7 @@ func (r *Runner) Crash(id int) error {
 		return fmt.Errorf("sim: Crash(%d): process already crashed", id)
 	}
 	ps.status = statusCrashed
+	ps.stalled = false // a crash supersedes any injected stall
 	r.nCrashed++
 	return nil
 }
@@ -398,8 +408,115 @@ func (r *Runner) Restart(id int, prog Program) error {
 	return nil
 }
 
+// Stall pauses process id under the fail-slow fault model: the process
+// keeps its pending operation (or its parked await) but takes no steps
+// until the stall ends. duration >= 0 is the number of further global steps
+// after which the stall expires on its own; a negative duration is
+// indefinite and ends only through Resume. Unlike Crash, a stall removes no
+// steps — the process continues exactly where it paused — and unlike a
+// barrier it is driver-invisible to the program. When no other process can
+// step, finite stalls are fast-forwarded (see Step): in the asynchronous
+// model a delayed-but-alive process eventually takes its step, so a finite
+// stall can never wedge an execution. Stalling a finished, crashed or
+// already-stalled process is an error.
+func (r *Runner) Stall(id, duration int) error {
+	if id < 0 || id >= len(r.procs) {
+		return fmt.Errorf("sim: Stall(%d): no such process", id)
+	}
+	ps := r.procs[id]
+	switch ps.status {
+	case statusDone:
+		return fmt.Errorf("sim: Stall(%d): process already finished", id)
+	case statusCrashed:
+		return fmt.Errorf("sim: Stall(%d): process already crashed", id)
+	}
+	if ps.stalled {
+		return fmt.Errorf("sim: Stall(%d): process already stalled", id)
+	}
+	ps.stalled = true
+	ps.stalledAt = r.steps
+	if duration < 0 {
+		ps.stallUntil = -1
+	} else {
+		ps.stallUntil = r.steps + duration
+	}
+	return nil
+}
+
+// Resume ends process id's injected stall, making it schedulable again.
+func (r *Runner) Resume(id int) error {
+	if id < 0 || id >= len(r.procs) {
+		return fmt.Errorf("sim: Resume(%d): no such process", id)
+	}
+	ps := r.procs[id]
+	if !ps.stalled {
+		return fmt.Errorf("sim: Resume(%d): process is not stalled", id)
+	}
+	ps.stalled = false
+	return nil
+}
+
+// IsStalled reports whether process id is currently under an injected
+// stall. Crashing a stalled process supersedes the stall.
+func (r *Runner) IsStalled(id int) bool {
+	ps := r.procs[id]
+	return ps.stalled && ps.status != statusCrashed && ps.status != statusDone
+}
+
+// Stalled returns descriptors of the currently stalled live processes,
+// ascending by process id.
+func (r *Runner) Stalled() []StalledProc {
+	var out []StalledProc
+	for _, ps := range r.procs {
+		if !r.IsStalled(ps.id) {
+			continue
+		}
+		out = append(out, StalledProc{
+			Proc:       ps.id,
+			Section:    r.accts[ps.id].Section(),
+			Indefinite: ps.stallUntil < 0,
+			Since:      ps.stalledAt,
+			ResumeAt:   ps.stallUntil,
+		})
+	}
+	return out
+}
+
+// expireStalls clears finite stalls whose deadline has passed.
+func (r *Runner) expireStalls() {
+	for _, ps := range r.procs {
+		if ps.stalled && ps.stallUntil >= 0 && ps.stallUntil <= r.steps {
+			ps.stalled = false
+		}
+	}
+}
+
+// fastForwardStalls models the passage of time when no other process can
+// step: the finite stalls with the earliest deadline expire immediately —
+// only the order of resumptions is observable, and a delayed (non-crashed)
+// process eventually steps. Indefinite stalls never fast-forward. Reports
+// whether any stall was cleared.
+func (r *Runner) fastForwardStalls() bool {
+	earliest := -1
+	for _, ps := range r.procs {
+		if ps.stalled && ps.stallUntil >= 0 && (earliest < 0 || ps.stallUntil < earliest) {
+			earliest = ps.stallUntil
+		}
+	}
+	if earliest < 0 {
+		return false
+	}
+	for _, ps := range r.procs {
+		if ps.stalled && ps.stallUntil == earliest {
+			ps.stalled = false
+		}
+	}
+	return true
+}
+
 // Alive reports whether process id has neither finished its program nor
-// been crash-stopped.
+// been crash-stopped. A stalled process is alive: it will step again if
+// resumed.
 func (r *Runner) Alive(id int) bool {
 	st := r.procs[id].status
 	return st != statusDone && st != statusCrashed
@@ -417,11 +534,12 @@ func (r *Runner) Crashed() []int {
 }
 
 // Poised returns the pending operations of all schedulable processes, in
-// ascending process order.
+// ascending process order. Stalled processes are not schedulable and are
+// excluded, like crashed ones.
 func (r *Runner) Poised() []sched.PendingOp {
 	r.poisedOps = r.poisedOps[:0]
 	for _, ps := range r.procs {
-		if ps.status != statusPoised {
+		if ps.status != statusPoised || ps.stalled {
 			continue
 		}
 		op := sched.PendingOp{
@@ -444,7 +562,7 @@ func (r *Runner) Poised() []sched.PendingOp {
 // poised, without scanning the whole population.
 func (r *Runner) PendingOf(id int) (sched.PendingOp, bool) {
 	ps := r.procs[id]
-	if ps.status != statusPoised {
+	if ps.status != statusPoised || ps.stalled {
 		return sched.PendingOp{}, false
 	}
 	op := sched.PendingOp{
@@ -514,20 +632,34 @@ func (r *Runner) Step() (progressed bool, err error) {
 	if r.steps >= r.cfg.MaxSteps {
 		return false, fmt.Errorf("%w (%d)", ErrMaxSteps, r.cfg.MaxSteps)
 	}
-	r.poisedIDs = r.poisedIDs[:0]
-	for _, ps := range r.procs {
-		if ps.status == statusPoised {
-			r.poisedIDs = append(r.poisedIDs, ps.id)
+	for {
+		r.expireStalls()
+		r.poisedIDs = r.poisedIDs[:0]
+		for _, ps := range r.procs {
+			if ps.status == statusPoised && !ps.stalled {
+				r.poisedIDs = append(r.poisedIDs, ps.id)
+			}
 		}
-	}
-	if len(r.poisedIDs) == 0 {
+		if len(r.poisedIDs) > 0 {
+			break
+		}
 		if r.Done() || r.Terminated() {
 			return false, nil
 		}
+		atBarrier := false
 		for _, ps := range r.procs {
 			if ps.status == statusBarrier {
-				return false, nil // driver must release barriers
+				atBarrier = true
+				break
 			}
+		}
+		if atBarrier {
+			return false, nil // driver must release barriers
+		}
+		// Nothing else can step: time passes, so pending finite stalls
+		// expire now (each pass clears at least one, so this terminates).
+		if r.fastForwardStalls() {
+			continue
 		}
 		return false, r.noProgress()
 	}
@@ -716,7 +848,8 @@ func (r *Runner) reply(ps *procState, resp response) {
 type StuckProc struct {
 	// Proc is the process id.
 	Proc int
-	// Section is the passage section the process is stuck in.
+	// Section is the passage section the process is stuck in (the section
+	// of its last step).
 	Section memmodel.Section
 	// Vars are the variables the pending await spins on.
 	Vars []memmodel.Var
@@ -724,25 +857,73 @@ type StuckProc struct {
 	VarNames []string
 	// Values are the variables' values at detection time.
 	Values []uint64
+	// Doomed marks a wedge attributable to a fault-injected peer: the
+	// execution also contains crashed or injected-stalled processes, so the
+	// process is blocked behind a victim that will never (or not by itself)
+	// take the unblocking step — as opposed to an algorithmic deadlock
+	// among live processes.
+	Doomed bool
 }
 
 func (s StuckProc) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "p%d stuck in %s awaiting", s.Proc, s.Section)
+	verb := "blocked"
+	if s.Doomed {
+		verb = "doomed"
+	}
+	fmt.Fprintf(&b, "p%d %s in %s awaiting", s.Proc, verb, s.Section)
 	for i, name := range s.VarNames {
 		fmt.Fprintf(&b, " %s=%d", name, s.Values[i])
 	}
 	return b.String()
 }
 
+// StalledProc describes one process paused by fault injection at watchdog
+// time (or via Runner.Stalled): where it is paused and how its stall ends.
+type StalledProc struct {
+	// Proc is the process id.
+	Proc int
+	// Section is the passage section the process is stalled in (the
+	// section of its last step).
+	Section memmodel.Section
+	// Indefinite reports a stall that never expires on its own.
+	Indefinite bool
+	// Since is the global step index at which the stall was injected.
+	Since int
+	// ResumeAt is the global step index at which a finite stall expires;
+	// meaningless when Indefinite.
+	ResumeAt int
+}
+
+func (s StalledProc) String() string {
+	if s.Indefinite {
+		return fmt.Sprintf("p%d stalled in %s (indefinite, since step %d)", s.Proc, s.Section, s.Since)
+	}
+	return fmt.Sprintf("p%d stalled in %s (since step %d, resumes at step %d)",
+		s.Proc, s.Section, s.Since, s.ResumeAt)
+}
+
 // NoProgressError is the watchdog's structured non-progress diagnostic:
 // some processes have not finished, none has an enabled step, and no future
 // step can unblock any of them (awaiting processes become schedulable only
-// through another process's write). It matches both ErrNoProgress and
-// ErrDeadlock under errors.Is.
+// through another process's write). The diagnostic distinguishes three
+// populations: injected-stalled processes (paused by the fail-slow fault
+// driver — Stalled), processes blocked on an await (Stuck, with Doomed set
+// when the wedge is attributable to crashed or stalled victims rather than
+// an algorithmic deadlock), and crash-stopped processes (CrashedProcs). It
+// matches both ErrNoProgress and ErrDeadlock under errors.Is.
+//
+// An empty Stuck with a non-empty Stalled means every non-victim process
+// completed its program: the survivors are done and only indefinitely
+// stalled victims remain — the benign outcome a fail-slow sweep accepts.
 type NoProgressError struct {
-	// Stuck lists the awaiting processes, ascending by process id.
+	// Stuck lists the awaiting (non-stalled) processes, ascending by
+	// process id.
 	Stuck []StuckProc
+	// Stalled lists the injected-stalled processes, ascending. Finite
+	// stalls are fast-forwarded before the watchdog fires, so entries here
+	// are indefinite except in pathological driver interleavings.
+	Stalled []StalledProc
 	// CrashedProcs lists crash-stopped processes (often the cause of the
 	// hang), ascending.
 	CrashedProcs []int
@@ -754,6 +935,10 @@ func (e *NoProgressError) Error() string {
 	b.WriteString(ErrNoProgress.Error())
 	if len(e.CrashedProcs) > 0 {
 		fmt.Fprintf(&b, " (crashed: %v)", e.CrashedProcs)
+	}
+	for _, s := range e.Stalled {
+		b.WriteString("\n  ")
+		b.WriteString(s.String())
 	}
 	for _, s := range e.Stuck {
 		b.WriteString("\n  ")
@@ -770,17 +955,18 @@ func (e *NoProgressError) Is(target error) bool {
 
 // noProgress builds the structured watchdog diagnostic.
 func (r *Runner) noProgress() *NoProgressError {
-	e := &NoProgressError{CrashedProcs: r.Crashed()}
+	e := &NoProgressError{CrashedProcs: r.Crashed(), Stalled: r.Stalled()}
+	doomed := len(e.CrashedProcs) > 0 || len(e.Stalled) > 0
 	var ids []int
 	for _, ps := range r.procs {
-		if ps.status == statusAwaiting {
+		if ps.status == statusAwaiting && !ps.stalled {
 			ids = append(ids, ps.id)
 		}
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
 		ps := r.procs[id]
-		s := StuckProc{Proc: id, Section: r.accts[id].Section()}
+		s := StuckProc{Proc: id, Section: r.accts[id].Section(), Doomed: doomed}
 		for _, v := range ps.pending.vars {
 			s.Vars = append(s.Vars, v)
 			s.VarNames = append(s.VarNames, r.names[v])

@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/trace"
+)
+
+func sectionEvent(proc, step int, sec memmodel.Section) trace.Event {
+	return trace.Event{Proc: proc, Step: step, Section: sec, SectionChange: true}
+}
+
+// TestReportFailuresEmpty pins the zero-value report: no violations, no
+// error, OK, and an empty failure string.
+func TestReportFailuresEmpty(t *testing.T) {
+	r := &Report{Algorithm: "x"}
+	if !r.OK() {
+		t.Error("zero-value report must be OK")
+	}
+	if got := r.Failures(); got != "" {
+		t.Errorf("Failures() = %q, want empty", got)
+	}
+}
+
+// TestReportFailuresErrOnly: an execution error without property
+// violations still fails the report and shows up in the rendering.
+func TestReportFailuresErrOnly(t *testing.T) {
+	r := &Report{Err: errors.New("scheduler exploded")}
+	if r.OK() {
+		t.Error("report with Err must not be OK")
+	}
+	if got := r.Failures(); got != "scheduler exploded\n" {
+		t.Errorf("Failures() = %q", got)
+	}
+}
+
+// TestReportFailuresBoth renders violations before the error, one per
+// line.
+func TestReportFailuresBoth(t *testing.T) {
+	r := &Report{
+		Violations: []string{"v1", "v2"},
+		Err:        errors.New("boom"),
+	}
+	if got := r.Failures(); got != "v1\nv2\nboom\n" {
+		t.Errorf("Failures() = %q", got)
+	}
+}
+
+// TestCSMonitorWriterBoundary pins the reader/writer id split: proc
+// nReaders-1 is the last reader, proc nReaders the first writer. Two
+// readers sharing the CS is legal; the first writer joining them is not.
+func TestCSMonitorWriterBoundary(t *testing.T) {
+	m := newCSMonitor(2)
+	if m.isWriter(1) {
+		t.Error("proc 1 of a 2-reader monitor is a reader")
+	}
+	if !m.isWriter(2) {
+		t.Error("proc 2 of a 2-reader monitor is the first writer")
+	}
+	m.observe(sectionEvent(0, 1, memmodel.SecCS))
+	m.observe(sectionEvent(1, 2, memmodel.SecCS))
+	if len(m.violations) != 0 {
+		t.Fatalf("two readers in the CS flagged: %v", m.violations)
+	}
+	if m.maxReaders != 2 {
+		t.Errorf("maxReaders = %d, want 2", m.maxReaders)
+	}
+	m.observe(sectionEvent(2, 3, memmodel.SecCS))
+	if len(m.violations) != 1 {
+		t.Fatalf("writer joining two readers produced %d violations, want 1: %v",
+			len(m.violations), m.violations)
+	}
+	// The rendered violation names the writer by its writer id (w0), not
+	// its proc id.
+	if !strings.Contains(m.violations[0], "writer w0") || !strings.Contains(m.violations[0], "2 readers") {
+		t.Errorf("violation rendering: %q", m.violations[0])
+	}
+}
+
+// TestCSMonitorReaderUnderWriter is the symmetric case: a reader entering
+// while a writer holds the CS.
+func TestCSMonitorReaderUnderWriter(t *testing.T) {
+	m := newCSMonitor(1)
+	m.observe(sectionEvent(1, 1, memmodel.SecCS))
+	if len(m.violations) != 0 {
+		t.Fatalf("lone writer flagged: %v", m.violations)
+	}
+	m.observe(sectionEvent(0, 2, memmodel.SecCS))
+	if len(m.violations) != 1 {
+		t.Fatalf("reader under writer produced %d violations: %v", len(m.violations), m.violations)
+	}
+	if !strings.Contains(m.violations[0], "reader r0") || !strings.Contains(m.violations[0], "step 2") {
+		t.Errorf("violation rendering: %q", m.violations[0])
+	}
+}
+
+// TestCSMonitorIgnoresNonTransitions: repeated same-section events and
+// non-section events must not corrupt the occupancy counts.
+func TestCSMonitorIgnoresNonTransitions(t *testing.T) {
+	m := newCSMonitor(1)
+	m.observe(trace.Event{Proc: 0, Step: 1, Section: memmodel.SecCS}) // not a SectionChange
+	m.observe(sectionEvent(0, 2, memmodel.SecCS))
+	m.observe(sectionEvent(0, 3, memmodel.SecCS)) // duplicate transition
+	if m.readersIn != 1 {
+		t.Errorf("readersIn = %d after duplicate CS events, want 1", m.readersIn)
+	}
+	m.observe(sectionEvent(0, 4, memmodel.SecExit))
+	m.observe(sectionEvent(0, 5, memmodel.SecRemainder))
+	if m.readersIn != 0 {
+		t.Errorf("readersIn = %d after exit, want 0", m.readersIn)
+	}
+	if len(m.violations) != 0 {
+		t.Errorf("violations = %v", m.violations)
+	}
+	// With the CS empty again, a writer may enter freely.
+	m.observe(sectionEvent(1, 6, memmodel.SecCS))
+	if len(m.violations) != 0 {
+		t.Errorf("writer in empty CS flagged: %v", m.violations)
+	}
+}

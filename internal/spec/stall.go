@@ -1,0 +1,353 @@
+// Fail-slow property: under the stall failure model (see internal/fault),
+// pausing one process at an arbitrary step boundary — finitely or forever —
+// must never let a survivor violate Mutual Exclusion, and must never
+// produce a hang the watchdog cannot attribute. The liveness contract is
+// section-sensitive: a *finite* stall only delays, so the whole execution
+// must still complete (Deadlock Freedom under delay — the paper's Section-5
+// properties hold in a fully asynchronous model where the adversary may
+// delay any process arbitrarily between steps); an *indefinite* stall in
+// the remainder section must leave every survivor live, while an
+// indefinite stall inside the CS (or while holding the inner mutex, for
+// mutex-substrate algorithms) is allowed to doom exactly the survivors that
+// busy-wait on the victim — and the checker must classify that case as
+// doomed-by-stall, never as an algorithmic deadlock, a spurious
+// no-progress, or a step-budget timeout. Per-process bypass counters
+// (internal/fairness.BypassMonitor) ride along, turning reader
+// non-starvation and writer bounded-bypass into quantitative sweep outputs.
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fairness"
+	"repro/internal/fault"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// StallOutcome is the result of one execution with injected stalls (and,
+// for mixed runs, crashes).
+type StallOutcome struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Point is the injected stall point.
+	Point fault.StallPoint
+	// CrashPoints echoes any additionally injected crash points (mixed
+	// fault model).
+	CrashPoints []fault.Point
+	// VictimIsWriter classifies the stall victim under the spec numbering
+	// (readers 0..n-1, writers n..n+m-1).
+	VictimIsWriter bool
+	// Stalled reports whether the stall was actually applied; false means
+	// the victim finished before the stall step arrived (a moot point,
+	// equivalent to a remainder-section stall).
+	Stalled bool
+	// StallSection is the passage section the victim occupied when it
+	// stalled (SecRemainder for moot points).
+	StallSection memmodel.Section
+	// MEViolations lists Mutual Exclusion violations observed over the
+	// whole execution. Must always be empty: a stall reorders steps but
+	// never forges them.
+	MEViolations []string
+	// Completed reports that the whole execution terminated with every
+	// process meeting its passage quota — always the case for finite
+	// stalls, and for indefinite stalls only when the point was moot.
+	Completed bool
+	// SurvivorsDone reports that every non-victim process met its passage
+	// quota (victims of crash points in mixed runs are excluded too).
+	SurvivorsDone bool
+	// DoomedProcs lists the survivors the watchdog found blocked forever
+	// behind the stalled victim.
+	DoomedProcs []sim.StuckProc
+	// Misclassified lists watchdog-classification defects: a wedge the
+	// watchdog failed to attribute to the injected faults (a stuck process
+	// not marked doomed, or the stalled victim missing from the
+	// diagnostic). Must always be empty.
+	Misclassified []string
+	// MaxReaderBypass and MaxWriterBypass are the worst single-wait
+	// overtake counts observed by the bypass monitor for each class.
+	MaxReaderBypass, MaxWriterBypass int
+	// BypassByProc is the per-process worst single-wait overtake count.
+	BypassByProc []int
+	// BudgetExceeded reports that the run hit the step budget instead of
+	// terminating or being caught by the watchdog. Must never happen.
+	BudgetExceeded bool
+	// Err holds any other execution error (setup failure etc).
+	Err error
+}
+
+// Safe reports whether the execution preserved Mutual Exclusion.
+func (o StallOutcome) Safe() bool { return len(o.MEViolations) == 0 }
+
+// Doomed reports whether the stall wedged at least one survivor.
+func (o StallOutcome) Doomed() bool { return len(o.DoomedProcs) > 0 }
+
+// RunStall executes the scenario against a fresh alg, stalling pt.Victim
+// at step boundary pt.Step for pt.Duration, and classifies the outcome.
+func RunStall(alg memmodel.Algorithm, sc Scenario, pt fault.StallPoint) StallOutcome {
+	return RunMixed(alg, sc, nil, pt)
+}
+
+// RunMixed executes the scenario under the combined fault model: the crash
+// points crash-stop their victims while pt stalls its own. Crash victims
+// count as victims for SurvivorsDone (a crash-stopped process never
+// completes its quota, which is the crash model's expected outcome, not a
+// liveness defect of the survivors).
+func RunMixed(alg memmodel.Algorithm, sc Scenario, crashes []fault.Point, pt fault.StallPoint) StallOutcome {
+	sc.defaults()
+	out := StallOutcome{
+		Algorithm:      alg.Name(),
+		Point:          pt,
+		CrashPoints:    crashes,
+		VictimIsWriter: pt.Victim >= sc.NReaders,
+		StallSection:   memmodel.SecRemainder,
+	}
+	nProcs := sc.NReaders + sc.NWriters
+	mon := newCSMonitor(sc.NReaders)
+	byp := fairness.NewBypassMonitor(nProcs, sc.NReaders)
+	userObs := sc.Observer
+	sc.Observer = func(e trace.Event) {
+		byp.Observe(e)
+		if userObs != nil {
+			userObs(e)
+		}
+	}
+	r, err := buildRunner(alg, sc, mon)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	defer r.Close()
+
+	events, err := fault.DriveMixed(r, crashes, []fault.StallPoint{pt})
+	if len(events) == 1 && events[0].Stalled {
+		out.Stalled = true
+		out.StallSection = events[0].StallSection
+	}
+	out.MEViolations = mon.violations
+	out.BypassByProc = make([]int, nProcs)
+	for id := 0; id < nProcs; id++ {
+		out.BypassByProc[id] = byp.MaxBypass(id)
+	}
+	out.MaxReaderBypass = byp.MaxReaderBypass()
+	out.MaxWriterBypass = byp.MaxWriterBypass()
+
+	victims := map[int]bool{pt.Victim: true}
+	for _, c := range crashes {
+		victims[c.Victim] = true
+	}
+	quota := func(id int) int {
+		if id < sc.NReaders {
+			return sc.ReaderPassages
+		}
+		return sc.WriterPassages
+	}
+	allDone, survDone := true, true
+	for id := 0; id < nProcs; id++ {
+		if len(r.Account(id).Passages) >= quota(id) {
+			continue
+		}
+		allDone = false
+		if !victims[id] {
+			survDone = false
+		}
+	}
+	out.SurvivorsDone = survDone
+
+	var np *sim.NoProgressError
+	switch {
+	case err == nil:
+		out.Completed = allDone
+		// Clean termination means every process is done or crashed, so the
+		// only legitimately incomplete processes are crash victims. An
+		// alive-but-incomplete one is a harness invariant breach.
+		for id := 0; id < nProcs; id++ {
+			if len(r.Account(id).Passages) < quota(id) && r.Alive(id) {
+				out.Err = fmt.Errorf("spec: %s terminated with p%d alive but short of its passage quota", pt, id)
+				break
+			}
+		}
+	case errors.As(err, &np):
+		out.DoomedProcs = np.Stuck
+		out.Misclassified = classifyWedge(np, out, r)
+	case errors.Is(err, sim.ErrMaxSteps):
+		out.BudgetExceeded = true
+	default:
+		out.Err = err
+	}
+	return out
+}
+
+// classifyWedge cross-checks the watchdog's verdict against the injected
+// faults: with a stall or crash in play, every blocked survivor must be
+// marked doomed, and an applied indefinite stall must surface the victim
+// in the diagnostic's stalled list.
+func classifyWedge(np *sim.NoProgressError, out StallOutcome, r *sim.Runner) []string {
+	var bad []string
+	for _, s := range np.Stuck {
+		if !s.Doomed {
+			bad = append(bad, fmt.Sprintf(
+				"p%d reported blocked, not doomed, despite injected faults", s.Proc))
+		}
+	}
+	if out.Stalled && out.Point.Indefinite() && r.IsStalled(out.Point.Victim) {
+		found := false
+		for _, s := range np.Stalled {
+			if s.Proc == out.Point.Victim {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf(
+				"stalled victim p%d missing from the watchdog diagnostic", out.Point.Victim))
+		}
+	}
+	return bad
+}
+
+// StallSweep runs the scenario once stall-free to learn its length, then
+// re-executes it from scratch for every stall point of the victim — each
+// step boundary twice: once with a finite delay longer than the whole
+// reference execution (the strongest delay a fair adversary can apply) and
+// once indefinitely (the fail-slow limit). newAlg must return fresh
+// instances and mkSched fresh scheduler state per run; a nil mkSched
+// selects round-robin. The Scheduler field of sc is ignored in favor of
+// mkSched.
+func StallSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSched func() sched.Scheduler) ([]StallOutcome, error) {
+	if mkSched == nil {
+		mkSched = func() sched.Scheduler { return sched.NewRoundRobin() }
+	}
+	ref := sc
+	ref.Scheduler = mkSched()
+	rep := Run(newAlg(), ref)
+	if !rep.OK() {
+		return nil, fmt.Errorf("stall sweep: reference run of %s failed: %s", rep.Algorithm, rep.Failures())
+	}
+	delay := rep.Steps + 1
+	outs := make([]StallOutcome, 0, 2*(rep.Steps+1))
+	for k := 0; k <= rep.Steps; k++ {
+		for _, d := range []int{delay, fault.Forever} {
+			run := sc
+			run.Scheduler = mkSched()
+			outs = append(outs, RunStall(newAlg(), run, fault.StallPoint{Victim: victim, Step: k, Duration: d}))
+		}
+	}
+	return outs, nil
+}
+
+// StallSweepSampled samples stall points under seed-parameterized
+// schedules — one reference run plus up to perSeed stall runs per seed,
+// the points drawn duplicate-free over victims and the reference
+// execution's step range with a mix of finite and indefinite durations.
+// mkSched builds the scheduler for a seed; nil selects sched.NewRandom.
+func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []int, seeds []int64, perSeed int, mkSched func(seed int64) sched.Scheduler) ([]StallOutcome, error) {
+	if mkSched == nil {
+		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
+	}
+	var outs []StallOutcome
+	for _, seed := range seeds {
+		ref := sc
+		ref.Scheduler = mkSched(seed)
+		rep := Run(newAlg(), ref)
+		if !rep.OK() {
+			return nil, fmt.Errorf("stall sweep: reference run of %s (seed %d) failed: %s",
+				rep.Algorithm, seed, rep.Failures())
+		}
+		for _, pt := range fault.RandomStallPoints(seed, victims, rep.Steps+1, perSeed, rep.Steps+1) {
+			run := sc
+			run.Scheduler = mkSched(seed)
+			outs = append(outs, RunStall(newAlg(), run, pt))
+		}
+	}
+	return outs, nil
+}
+
+// MixedSweepSampled samples combined crash+stall configurations: per seed,
+// up to perSeed runs each pairing one crash point with one stall point
+// against distinct victims (crash victims drawn from crashVictims, stall
+// victims from stallVictims, skipping collisions). Only safety and
+// watchdog-classification axes are pass/fail for mixed runs; liveness is
+// characterized through the returned outcomes.
+func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVictims, stallVictims []int, seeds []int64, perSeed int, mkSched func(seed int64) sched.Scheduler) ([]StallOutcome, error) {
+	if mkSched == nil {
+		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
+	}
+	var outs []StallOutcome
+	for _, seed := range seeds {
+		ref := sc
+		ref.Scheduler = mkSched(seed)
+		rep := Run(newAlg(), ref)
+		if !rep.OK() {
+			return nil, fmt.Errorf("mixed sweep: reference run of %s (seed %d) failed: %s",
+				rep.Algorithm, seed, rep.Failures())
+		}
+		crashes := fault.RandomPoints(seed, crashVictims, rep.Steps+1, perSeed)
+		stalls := fault.RandomStallPoints(seed+1, stallVictims, rep.Steps+1, perSeed, rep.Steps+1)
+		n := min(len(crashes), len(stalls))
+		for i := 0; i < n; i++ {
+			if crashes[i].Victim == stalls[i].Victim {
+				continue
+			}
+			run := sc
+			run.Scheduler = mkSched(seed)
+			outs = append(outs, RunMixed(newAlg(), run, []fault.Point{crashes[i]}, stalls[i]))
+		}
+	}
+	return outs, nil
+}
+
+// StallViolations applies the section-sensitive fail-slow liveness
+// contract to a sweep's outcomes and renders every breach:
+//
+//   - Mutual Exclusion must survive every stall (safety under delay).
+//   - No run may hit the step budget: every wedge is watchdog-caught.
+//   - The watchdog must attribute every wedge to the injected faults
+//     (no Misclassified entries).
+//   - A finite stall must leave the whole execution complete — the
+//     simulator fast-forwards delays that would otherwise wedge, so any
+//     incompleteness is a genuine Deadlock-Freedom-under-delay breach.
+//   - An indefinite stall in the remainder section (including moot points)
+//     must leave every survivor live.
+//
+// Indefinite stalls in entry/CS/exit may doom survivors that busy-wait on
+// the victim; those outcomes are characterized (DoomedProcs, per-section
+// tallies) rather than flagged here. Callers with stronger expectations —
+// e.g. sibling-reader liveness under an in-CS reader stall for
+// Concurrent-Entering algorithms — layer them on top (see experiments
+// E15).
+func StallViolations(outs []StallOutcome) []string {
+	var v []string
+	for _, o := range outs {
+		id := fmt.Sprintf("%s %s", o.Algorithm, o.Point)
+		if o.Err != nil {
+			v = append(v, fmt.Sprintf("%s: error: %v", id, o.Err))
+			continue
+		}
+		if len(o.MEViolations) > 0 {
+			v = append(v, fmt.Sprintf("%s: %d mutual-exclusion violations", id, len(o.MEViolations)))
+		}
+		if o.BudgetExceeded {
+			v = append(v, id+": hang escaped the watchdog (step-budget timeout)")
+			continue
+		}
+		for _, m := range o.Misclassified {
+			v = append(v, id+": watchdog misclassification: "+m)
+		}
+		if !o.Point.Indefinite() {
+			if !o.Completed {
+				v = append(v, fmt.Sprintf(
+					"%s: finite stall wedged the execution (deadlock freedom under delay broken; %d doomed)",
+					id, len(o.DoomedProcs)))
+			}
+			continue
+		}
+		if o.StallSection == memmodel.SecRemainder && !o.SurvivorsDone {
+			v = append(v, id+": remainder-section stall wedged survivors")
+		}
+	}
+	return v
+}
