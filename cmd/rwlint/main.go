@@ -1,0 +1,98 @@
+// Command rwlint is the multichecker for the repo's simulated
+// shared-memory discipline: it runs the internal/lint analyzer suite
+// (memdiscipline, purepred, spinloop, verdictswitch) over the module and
+// exits non-zero on any unsuppressed diagnostic. It is the CI gate that
+// keeps algorithm code honest against memmodel.Proc — the invariant all
+// RMR measurements, coherence sweeps and fault-model verdicts rest on.
+//
+// Packages are loaded and type-checked from source with the standard
+// library only, so rwlint works in the offline build container. The
+// pattern "./..." denotes the whole module regardless of the working
+// directory; explicit directories (including testdata fixtures) are
+// linted as given. Algorithm-only analyzers (memdiscipline, spinloop)
+// apply to the packages listed in lint.AlgorithmPackages; purepred and
+// verdictswitch apply everywhere.
+//
+// Deliberate violations are suppressed in source with a justified
+//
+//	//rwlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line above; rwlint -v prints what was
+// suppressed and why.
+//
+// Usage:
+//
+//	rwlint [-v] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print suppressed findings with their justifications")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	code, err := run(patterns, *verbose, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rwlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run loads the patterns, applies the suite, prints findings and returns
+// the exit code: 0 clean, 1 unsuppressed findings.
+func run(patterns []string, verbose bool, w io.Writer) (int, error) {
+	loader, err := load.NewLoader("")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	if len(pkgs) == 0 {
+		return 0, fmt.Errorf("no packages matched %v", patterns)
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers(), lint.DefaultScope)
+	if err != nil {
+		return 0, err
+	}
+
+	bad, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if verbose {
+				fmt.Fprintf(w, "%s\n\tsuppressed: %s\n", f, f.Reason)
+			}
+			continue
+		}
+		bad++
+		fmt.Fprintln(w, f)
+		for _, fix := range f.Diagnostic.SuggestedFixes {
+			fmt.Fprintf(w, "\tsuggested fix (%s):\n", fix.Message)
+			for _, e := range fix.TextEdits {
+				fmt.Fprintf(w, "\t\t%s\n", e.NewText)
+			}
+		}
+	}
+	if verbose && suppressed > 0 {
+		fmt.Fprintf(w, "rwlint: %d suppressed finding(s)\n", suppressed)
+	}
+	if bad > 0 {
+		fmt.Fprintf(w, "rwlint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		return 1, nil
+	}
+	return 0, nil
+}

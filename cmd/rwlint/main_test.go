@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// badFixture is a package with known violations of every analyzer that
+// applies to algorithm code.
+const badFixture = "../../internal/lint/testdata/src/spinloop/a"
+
+// TestRunModuleClean is the merge gate: the whole module must lint clean.
+func TestRunModuleClean(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"./..."}, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("rwlint ./... exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestRunBadFixture checks the driver reports and exits non-zero on a
+// known-bad package.
+func TestRunBadFixture(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{badFixture}, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out.String())
+	}
+	for _, want := range []string{"[spinloop]", "busy-wait", "suggested fix"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunVerboseShowsSuppressions checks -v surfaces the escape-hatch
+// justifications.
+func TestRunVerboseShowsSuppressions(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{badFixture}, true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "suppressed: deliberate raw poll") {
+		t.Errorf("verbose output missing suppression justification:\n%s", out.String())
+	}
+}
+
+// TestRunUnknownPattern checks load failures exit through the error path.
+func TestRunUnknownPattern(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"./no/such/dir"}, false, &out); err == nil {
+		t.Fatal("expected an error for a nonexistent package")
+	}
+}
+
+// TestBinarySmoke builds the real binary and runs it over the known-bad
+// fixture: exit code 1 and diagnostics on stdout.
+func TestBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go build subprocess")
+	}
+	bin := filepath.Join(t.TempDir(), "rwlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, badFixture)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("rwlint exit = %v, want exit status 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "[spinloop]") {
+		t.Errorf("binary output missing diagnostics:\n%s", out)
+	}
+}

@@ -88,12 +88,16 @@ func (q *QueueRW) enqueue(p memmodel.Proc, slot int) {
 			break
 		}
 	}
+	//rwlint:ignore memdiscipline pred[slot] is slot's private node-recycling bookkeeping (classic CLH local state); only slot's owner touches it
 	q.pred[slot] = int(predIdx)
 	p.Await(q.nodes[predIdx], func(x uint64) bool { return x == 1 })
 }
 
 // adopt recycles the predecessor's node for the next passage.
-func (q *QueueRW) adopt(slot int) { q.mine[slot] = q.pred[slot] }
+func (q *QueueRW) adopt(slot int) {
+	//rwlint:ignore memdiscipline mine[slot] is slot's private node-recycling bookkeeping; only slot's owner touches it
+	q.mine[slot] = q.pred[slot]
+}
 
 // ReaderEnter: join the chain, wait for the baton, register in S, and pass
 // the baton immediately (early read handoff).

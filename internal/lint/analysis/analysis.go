@@ -1,0 +1,72 @@
+// Package analysis is a self-contained, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function that inspects one type-checked package through a Pass and
+// reports Diagnostics.
+//
+// The repo builds offline (no module proxy, no vendored third-party code),
+// so the real x/tools framework is unavailable; this package mirrors its
+// shapes exactly so the rwlint analyzers can migrate to a stock
+// multichecker by swapping one import if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// rwlint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation shown by rwlint -help.
+	Doc string
+
+	// Run applies the analyzer to one package and returns an optional
+	// result (unused by the rwlint driver, kept for API fidelity).
+	Run func(*Pass) (any, error)
+}
+
+// Pass provides one package's syntax and type information to an
+// Analyzer's Run function, plus the Report sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position. End and Category are
+// optional; SuggestedFixes carry mechanical rewrites when the analyzer
+// can compute one.
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos
+	Category       string
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is a mechanically applicable rewrite: a message plus the
+// text edits that implement it.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

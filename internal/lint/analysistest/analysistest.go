@@ -1,0 +1,159 @@
+// Package analysistest runs a lint analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which is not
+// available offline).
+//
+// A fixture line that should trigger diagnostics carries a comment
+//
+//	code // want "regexp" "another regexp"
+//
+// with one double- or back-quoted regexp per expected diagnostic on that
+// line. Every unsuppressed diagnostic must be matched by a want on its
+// line and every want must match a diagnostic. rwlint:ignore directives
+// are honored exactly as the rwlint driver honors them, so fixtures can
+// demonstrate the escape hatch: a line with a well-formed ignore and no
+// want asserts the suppression works; a malformed ignore is asserted via
+// a want matching the driver's own diagnostic.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// wantRE extracts the quoted expectation strings from a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture directory (relative paths resolve against the
+// test's working directory, conventionally "testdata/src/<analyzer>/<pkg>"),
+// applies the analyzer with driver-level ignore processing, and reports
+// mismatches through t. It returns the unsuppressed findings so callers
+// can make extra assertions (e.g. on suggested fixes).
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) []lint.Finding {
+	t.Helper()
+	loader, err := load.NewLoader("")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := loader.Load(dirs...)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no fixture packages in %v", dirs)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	// Collect want expectations per file:line.
+	type wantKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[wantKey][]*want)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					idx := indexWant(c.Text)
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := wantKey{pos.Filename, pos.Line}
+					for _, q := range wantRE.FindAllString(c.Text[idx:], -1) {
+						pat := q[1 : len(q)-1]
+						if q[0] == '"' {
+							if u, err := strconv.Unquote(q); err == nil {
+								pat = u
+							}
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+							continue
+						}
+						wants[key] = append(wants[key], &want{re: re, raw: q})
+					}
+				}
+			}
+		}
+	}
+
+	var unsuppressed []lint.Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		unsuppressed = append(unsuppressed, f)
+		key := wantKey{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(f.Diagnostic.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", f.Pos, f.Analyzer, f.Diagnostic.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %s", key.file, key.line, w.raw)
+			}
+		}
+	}
+	return unsuppressed
+}
+
+// indexWant finds the start of the expectations in a "// want" comment,
+// returning -1 if the comment is not a want comment.
+func indexWant(text string) int {
+	for _, prefix := range []string{"// want ", "//want "} {
+		if idx := strings.Index(text, prefix); idx >= 0 {
+			return idx + len(prefix)
+		}
+	}
+	return -1
+}
+
+// Suppressed is a convenience for asserting that a fixture produced a
+// specific number of suppressed findings (escape-hatch coverage).
+func Suppressed(t *testing.T, a *analysis.Analyzer, dir string) []lint.Finding {
+	t.Helper()
+	loader, err := load.NewLoader("")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var sup []lint.Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			sup = append(sup, f)
+		}
+	}
+	return sup
+}

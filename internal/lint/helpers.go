@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// isProcType reports whether t is the memmodel.Proc interface (possibly
+// behind an alias). Algorithm code always declares the process handle as
+// memmodel.Proc, so an identity test on the named type suffices.
+func isProcType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == memmodelPath && obj.Name() == "Proc"
+}
+
+// procCall reports whether call is a method call on a memmodel.Proc
+// value, returning the method name and the receiver expression.
+func procCall(info *types.Info, call *ast.CallExpr) (method string, recv ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	tv, have := info.Types[sel.X]
+	if !have || !isProcType(tv.Type) {
+		return "", nil, false
+	}
+	return sel.Sel.Name, sel.X, true
+}
+
+// isPureCall reports whether call is allowed inside a pure context: a
+// conversion, or one of the value-only builtins.
+func isPureCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	ident, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[ident].(*types.Builtin); ok {
+		switch b.Name() {
+		case "len", "cap", "min", "max":
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exprString renders an expression back to source text for messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's
+// source range — the free-variable test for closures.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}

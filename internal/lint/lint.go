@@ -1,0 +1,228 @@
+// Package lint is the rwlint analyzer suite: static checks that enforce
+// the simulated shared-memory discipline every result in this repo
+// depends on. Algorithm code must touch shared state exclusively through
+// memmodel.Proc steps (Read/Write/CAS/FetchAdd/Await) — one raw field
+// write or impure Await predicate silently corrupts RMR accounting, the
+// write-through/write-back coherence model, and the crash/stall fault
+// sweeps, without failing a single functional test.
+//
+// Four analyzers guard the invariant:
+//
+//   - memdiscipline: algorithm packages may not mutate Go-heap state
+//     shared across simulated processes (struct fields, field-held
+//     slices/maps) after Init, nor use sync, sync/atomic, goroutines or
+//     channels.
+//   - purepred: predicates passed to Await/AwaitMulti must be pure
+//     functions of the spun-on value.
+//   - spinloop: hand-rolled busy-wait loops over Proc.Read must be
+//     Proc.Await, or local-spin vs RMR classification is distorted.
+//   - verdictswitch: switches over memmodel.Recovery and
+//     memmodel.Section must be exhaustive.
+//
+// Deliberate exceptions are annotated in the source:
+//
+//	//rwlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// placed on the offending line or the line above. The reason is
+// mandatory; a bare ignore is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// memmodelPath is the import path of the abstract machine model package.
+const memmodelPath = "repro/internal/memmodel"
+
+// AlgorithmPackages are the packages holding algorithm implementations
+// written against memmodel.Proc; memdiscipline and spinloop apply only
+// here (harness and backend packages legitimately use Go concurrency).
+var AlgorithmPackages = map[string]bool{
+	"repro/internal/core":        true,
+	"repro/internal/baseline":    true,
+	"repro/internal/mutex":       true,
+	"repro/internal/recoverable": true,
+	"repro/internal/counter":     true,
+}
+
+// Analyzers returns the full rwlint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{MemDiscipline, PurePred, SpinLoop, VerdictSwitch}
+}
+
+// DefaultScope reports whether analyzer a applies to the package at
+// pkgPath: algorithm-only analyzers are restricted to AlgorithmPackages
+// (and lint fixtures); the rest run everywhere.
+func DefaultScope(a *analysis.Analyzer, pkgPath string) bool {
+	switch a {
+	case MemDiscipline, SpinLoop:
+		return AlgorithmPackages[pkgPath] || strings.Contains(pkgPath, "/lint/testdata/")
+	default:
+		return true
+	}
+}
+
+// Finding is one diagnostic located in a package, after suppression
+// processing.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("rwlint" for directive
+	// syntax problems found by the driver itself).
+	Analyzer string
+	// Pos is the resolved source position.
+	Pos token.Position
+	// Diagnostic is the underlying report.
+	Diagnostic analysis.Diagnostic
+	// Suppressed reports whether a well-formed rwlint:ignore directive
+	// covers this finding.
+	Suppressed bool
+	// Reason is the justification from the suppressing directive.
+	Reason string
+}
+
+// String formats the finding in file:line:col: [analyzer] message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Diagnostic.Message)
+}
+
+// Run applies the analyzers to every package, using scope to decide
+// which analyzers apply where (nil runs everything everywhere, which is
+// what fixture tests want). Suppressed findings are returned too, marked,
+// so callers can count them; directive syntax errors surface as findings
+// attributed to the pseudo-analyzer "rwlint".
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, scope func(*analysis.Analyzer, string) bool) ([]Finding, error) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg, known)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			if scope != nil && !scope(a, pkg.PkgPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Pos: pos, Diagnostic: d}
+				if dir, ok := dirs.match(a.Name, pos); ok {
+					f.Suppressed = true
+					f.Reason = dir.reason
+				}
+				findings = append(findings, f)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// directive is one parsed, well-formed rwlint:ignore comment.
+type directive struct {
+	analyzers map[string]bool
+	reason    string
+}
+
+// directiveIndex locates directives by file and line.
+type directiveIndex map[string]map[int]directive
+
+// match reports whether a directive for analyzer covers a diagnostic at
+// pos: same line, or the line immediately above.
+func (idx directiveIndex) match(analyzer string, pos token.Position) (directive, bool) {
+	lines := idx[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := lines[line]; ok && d.analyzers[analyzer] {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// collectDirectives scans a package's comments for rwlint:ignore
+// directives, returning the index of well-formed ones plus a finding for
+// every malformed one (missing reason, unknown analyzer name).
+func collectDirectives(pkg *load.Package, known map[string]bool) (directiveIndex, []Finding) {
+	idx := make(directiveIndex)
+	var bad []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Finding{
+			Analyzer:   "rwlint",
+			Pos:        pkg.Fset.Position(pos),
+			Diagnostic: analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)},
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//rwlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "rwlint:ignore needs an analyzer list and a reason: //rwlint:ignore <analyzer>[,<analyzer>] <reason>")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				d := directive{analyzers: make(map[string]bool), reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))}
+				valid := true
+				for _, n := range names {
+					if !known[n] {
+						report(c.Pos(), "rwlint:ignore names unknown analyzer %q (have %s)", n, strings.Join(knownNames(known), ", "))
+						valid = false
+						break
+					}
+					d.analyzers[n] = true
+				}
+				if !valid {
+					continue
+				}
+				if d.reason == "" {
+					report(c.Pos(), "rwlint:ignore requires a justification after the analyzer list; an unexplained suppression is a review bypass")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int]directive)
+				}
+				idx[pos.Filename][pos.Line] = d
+			}
+		}
+	}
+	return idx, bad
+}
+
+// knownNames returns the sorted analyzer names for error messages.
+func knownNames(known map[string]bool) []string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

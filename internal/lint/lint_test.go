@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// TestIgnoreDirectives drives the driver itself over the ignores
+// fixture: three identical spinloop violations, one under a well-formed
+// directive (suppressed), one under a reasonless directive (kept, plus a
+// driver finding), one under an unknown-analyzer directive (kept, plus a
+// driver finding).
+func TestIgnoreDirectives(t *testing.T) {
+	loader, err := load.NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("testdata/src/ignores/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{lint.SpinLoop}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var spinKept, spinSuppressed, driver int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "rwlint":
+			driver++
+		case f.Suppressed:
+			spinSuppressed++
+			if !strings.Contains(f.Reason, "calibration") {
+				t.Errorf("wrong justification carried: %q", f.Reason)
+			}
+		default:
+			spinKept++
+		}
+	}
+	if spinSuppressed != 1 || spinKept != 2 || driver != 2 {
+		t.Errorf("suppressed=%d kept=%d driver=%d, want 1/2/2\nall: %v",
+			spinSuppressed, spinKept, driver, findings)
+	}
+}
+
+// TestDefaultScope pins which analyzers run where.
+func TestDefaultScope(t *testing.T) {
+	cases := []struct {
+		a    *analysis.Analyzer
+		path string
+		want bool
+	}{
+		{lint.MemDiscipline, "repro/internal/core", true},
+		{lint.MemDiscipline, "repro/internal/sim", false},
+		{lint.MemDiscipline, "repro/internal/lint/testdata/src/memdiscipline/a", true},
+		{lint.SpinLoop, "repro/internal/mutex", true},
+		{lint.SpinLoop, "repro/internal/spec", false},
+		{lint.PurePred, "repro/internal/sim", true},
+		{lint.VerdictSwitch, "repro/internal/experiments", true},
+	}
+	for _, c := range cases {
+		if got := lint.DefaultScope(c.a, c.path); got != c.want {
+			t.Errorf("DefaultScope(%s, %s) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+}
+
+// TestSuiteRegistry pins the suite composition rwlint:ignore directives
+// validate against.
+func TestSuiteRegistry(t *testing.T) {
+	var names []string
+	for _, a := range lint.Analyzers() {
+		names = append(names, a.Name)
+	}
+	want := []string{"memdiscipline", "purepred", "spinloop", "verdictswitch"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Errorf("suite = %v, want %v", names, want)
+	}
+}

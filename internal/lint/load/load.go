@@ -1,0 +1,315 @@
+// Package load type-checks packages of this module from source using only
+// the standard library, for consumption by the rwlint analyzers.
+//
+// The container this repo builds in has no module proxy and no GOPATH
+// cache, so golang.org/x/tools/go/packages is not available. The module
+// also has zero external dependencies, which makes a from-source loader
+// small: an import path resolves either into this module (repro/... maps
+// onto the module root) or into GOROOT/src. Dependencies are type-checked
+// with IgnoreFuncBodies (only their package-level API matters to the
+// analyzers); the packages named by the load patterns get a full check
+// with a populated types.Info.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked target package.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/core").
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset is the loader-wide file set all positions resolve through.
+	Fset *token.FileSet
+	// Files is the parsed syntax of the package's non-test Go files,
+	// with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checking facts for Files.
+	Info *types.Info
+	// Errs collects type errors encountered in this package. Load fails
+	// on any, but they are kept for diagnostics.
+	Errs []error
+}
+
+// Loader resolves and type-checks packages. It caches dependency checks,
+// so loading many overlapping targets through one Loader is cheap.
+type Loader struct {
+	// ModRoot is the absolute path of the module root directory.
+	ModRoot string
+	// ModPath is the module path from go.mod ("repro").
+	ModPath string
+
+	fset    *token.FileSet
+	shallow map[string]*types.Package // deps, bodies ignored
+	loading map[string]bool           // import-cycle guard
+}
+
+// NewLoader locates the enclosing module by walking up from dir (or the
+// working directory if dir is empty) to the nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("load: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    token.NewFileSet(),
+		shallow: make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s", gomod)
+}
+
+// Load expands the patterns and returns one fully checked Package per
+// matched directory, in pattern order. Supported patterns: "./..." and
+// "dir/..." recursive walks (testdata, vendor and dot/underscore
+// directories are skipped), plus explicit relative or absolute
+// directories, which may point anywhere in the module including testdata.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.check(dir)
+		if err != nil {
+			if errors.As(err, new(*build.NoGoError)) {
+				continue // directory with no non-test Go files
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand turns patterns into a deduplicated list of package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = l.ModRoot
+			}
+		}
+		if !filepath.IsAbs(pat) {
+			abs, err := filepath.Abs(pat)
+			if err != nil {
+				return nil, err
+			}
+			pat = abs
+		}
+		if !strings.HasPrefix(pat, l.ModRoot) {
+			return nil, fmt.Errorf("load: pattern %s is outside module %s", pat, l.ModRoot)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			glob, _ := filepath.Glob(filepath.Join(path, "*.go"))
+			for _, g := range glob {
+				if !strings.HasSuffix(g, "_test.go") {
+					add(path)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPathFor maps a module-internal directory to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor resolves an import path to a source directory: module-internal
+// paths map onto the module root, everything else must be in GOROOT/src.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModPath {
+		return l.ModRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), nil
+	}
+	dir := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("load: cannot resolve import %q (module has no external dependencies)", path)
+}
+
+// Import implements types.Importer over the shallow dependency cache.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.shallow[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		// Dependencies only contribute their package-level API; tolerate
+		// soft errors (e.g. build-tag oddities in GOROOT sources).
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("load: checking %s: %w", path, err)
+	}
+	l.shallow[path] = pkg
+	return pkg, nil
+}
+
+// check fully type-checks the package in dir, including function bodies
+// and a populated types.Info.
+func (l *Loader) check(dir string) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		PkgPath: l.importPathFor(dir),
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			pkg.Errs = append(pkg.Errs, err)
+		},
+	}
+	tpkg, err := conf.Check(pkg.PkgPath, l.fset, files, pkg.Info)
+	if len(pkg.Errs) > 0 {
+		return nil, fmt.Errorf("load: type errors in %s: %v", pkg.PkgPath, errors.Join(pkg.Errs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load: checking %s: %w", pkg.PkgPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

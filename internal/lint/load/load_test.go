@@ -1,0 +1,61 @@
+package load_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/load"
+)
+
+// TestLoadModulePackage checks the from-source loader produces a fully
+// typed package with syntax, comments and type info.
+func TestLoadModulePackage(t *testing.T) {
+	loader, err := load.NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModPath != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.ModPath)
+	}
+	pkgs, err := loader.Load("../../memmodel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "repro/internal/memmodel" {
+		t.Errorf("pkg path = %q", pkg.PkgPath)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Proc") == nil {
+		t.Error("memmodel.Proc not in scope after load")
+	}
+	if len(pkg.Info.Defs) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Error("type info not populated")
+	}
+}
+
+// TestLoadRecursive checks pattern expansion skips testdata but loads
+// sibling packages, and that explicit testdata paths still work.
+func TestLoadRecursive(t *testing.T) {
+	loader, err := load.NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("../../lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if p.PkgPath == "repro/internal/lint/testdata/src/spinloop/a" {
+			t.Errorf("recursive walk descended into testdata: %s", p.PkgPath)
+		}
+	}
+	fix, err := loader.Load("../testdata/src/spinloop/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fix) != 1 || fix[0].Types == nil {
+		t.Fatalf("explicit testdata load failed: %v", fix)
+	}
+}

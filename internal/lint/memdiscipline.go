@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MemDiscipline flags cross-process shared state in algorithm packages
+// that bypasses memmodel.Proc. In the simulated machine every shared
+// variable is a memmodel.Var and every access is a counted step; a raw
+// Go-heap mutation (struct field write, shared slice/map element write)
+// after Init is invisible to RMR accounting and to the write-through/
+// write-back coherence protocols, so it corrupts exactly the quantities
+// the experiments measure. sync, sync/atomic, goroutines and channels
+// are banned outright: the simulator owns scheduling.
+//
+// Init methods and New* constructors are exempt — they run before any
+// process takes steps, which is when Go-side wiring is legitimate.
+// Per-process local scratch (slots indexed by the caller's own id, never
+// read cross-process) is the known benign pattern; it must be annotated
+// with //rwlint:ignore memdiscipline <reason>.
+var MemDiscipline = &analysis.Analyzer{
+	Name: "memdiscipline",
+	Doc:  "flag shared-state access in algorithm packages that bypasses memmodel.Proc",
+	Run:  runMemDiscipline,
+}
+
+func runMemDiscipline(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || path == "sync/atomic" {
+				pass.Reportf(imp.Pos(), "import of %q in an algorithm package: shared-memory steps must go through memmodel.Proc so they are RMR-accounted and coherence-modeled", path)
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if setupFunc(fn) {
+				continue
+			}
+			checkDisciplineBody(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// setupFunc reports whether fn runs before processes take steps:
+// Algorithm.Init, New* constructors, With* functional options (applied
+// inside New), and package init functions.
+func setupFunc(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	return name == "Init" || name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "With")
+}
+
+// checkDisciplineBody walks one passage-time function body.
+func checkDisciplineBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWriteTarget(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(pass, n.X)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in an algorithm package: the simulator owns scheduling; concurrency must be expressed as simulated processes")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in an algorithm package escapes the shared-memory model; communicate through memmodel.Var state")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "channel receive in an algorithm package escapes the shared-memory model; communicate through memmodel.Var state")
+			}
+		}
+		return true
+	})
+}
+
+// checkWriteTarget reports lhs when it mutates state reachable from a
+// struct field: the field itself, or an element of a field-held slice,
+// array or map. Plain local variables are fine.
+func checkWriteTarget(pass *analysis.Pass, lhs ast.Expr) {
+	e := unparen(lhs)
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = unparen(star.X)
+	}
+	// Descend through element writes (x.f[i], x.f[i][j]) to the base.
+	elem := false
+	for {
+		idx, ok := unparen(e).(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		elem = true
+		e = idx.X
+	}
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	what := "struct field"
+	if elem {
+		what = "element of shared field"
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: lhs.Pos(),
+		End: lhs.End(),
+		Message: fmt.Sprintf(
+			"write to %s %s outside Init/constructor bypasses memmodel.Proc and RMR accounting; use Proc.Write/CAS on a memmodel.Var, or annotate per-process-local scratch with //rwlint:ignore memdiscipline <reason>",
+			what, exprString(pass.Fset, lhs)),
+	})
+}

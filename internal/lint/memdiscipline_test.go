@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestMemDiscipline(t *testing.T) {
+	findings := analysistest.Run(t, lint.MemDiscipline, "testdata/src/memdiscipline/a")
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+}
+
+// TestMemDisciplineEscapeHatch asserts the annotated scratch write is
+// suppressed rather than dropped: the finding still exists, marked, with
+// the justification attached.
+func TestMemDisciplineEscapeHatch(t *testing.T) {
+	sup := analysistest.Suppressed(t, lint.MemDiscipline, "testdata/src/memdiscipline/a")
+	if len(sup) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1: %v", len(sup), sup)
+	}
+	if sup[0].Reason == "" {
+		t.Error("suppressed finding lost its justification")
+	}
+}

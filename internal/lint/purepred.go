@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// PurePred verifies that predicates passed to Proc.Await and
+// Proc.AwaitMulti are pure functions of the spun-on value(s). The
+// simulator re-evaluates a predicate on every invalidation of the
+// spun-on variable, at points the algorithm does not control; a
+// predicate with side effects, or one that reads state other than its
+// argument, gives the spin loop a meaning the local-spin RMR charging
+// rule (one RMR per invalidation-triggered re-read) no longer matches.
+//
+// Capturing enclosing scalars read-only (thresholds, sequence numbers
+// fixed before the Await) is allowed — the value is frozen while the
+// process blocks. Flagged: mutating any captured variable, calling
+// anything but len/cap/min/max or a conversion, performing Proc steps,
+// and reading captured composite state through selectors or indexing.
+var PurePred = &analysis.Analyzer{
+	Name: "purepred",
+	Doc:  "require Await/AwaitMulti predicates to be pure functions of their argument",
+	Run:  runPurePred,
+}
+
+func runPurePred(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, _, ok := procCall(pass.TypesInfo, call)
+			if !ok || (method != "Await" && method != "AwaitMulti") || len(call.Args) < 2 {
+				return true
+			}
+			pred := unparen(call.Args[len(call.Args)-1])
+			lit, ok := pred.(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(pred.Pos(), "%s predicate %s is not a func literal; rwlint cannot verify its purity — inline it as func(...) bool { ... }", method, exprString(pass.Fset, pred))
+				return true
+			}
+			checkPredicate(pass, method, lit)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkPredicate walks one predicate literal's body for impurities.
+func checkPredicate(pass *analysis.Pass, method string, lit *ast.FuncLit) {
+	// free reports whether ident resolves to a variable declared outside
+	// the literal (a capture). Constants, types and functions are not
+	// variables; mutating or dereferencing them is impossible or flagged
+	// through the call rules.
+	free := func(ident *ast.Ident) (*types.Var, bool) {
+		obj, ok := pass.TypesInfo.Uses[ident]
+		if !ok {
+			return nil, false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || declaredWithin(v, lit) {
+			return nil, false
+		}
+		return v, true
+	}
+	reportMutation := func(target ast.Expr) {
+		switch e := unparen(target).(type) {
+		case *ast.Ident:
+			if v, ok := free(e); ok {
+				pass.Reportf(target.Pos(), "%s predicate mutates captured variable %s; predicates must be pure — the simulator re-evaluates them at arbitrary invalidation points", method, v.Name())
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			pass.Reportf(target.Pos(), "%s predicate mutates %s; predicates must be pure — the simulator re-evaluates them at arbitrary invalidation points", method, exprString(pass.Fset, target))
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() == ":=" {
+				return true // new locals are fine
+			}
+			for _, lhs := range n.Lhs {
+				reportMutation(lhs)
+			}
+		case *ast.IncDecStmt:
+			reportMutation(n.X)
+		case *ast.CallExpr:
+			if isPureCall(pass.TypesInfo, n) {
+				return true
+			}
+			if m, recv, ok := procCall(pass.TypesInfo, n); ok {
+				pass.Reportf(n.Pos(), "%s predicate performs a shared-memory step %s.%s; the spun-on value is the predicate's only legitimate input", method, exprString(pass.Fset, recv), m)
+			} else {
+				pass.Reportf(n.Pos(), "%s predicate calls %s; predicates must be pure functions of their argument (only len/cap/min/max and conversions are allowed)", method, exprString(pass.Fset, n.Fun))
+			}
+			return false // one finding per impure call; skip its operands
+		case *ast.SelectorExpr:
+			if base, ok := unparen(n.X).(*ast.Ident); ok {
+				if _, isFree := free(base); isFree {
+					if s, ok := pass.TypesInfo.Selections[n]; ok && s.Kind() == types.FieldVal {
+						pass.Reportf(n.Pos(), "%s predicate reads captured state %s; hoist it into a local before the Await so the captured value is visibly frozen", method, exprString(pass.Fset, n))
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if base, ok := unparen(n.X).(*ast.Ident); ok {
+				if v, isFree := free(base); isFree {
+					pass.Reportf(n.Pos(), "%s predicate indexes captured %s; hoist the element into a local before the Await", method, v.Name())
+				}
+			}
+		case *ast.GoStmt, *ast.SendStmt, *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "%s predicate contains a concurrency construct; predicates must be pure", method)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "%s predicate contains a channel receive; predicates must be pure", method)
+			}
+		}
+		return true
+	})
+}

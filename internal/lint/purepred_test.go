@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestPurePred(t *testing.T) {
+	findings := analysistest.Run(t, lint.PurePred, "testdata/src/purepred/a")
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+}
+
+func TestPurePredEscapeHatch(t *testing.T) {
+	sup := analysistest.Suppressed(t, lint.PurePred, "testdata/src/purepred/a")
+	if len(sup) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1: %v", len(sup), sup)
+	}
+}

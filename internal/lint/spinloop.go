@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+
+	"repro/internal/lint/analysis"
+)
+
+// SpinLoop flags hand-rolled busy-wait loops in algorithm code: a for
+// loop that makes no progress other than re-issuing Proc.Read until some
+// value appears. In the paper's model such a loop is charged one RMR per
+// Read — every iteration — while the sanctioned Proc.Await spins on a
+// cached copy and is charged one RMR per invalidation. A raw polling
+// loop therefore inflates RMR counts, distorts the local-spin vs remote
+// classification the CC/DSM separation rests on, and (because it never
+// blocks in the runner) can spin forever without tripping the
+// no-progress watchdog's blocked-process accounting.
+//
+// A loop is a busy-wait if its condition performs a Proc.Read, or if it
+// is an infinite for whose body's only Proc activity is reading (CAS
+// retry loops and loops that Await inside are fine: they either make
+// writing steps or already spin locally). Where the loop is a bare
+// `for p.Read(v) <cond> {}` the analyzer suggests the mechanical Await
+// rewrite.
+var SpinLoop = &analysis.Analyzer{
+	Name: "spinloop",
+	Doc:  "flag busy-wait Proc.Read polling loops that should be Proc.Await",
+	Run:  runSpinLoop,
+}
+
+func runSpinLoop(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			checkLoop(pass, loop)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// loopProfile counts the kinds of calls appearing under a node.
+type loopProfile struct {
+	reads    int           // Proc.Read calls
+	progress int           // Proc.Write/CAS/FetchAdd/Await/AwaitMulti/Section
+	opaque   int           // any other non-pure call (could hide progress)
+	readCall *ast.CallExpr // a representative Read call
+}
+
+func profile(pass *analysis.Pass, nodes ...ast.Node) loopProfile {
+	var p loopProfile
+	for _, node := range nodes {
+		if node == nil {
+			continue
+		}
+		ast.Inspect(node, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if method, _, ok := procCall(pass.TypesInfo, call); ok {
+				switch method {
+				case "Read":
+					p.reads++
+					if p.readCall == nil {
+						p.readCall = call
+					}
+				case "Write", "CAS", "FetchAdd", "Await", "AwaitMulti", "Section":
+					p.progress++
+				default:
+					p.opaque++ // ID() etc: harmless, but be conservative
+				}
+				return true
+			}
+			if !isPureCall(pass.TypesInfo, call) {
+				p.opaque++
+			}
+			return true
+		})
+	}
+	return p
+}
+
+func checkLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	cond := profile(pass, loop.Cond)
+	body := profile(pass, loop.Body, loop.Init, loop.Post)
+	busy := cond.reads > 0 ||
+		(loop.Cond == nil && body.reads > 0 && body.progress == 0 && body.opaque == 0)
+	if !busy {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos:     loop.Pos(),
+		End:     loop.End(),
+		Message: "busy-wait loop polls with Proc.Read: each iteration is a charged RMR and the loop never blocks in the runner; use Proc.Await, which spins locally on a cached copy and is charged per invalidation",
+	}
+	if fix, ok := awaitRewrite(pass, loop, cond); ok {
+		d.SuggestedFixes = append(d.SuggestedFixes, fix)
+	}
+	pass.Report(d)
+}
+
+// awaitRewrite builds the mechanical fix for the `for p.Read(v) <op> k {}`
+// shape: an empty-bodied loop whose condition contains exactly one Read.
+// The rewrite is p.Await(v, func(x uint64) bool { return !(cond) }) with
+// the Read call replaced by the predicate argument.
+func awaitRewrite(pass *analysis.Pass, loop *ast.ForStmt, cond loopProfile) (analysis.SuggestedFix, bool) {
+	if loop.Cond == nil || cond.reads != 1 || cond.progress != 0 || cond.opaque != 0 ||
+		loop.Init != nil || loop.Post != nil || len(loop.Body.List) != 0 {
+		return analysis.SuggestedFix{}, false
+	}
+	read := cond.readCall
+	if len(read.Args) != 1 {
+		return analysis.SuggestedFix{}, false
+	}
+	src, err := sourceRange(pass, loop.Cond.Pos(), loop.Cond.End())
+	if err != nil {
+		return analysis.SuggestedFix{}, false
+	}
+	// Splice "x" over the Read call inside the condition text.
+	condStart := pass.Fset.Position(loop.Cond.Pos()).Offset
+	rs := pass.Fset.Position(read.Pos()).Offset - condStart
+	re := pass.Fset.Position(read.End()).Offset - condStart
+	if rs < 0 || re > len(src) || rs > re {
+		return analysis.SuggestedFix{}, false
+	}
+	predCond := src[:rs] + "x" + src[re:]
+	_, recv, _ := procCall(pass.TypesInfo, read)
+	newText := fmt.Sprintf("%s.Await(%s, func(x uint64) bool { return !(%s) })",
+		exprString(pass.Fset, recv), exprString(pass.Fset, read.Args[0]), predCond)
+	return analysis.SuggestedFix{
+		Message: "replace the polling loop with a local-spin Await",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     loop.Pos(),
+			End:     loop.End(),
+			NewText: []byte(newText),
+		}},
+	}, true
+}
+
+// sourceRange reads the raw source text between two positions.
+func sourceRange(pass *analysis.Pass, from, to token.Pos) (string, error) {
+	f := pass.Fset.Position(from)
+	t := pass.Fset.Position(to)
+	data, err := os.ReadFile(f.Filename)
+	if err != nil {
+		return "", err
+	}
+	if f.Offset < 0 || t.Offset > len(data) || f.Offset > t.Offset {
+		return "", fmt.Errorf("bad range")
+	}
+	return string(data[f.Offset:t.Offset]), nil
+}

@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestSpinLoop(t *testing.T) {
+	findings := analysistest.Run(t, lint.SpinLoop, "testdata/src/spinloop/a")
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+
+	// The bare `for p.Read(l.v) != 0 {}` poll must come with the
+	// mechanical Await rewrite.
+	var fixes []string
+	for _, f := range findings {
+		for _, fix := range f.Diagnostic.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				fixes = append(fixes, string(e.NewText))
+			}
+		}
+	}
+	want := "p.Await(l.v, func(x uint64) bool { return !(x != 0) })"
+	found := false
+	for _, fx := range fixes {
+		if fx == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suggested fixes %q missing the Await rewrite %q", fixes, want)
+	}
+}
+
+func TestSpinLoopEscapeHatch(t *testing.T) {
+	sup := analysistest.Suppressed(t, lint.SpinLoop, "testdata/src/spinloop/a")
+	if len(sup) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1: %v", len(sup), sup)
+	}
+	if !strings.Contains(sup[0].Reason, "coherence") {
+		t.Errorf("justification not carried through: %q", sup[0].Reason)
+	}
+}

@@ -1,0 +1,25 @@
+// Package a is the rwlint:ignore directive fixture: one well-formed
+// suppression, one missing its mandatory justification, and one naming
+// an analyzer that does not exist. The driver must honor only the first
+// and report the other two as findings of its own.
+package a
+
+import "repro/internal/memmodel"
+
+// L is an algorithm-shaped struct.
+type L struct{ v memmodel.Var }
+
+// Spin carries three identical violations under three directives.
+func (l *L) Spin(p memmodel.Proc) {
+	//rwlint:ignore spinloop calibration loop: measures raw coherence traffic on purpose
+	for p.Read(l.v) == 0 {
+	}
+
+	//rwlint:ignore spinloop
+	for p.Read(l.v) == 1 {
+	}
+
+	//rwlint:ignore nosuchanalyzer because reasons
+	for p.Read(l.v) == 2 {
+	}
+}

@@ -1,0 +1,59 @@
+// Package a is the memdiscipline fixture: one algorithm-shaped type
+// exercising every rule — banned imports, post-Init shared mutation,
+// goroutines and channels — next to the accepted idioms (Init and
+// constructor wiring, locals, Proc steps, annotated scratch).
+package a
+
+import (
+	"sync"        // want `import of "sync" in an algorithm package`
+	"sync/atomic" // want `import of "sync/atomic" in an algorithm package`
+
+	"repro/internal/memmodel"
+)
+
+// Lock is an algorithm-shaped struct with both model state and raw
+// Go-heap state.
+type Lock struct {
+	state   memmodel.Var
+	mu      sync.Mutex
+	raw     uint64
+	scratch []int
+	seen    map[int]bool
+}
+
+// NewLock wires Go-side state before any process runs: allowed.
+func NewLock(a memmodel.Allocator) *Lock {
+	l := &Lock{}
+	l.state = a.Alloc("state", 0)
+	l.seen = map[int]bool{}
+	return l
+}
+
+// Init is the Algorithm setup hook: field writes here are allowed.
+func (l *Lock) Init(a memmodel.Allocator, nReaders, nWriters int) error {
+	l.scratch = make([]int, nReaders)
+	return nil
+}
+
+// Enter is passage-time code: every raw mutation below escapes RMR
+// accounting and the coherence model.
+func (l *Lock) Enter(p memmodel.Proc, slot int) {
+	l.raw = 1           // want `write to struct field l\.raw outside Init/constructor`
+	l.raw++             // want `write to struct field l\.raw outside Init/constructor`
+	l.scratch[slot] = 7 // want `write to element of shared field l\.scratch\[slot\] outside Init/constructor`
+	l.seen[slot] = true // want `write to element of shared field l\.seen\[slot\] outside Init/constructor`
+	l.mu.Lock()         // the sync import is the finding; the call itself is not re-flagged
+	l.mu.Unlock()
+	_ = atomic.LoadUint64(&l.raw) // likewise for sync/atomic
+
+	local := 0 // plain locals are fine
+	local = slot
+	p.Write(l.state, uint64(local)) // the sanctioned write path
+
+	go func() { _ = slot }() // want `go statement in an algorithm package`
+	ch := make(chan int, 1)
+	ch <- 1 // want `channel send in an algorithm package`
+	<-ch    // want `channel receive in an algorithm package`
+
+	l.scratch[slot] = 9 //rwlint:ignore memdiscipline per-process scratch slot indexed by the caller's own id, never read cross-process
+}

@@ -1,0 +1,39 @@
+// Package a is the purepred fixture: Await/AwaitMulti predicates
+// covering the pure idioms (value-only tests, captured scalar reads,
+// conversions) and every impurity class the analyzer flags.
+package a
+
+import "repro/internal/memmodel"
+
+// W holds a signal variable plus captured-state bait.
+type W struct {
+	sig    memmodel.Var
+	target uint64
+	slots  []uint64
+}
+
+func helper(x uint64) bool { return x == 1 }
+
+// Wait exercises the predicate rules.
+func (w *W) Wait(p memmodel.Proc, seq uint64, k int) {
+	p.Await(w.sig, func(x uint64) bool { return x == seq })                                             // ok: captured scalar, read-only
+	p.Await(w.sig, func(x uint64) bool { return x>>1 == uint64(k) })                                    // ok: conversion
+	p.AwaitMulti([]memmodel.Var{w.sig}, func(vs []uint64) bool { return vs[0] == seq && len(vs) == 1 }) // ok: indexing the argument
+
+	var count uint64
+	p.Await(w.sig, func(x uint64) bool { count++; return x > count }) // want `Await predicate mutates captured variable count`
+	_ = count
+
+	p.Await(w.sig, func(x uint64) bool { return helper(x) })          // want `Await predicate calls helper`
+	p.Await(w.sig, func(x uint64) bool { return x == p.Read(w.sig) }) // want `Await predicate performs a shared-memory step p\.Read`
+	p.Await(w.sig, func(x uint64) bool { return x == w.target })      // want `Await predicate reads captured state w\.target`
+	p.Await(w.sig, func(x uint64) bool { return x == w.slots[0] })    // want `Await predicate reads captured state w\.slots`
+
+	local := []uint64{1}
+	p.Await(w.sig, func(x uint64) bool { return x == local[0] }) // want `Await predicate indexes captured local`
+
+	p.Await(w.sig, helper) // want `Await predicate helper is not a func literal`
+
+	//rwlint:ignore purepred reviewed: helper is a pure table lookup, inlining it would duplicate the table
+	p.Await(w.sig, func(x uint64) bool { return helper(x) })
+}

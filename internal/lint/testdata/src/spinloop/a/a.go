@@ -1,0 +1,47 @@
+// Package a is the spinloop fixture: raw Proc.Read polling loops (the
+// busy-waits that inflate RMR counts and dodge the watchdog) alongside
+// the accepted loop shapes — CAS retries, bounded scans, Await.
+package a
+
+import "repro/internal/memmodel"
+
+// L is an algorithm-shaped struct with two shared words.
+type L struct {
+	v    memmodel.Var
+	tail memmodel.Var
+}
+
+// Enter exercises the loop rules.
+func (l *L) Enter(p memmodel.Proc) {
+	for p.Read(l.v) != 0 { // want `busy-wait loop polls with Proc\.Read`
+	}
+
+	for { // want `busy-wait loop polls with Proc\.Read`
+		if p.Read(l.v) == 0 {
+			break
+		}
+	}
+
+	// ok: a CAS retry loop makes writing steps; retries are bounded by
+	// concurrent arrivals, not by another process's exit.
+	for {
+		cur := p.Read(l.tail)
+		if _, ok := p.CAS(l.tail, cur, cur+1); ok {
+			break
+		}
+	}
+
+	// ok: the sanctioned local spin.
+	p.Await(l.v, func(x uint64) bool { return x == 0 })
+
+	// ok: bounded scan, the condition never consults shared memory.
+	sum := uint64(0)
+	for i := 0; i < 4; i++ {
+		sum += p.Read(l.v)
+	}
+	_ = sum
+
+	//rwlint:ignore spinloop deliberate raw poll: the coherence experiment measures exactly this traffic inflation
+	for p.Read(l.v) != 1 {
+	}
+}

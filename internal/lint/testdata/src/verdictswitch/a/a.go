@@ -1,0 +1,42 @@
+// Package a is the verdictswitch fixture: switches over
+// memmodel.Section and memmodel.Recovery in exhaustive, defaulted and
+// holey variants, plus an unguarded type the analyzer must ignore.
+package a
+
+import "repro/internal/memmodel"
+
+// Classify exercises the exhaustiveness rules.
+func Classify(s memmodel.Section, r memmodel.Recovery) string {
+	switch s { // want `switch over memmodel\.Section is not exhaustive: missing memmodel\.SecExit, memmodel\.SecRecover`
+	case memmodel.SecRemainder, memmodel.SecEntry, memmodel.SecCS:
+		return "early"
+	}
+
+	switch s { // ok: explicit default catches future sections
+	case memmodel.SecEntry:
+		return "entry"
+	default:
+		return "other"
+	}
+}
+
+// Verdicts exercises the Recovery side.
+func Verdicts(r memmodel.Recovery) int {
+	switch r { // ok: all three verdicts covered
+	case memmodel.RecoverAbort, memmodel.RecoverCS, memmodel.RecoverDone:
+		return 1
+	}
+
+	switch r { // want `switch over memmodel\.Recovery is not exhaustive: missing memmodel\.RecoverDone`
+	case memmodel.RecoverAbort:
+		return 2
+	case memmodel.RecoverCS:
+		return 3
+	}
+
+	switch x := 3; x { // ok: not a guarded enum
+	case 3:
+		return x
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// VerdictSwitch requires switches over memmodel.Recovery and
+// memmodel.Section to be exhaustive: every declared constant of the type
+// covered by a case, or an explicit default clause. Both enums grow with
+// the failure models (SecRecover arrived with crash-recovery); a switch
+// written against the old constant set silently drops the new arm —
+// recovery verdicts get ignored, section RMRs land in the wrong bucket —
+// without any test failing. The analyzer pins the constant set at lint
+// time and suggests a panicking default where one is missing.
+var VerdictSwitch = &analysis.Analyzer{
+	Name: "verdictswitch",
+	Doc:  "require switches over memmodel.Recovery/Section to be exhaustive",
+	Run:  runVerdictSwitch,
+}
+
+// verdictTypes names the guarded enum types in memmodel.
+var verdictTypes = map[string]bool{"Recovery": true, "Section": true}
+
+func runVerdictSwitch(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != memmodelPath || !verdictTypes[obj.Name()] {
+		return
+	}
+
+	// Every declared constant of the enum type, in declaration order.
+	type enumConst struct {
+		name string
+		val  string
+	}
+	var all []enumConst
+	scope := obj.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(types.Unalias(c.Type()), named) {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+	for _, c := range consts {
+		all = append(all, enumConst{name: c.Name(), val: c.Val().ExactString()})
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // explicit default: new values cannot be silently ignored
+		}
+		for _, expr := range clause.List {
+			if ctv, ok := pass.TypesInfo.Types[expr]; ok && ctv.Value != nil {
+				covered[ctv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range all {
+		if !covered[c.val] {
+			missing = append(missing, qualify(pass, obj, c.name))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos: sw.Pos(),
+		End: sw.End(),
+		Message: fmt.Sprintf("switch over %s is not exhaustive: missing %s — add the cases or an explicit default (panic on unhandled values rather than silently ignoring them)",
+			qualify(pass, obj, obj.Name()), strings.Join(missing, ", ")),
+	}
+	if fix, ok := defaultFix(pass, sw, obj); ok {
+		d.SuggestedFixes = append(d.SuggestedFixes, fix)
+	}
+	pass.Report(d)
+}
+
+// qualify renders name with the memmodel package qualifier unless the
+// switch lives in memmodel itself.
+func qualify(pass *analysis.Pass, obj *types.TypeName, name string) string {
+	if pass.Pkg != nil && pass.Pkg.Path() == obj.Pkg().Path() {
+		return name
+	}
+	return obj.Pkg().Name() + "." + name
+}
+
+// defaultFix suggests inserting a panicking default clause before the
+// switch's closing brace, when the tag is a simple expression that can
+// be repeated safely.
+func defaultFix(pass *analysis.Pass, sw *ast.SwitchStmt, obj *types.TypeName) (analysis.SuggestedFix, bool) {
+	switch unparen(sw.Tag).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return analysis.SuggestedFix{}, false
+	}
+	text := fmt.Sprintf("default:\n\t\tpanic(fmt.Sprintf(\"unhandled %s %%v\", %s))\n\t",
+		qualify(pass, obj, obj.Name()), exprString(pass.Fset, sw.Tag))
+	return analysis.SuggestedFix{
+		Message: "add a panicking default clause",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     sw.Body.Rbrace,
+			End:     sw.Body.Rbrace,
+			NewText: []byte(text),
+		}},
+	}, true
+}

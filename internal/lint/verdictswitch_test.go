@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestVerdictSwitch(t *testing.T) {
+	findings := analysistest.Run(t, lint.VerdictSwitch, "testdata/src/verdictswitch/a")
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2: %v", len(findings), findings)
+	}
+
+	// Each hole comes with the panicking-default suggested fix.
+	for _, f := range findings {
+		if len(f.Diagnostic.SuggestedFixes) != 1 {
+			t.Errorf("%s: no suggested fix", f)
+			continue
+		}
+		text := string(f.Diagnostic.SuggestedFixes[0].TextEdits[0].NewText)
+		if !strings.Contains(text, "default:") || !strings.Contains(text, "panic(") {
+			t.Errorf("suggested fix %q is not a panicking default", text)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package sim
 
-import "repro/internal/memmodel"
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
 
 // Passage records the cost of one completed passage (entry section,
 // critical section, exit section) of a process, in both RMRs and steps.
@@ -79,6 +83,15 @@ func (a *Account) recordStep(rmr bool) {
 		if rmr {
 			a.open.ExitRMR++
 		}
+	case memmodel.SecRemainder, memmodel.SecRecover:
+		// Unreachable with an open passage: transition closes the passage
+		// on SecRemainder, and a recovery section belongs to a fresh
+		// incarnation whose passage has not opened yet. A step landing
+		// here means the section bookkeeping is corrupt — fail loudly
+		// rather than misattribute RMRs.
+		panic(fmt.Sprintf("sim: step attributed to section %v inside an open passage", a.section))
+	default:
+		panic(fmt.Sprintf("sim: step in unknown section %v", a.section))
 	}
 }
 
