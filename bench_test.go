@@ -20,6 +20,16 @@ import (
 	"repro/internal/sim"
 )
 
+// trimShort drops the largest grid size under -short so the CI benchmark
+// smoke job (-bench=. -benchtime=1x -short) stays a compile-and-run check
+// rather than a full table regeneration.
+func trimShort(sizes []int) []int {
+	if testing.Short() && len(sizes) > 1 {
+		return sizes[:len(sizes)-1]
+	}
+	return sizes
+}
+
 // report prints the regenerated table when -v is set.
 func report(b *testing.B, title, table string) {
 	b.Helper()
@@ -31,7 +41,7 @@ func report(b *testing.B, title, table string) {
 // BenchmarkE1Tradeoff regenerates the Theorem-18 tradeoff grid (writer
 // Theta(f(n)) vs reader Theta(log(n/f(n)))).
 func BenchmarkE1Tradeoff(b *testing.B) {
-	ns := []int{8, 32, 128, 512}
+	ns := trimShort([]int{8, 32, 128, 512})
 	for i := 0; i < b.N; i++ {
 		_, table, err := experiments.E1Tradeoff(ns, sim.WriteThrough)
 		if err != nil {
@@ -46,7 +56,7 @@ func BenchmarkE1Tradeoff(b *testing.B) {
 // BenchmarkE2LowerBound regenerates the Theorem-5 adversarial construction
 // table (iterations r vs log3(n/f(n)), Lemmas 1/2/4 checks).
 func BenchmarkE2LowerBound(b *testing.B) {
-	ns := []int{9, 27, 81, 243}
+	ns := trimShort([]int{9, 27, 81, 243})
 	for i := 0; i < b.N; i++ {
 		_, table, err := experiments.E2LowerBound(ns, sim.WriteThrough)
 		if err != nil {
@@ -278,7 +288,7 @@ func BenchmarkE11AdversaryValue(b *testing.B) {
 // BenchmarkE12ShapeFits regenerates the least-squares shape-fit table
 // (Theorem 18's Theta claims as measured slopes).
 func BenchmarkE12ShapeFits(b *testing.B) {
-	ns := []int{8, 32, 128, 512}
+	ns := trimShort([]int{8, 32, 128, 512})
 	for i := 0; i < b.N; i++ {
 		_, table, err := experiments.E12ShapeFits(ns, sim.WriteThrough)
 		if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rmrtradeoff [-n 8,32,128,512] [-protocol wt|wb|both] [-corollary] [-m 1,4,16,64]
+//	rmrtradeoff [-n 8,32,128,512] [-protocol wt|wb|both] [-corollary] [-m 1,4,16,64] [-parallel N]
 //
 // With -protocol both it prints the E5 write-through vs write-back
 // comparison; with -corollary it additionally prints the Corollary 6/7
@@ -30,8 +30,10 @@ func main() {
 	dsm := flag.Bool("dsm", false, "also print the CC vs DSM model contrast (E8)")
 	wl := flag.Bool("wl", false, "also print the WL mutex substrate comparison (E10)")
 	fit := flag.Bool("fit", false, "also print least-squares shape fits over the grid (E12)")
+	applyParallel := cliutil.ParallelFlag()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
+	applyParallel()
 
 	if *fit {
 		ns, err := cliutil.ParseInts(*nFlag)

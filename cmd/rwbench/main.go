@@ -5,9 +5,15 @@
 // scale for locks with reader parallelism and collapse for the serializing
 // ones.
 //
+// With -sweeps it instead benchmarks the simulator-side sweep workloads
+// serially and at -parallel workers, checks the two produce byte-identical
+// results, and writes machine-readable numbers (ns/op, allocs/op, speedup)
+// to a JSON file.
+//
 // Usage:
 //
-//	rwbench [-readers 8] [-writers 2] [-dur 200ms]
+//	rwbench [-readers 8] [-writers 2] [-dur 200ms] [-parallel N]
+//	rwbench -sweeps [-out BENCH_sweeps.json] [-benchtime 1s]
 package main
 
 import (
@@ -36,9 +42,21 @@ func main() {
 	readers := flag.Int("readers", 8, "reader goroutines")
 	writers := flag.Int("writers", 2, "writer goroutines")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
+	sweeps := flag.Bool("sweeps", false, "benchmark the simulator sweep workloads (serial vs parallel) and write JSON")
+	out := flag.String("out", "BENCH_sweeps.json", "output path for -sweeps")
+	benchtime := flag.Duration("benchtime", time.Second, "measurement time per sweep configuration in -sweeps mode")
+	applyParallel := cliutil.ParallelFlag()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
+	applyParallel()
 
+	if *sweeps {
+		if err := runSweeps(*out, *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "rwbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*readers, *writers, *dur); err != nil {
 		fmt.Fprintln(os.Stderr, "rwbench:", err)
 		os.Exit(1)

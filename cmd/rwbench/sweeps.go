@@ -1,0 +1,186 @@
+// The -sweeps mode benchmarks the simulator-side sweep workloads that the
+// parallel execution engine (internal/parwork) accelerates, at one worker
+// and at GOMAXPROCS workers, verifies the two produce byte-identical
+// results, and writes the numbers as machine-readable JSON
+// (BENCH_sweeps.json). The file also embeds the recorded pre-overhaul
+// serial baseline so speedups against the old hot path stay reviewable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memmodel"
+	"repro/internal/parwork"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// SweepCost is one measured configuration of a sweep workload.
+type SweepCost struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// SweepResult is one sweep workload measured serially and in parallel.
+type SweepResult struct {
+	Name     string    `json:"name"`
+	Serial   SweepCost `json:"serial"`
+	Parallel SweepCost `json:"parallel"`
+	// Speedup is serial ns/op over parallel ns/op.
+	Speedup float64 `json:"speedup"`
+	// Identical records the determinism check: the parallel run's rendered
+	// results were byte-identical to the serial run's.
+	Identical bool `json:"identical"`
+}
+
+// SweepReport is the schema of BENCH_sweeps.json.
+type SweepReport struct {
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"host"`
+	// ParallelWorkers is the worker count of the parallel measurements.
+	ParallelWorkers int           `json:"parallel_workers"`
+	Experiments     []SweepResult `json:"experiments"`
+	SeedBaseline    struct {
+		Note        string               `json:"note"`
+		Experiments map[string]SweepCost `json:"experiments"`
+	} `json:"seed_baseline"`
+}
+
+// seedBaseline is the serial cost of each sweep workload measured at the
+// commit before the simulator hot-path overhaul (flattened coherence
+// bitsets, alloc-free requests, Runner.Reset buffer reuse) on the
+// development container (Intel Xeon @ 2.10GHz). It is embedded so the
+// JSON artifact carries its own before/after story.
+func seedBaseline() map[string]SweepCost {
+	return map[string]SweepCost{
+		"E2LowerBound":    {NsPerOp: 448040006, BytesPerOp: 106587688, AllocsPerOp: 686819},
+		"CrashSweepAFLog": {NsPerOp: 22922978, BytesPerOp: 1379498, AllocsPerOp: 48358},
+		"StallSweepAFLog": {NsPerOp: 50084448, BytesPerOp: 2914040, AllocsPerOp: 104391},
+	}
+}
+
+// sweepWorkloads returns the benchmarked sweeps. Each function runs the
+// full workload and returns a rendering of every result, so serial and
+// parallel runs can be compared byte-for-byte. The configurations mirror
+// bench_test.go (E2) and the E13/E15 sweep scenario, keeping the numbers
+// comparable across artifacts.
+func sweepWorkloads() []struct {
+	Name string
+	Run  func() (string, error)
+} {
+	afLog := func() memmodel.Algorithm { return core.New(core.FLog) }
+	sweepSc := spec.Scenario{NReaders: 2, NWriters: 2, ReaderPassages: 2, WriterPassages: 2, CSReads: 1}
+	return []struct {
+		Name string
+		Run  func() (string, error)
+	}{
+		{"E2LowerBound", func() (string, error) {
+			rows, _, err := experiments.E2LowerBound([]int{9, 27, 81, 243}, sim.WriteThrough)
+			return fmt.Sprintf("%+v", rows), err
+		}},
+		{"CrashSweepAFLog", func() (string, error) {
+			outs, err := spec.CrashSweep(afLog, sweepSc, 0, nil)
+			return fmt.Sprintf("%+v", outs), err
+		}},
+		{"StallSweepAFLog", func() (string, error) {
+			outs, err := spec.StallSweep(afLog, sweepSc, 0, nil)
+			return fmt.Sprintf("%+v", outs), err
+		}},
+	}
+}
+
+// runSweeps measures every sweep workload at 1 worker and at GOMAXPROCS
+// workers for benchtime each and writes the JSON report to outPath.
+func runSweeps(outPath string, benchtime time.Duration) error {
+	// testing.Benchmark sizes b.N from the test.benchtime flag, which only
+	// exists after testing.Init; registering it post-Parse is fine because
+	// it is set programmatically, never from the command line.
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		return err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	rep := SweepReport{}
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = workers
+	rep.ParallelWorkers = workers
+	rep.SeedBaseline.Note = "serial cost at the commit before the simulator hot-path overhaul " +
+		"(pointer-chased coherence bitsets, per-op request allocations, fresh runner per execution), " +
+		"measured on the development container; same workload configurations as `experiments`"
+	rep.SeedBaseline.Experiments = seedBaseline()
+
+	for _, w := range sweepWorkloads() {
+		res := SweepResult{Name: w.Name}
+
+		parwork.SetDefault(1)
+		serialFP, err := w.Run()
+		if err != nil {
+			return fmt.Errorf("%s (serial): %w", w.Name, err)
+		}
+		res.Serial = measureSweep(w.Run)
+
+		parwork.SetDefault(workers)
+		parFP, err := w.Run()
+		if err != nil {
+			return fmt.Errorf("%s (parallel): %w", w.Name, err)
+		}
+		res.Parallel = measureSweep(w.Run)
+		parwork.SetDefault(0)
+
+		res.Identical = serialFP == parFP
+		if !res.Identical {
+			return fmt.Errorf("%s: parallel results diverged from serial", w.Name)
+		}
+		if res.Parallel.NsPerOp > 0 {
+			res.Speedup = float64(res.Serial.NsPerOp) / float64(res.Parallel.NsPerOp)
+		}
+		fmt.Printf("%-16s serial %12d ns/op %8d allocs/op | parallel(%d) %12d ns/op | speedup %.2fx identical=%v\n",
+			w.Name, res.Serial.NsPerOp, res.Serial.AllocsPerOp, workers,
+			res.Parallel.NsPerOp, res.Speedup, res.Identical)
+		rep.Experiments = append(rep.Experiments, res)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// measureSweep times fn with the testing harness (-benchtime per
+// configuration) and extracts per-op costs.
+func measureSweep(fn func() (string, error)) SweepCost {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return SweepCost{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rwexplore [-alg af-log] [-n 1] [-m 1] [-rp 1] [-wp 1] [-max 1000000]
+//	rwexplore [-alg af-log] [-n 1] [-m 1] [-rp 1] [-wp 1] [-max 1000000] [-parallel N]
 //	rwexplore -list
 package main
 
@@ -31,8 +31,10 @@ func main() {
 	wp := flag.Int("wp", 1, "passages per writer")
 	maxRuns := flag.Int("max", 1_000_000, "run cap")
 	traceFlag := flag.Bool("trace", false, "on violation, replay and print the schedule as a timeline")
+	applyParallel := cliutil.ParallelFlag()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
+	applyParallel()
 
 	if *list {
 		for _, fac := range experiments.ExtendedFactories() {

@@ -28,7 +28,7 @@
 //
 // Usage:
 //
-//	rwverify [-seeds 1,2,3,4,5] [-crash] [-recover] [-stall]
+//	rwverify [-seeds 1,2,3,4,5] [-crash] [-recover] [-stall] [-parallel N]
 package main
 
 import (
@@ -45,8 +45,10 @@ func main() {
 	crashFlag := flag.Bool("crash", false, "also run the E13 crash-stop sweep and abort-cost tables")
 	recoverFlag := flag.Bool("recover", false, "also run the E14 crash-recovery sweep")
 	stallFlag := flag.Bool("stall", false, "also run the E15 fail-slow (stall) sweeps")
+	applyParallel := cliutil.ParallelFlag()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
+	applyParallel()
 
 	code, err := run(*seedsFlag, *crashFlag, *recoverFlag, *stallFlag)
 	if err != nil {

@@ -9,8 +9,21 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/parwork"
 	"repro/internal/sim"
 )
+
+// ParallelFlag registers the shared -parallel flag. The returned apply
+// function must be called after flag.Parse: it installs the chosen worker
+// count as the process-wide sweep default (parwork.SetDefault), so every
+// sweep and experiment grid in the invocation fans out across it. 0 (the
+// default) selects GOMAXPROCS; 1 forces serial execution. Results are
+// byte-identical at every worker count.
+func ParallelFlag() (apply func()) {
+	n := flag.Int("parallel", 0,
+		"sweep worker count (0 = GOMAXPROCS, 1 = serial; results identical either way)")
+	return func() { parwork.SetDefault(*n) }
+}
 
 // exit is swapped out by tests.
 var exit = os.Exit

@@ -29,34 +29,34 @@ type E1Row struct {
 
 // E1Tradeoff measures the A_f tradeoff across parameterizations and reader
 // counts under low-contention scheduling (which isolates the algorithmic
-// RMR cost the theorem bounds).
+// RMR cost the theorem bounds). Grid cells run in parallel (gridRows).
 func E1Tradeoff(ns []int, protocol sim.Protocol) ([]E1Row, *tablefmt.Table, error) {
-	var rows []E1Row
-	for _, fac := range AFFactories() {
-		for _, n := range ns {
-			rep := spec.Run(fac.New(), spec.Scenario{
-				NReaders: n, NWriters: 1,
-				ReaderPassages: 2, WriterPassages: 2,
-				Protocol:  protocol,
-				Scheduler: sched.NewSticky(),
-				MaxSteps:  20_000_000,
-			})
-			if !rep.OK() {
-				return nil, nil, &RunError{Exp: "E1", Alg: fac.Name, N: n, Detail: rep.Failures()}
-			}
-			props := fac.New().Props()
-			rows = append(rows, E1Row{
-				FName:          fac.F.Name,
-				N:              n,
-				Groups:         fac.F.Groups(n),
-				K:              fac.F.GroupSize(n),
-				WriterEntryRMR: rep.MaxWriterPassage.EntryRMR,
-				ReaderPassRMR:  rep.MaxReaderPassage.RMR(),
-				ReaderExitRMR:  rep.MaxReaderPassage.ExitRMR,
-				PredWriter:     props.PredictedWriterRMR(n, 1),
-				PredReader:     props.PredictedReaderRMR(n, 1),
-			})
+	rows, err := gridRows(AFFactories(), ns, func(fac Factory, n int) (E1Row, error) {
+		rep := spec.Run(fac.New(), spec.Scenario{
+			NReaders: n, NWriters: 1,
+			ReaderPassages: 2, WriterPassages: 2,
+			Protocol:  protocol,
+			Scheduler: sched.NewSticky(),
+			MaxSteps:  20_000_000,
+		})
+		if !rep.OK() {
+			return E1Row{}, &RunError{Exp: "E1", Alg: fac.Name, N: n, Detail: rep.Failures()}
 		}
+		props := fac.New().Props()
+		return E1Row{
+			FName:          fac.F.Name,
+			N:              n,
+			Groups:         fac.F.Groups(n),
+			K:              fac.F.GroupSize(n),
+			WriterEntryRMR: rep.MaxWriterPassage.EntryRMR,
+			ReaderPassRMR:  rep.MaxReaderPassage.RMR(),
+			ReaderExitRMR:  rep.MaxReaderPassage.ExitRMR,
+			PredWriter:     props.PredictedWriterRMR(n, 1),
+			PredReader:     props.PredictedReaderRMR(n, 1),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e1Table(rows), nil
 }

@@ -38,43 +38,46 @@ var e10Kinds = []struct {
 // E10MutexSubstrates measures A_f writer costs across WL substrates and
 // writer counts.
 func E10MutexSubstrates(ms []int) ([]E10Row, *tablefmt.Table, error) {
-	var rows []E10Row
-	for _, k := range e10Kinds {
-		for _, m := range ms {
-			solo := spec.Run(core.New(core.FOne, core.WithWriterMutex(k.kind)), spec.Scenario{
-				NReaders: 1, NWriters: m,
-				ReaderPassages: 0, WriterPassages: 2,
-				Scheduler: sched.NewSticky(),
-				Protocol:  sim.WriteThrough,
-				MaxSteps:  20_000_000,
-			})
-			if !solo.OK() {
-				return nil, nil, &RunError{Exp: "E10", Alg: k.name, N: m, Detail: solo.Failures()}
-			}
-			contended := spec.Run(core.New(core.FOne, core.WithWriterMutex(k.kind)), spec.Scenario{
-				NReaders: 1, NWriters: m,
-				ReaderPassages: 0, WriterPassages: 2,
-				Scheduler: sched.NewRoundRobin(),
-				Protocol:  sim.WriteThrough,
-				MaxSteps:  20_000_000,
-			})
-			if !contended.OK() {
-				return nil, nil, &RunError{Exp: "E10c", Alg: k.name, N: m, Detail: contended.Failures()}
-			}
-			var all []float64
-			for _, acct := range contended.WriterAccounts {
-				for _, pass := range acct.Passages {
-					all = append(all, float64(pass.RMR()))
-				}
-			}
-			rows = append(rows, E10Row{
-				Mutex:            k.name,
-				M:                m,
-				SoloRMR:          solo.MaxWriterPassage.RMR(),
-				ContendedMeanRMR: stats.Summarize(all).Mean,
-				ContendedMaxRMR:  contended.MaxWriterPassage.RMR(),
-			})
+	rows, err := gridRows(e10Kinds, ms, func(k struct {
+		name string
+		kind core.MutexKind
+	}, m int) (E10Row, error) {
+		solo := spec.Run(core.New(core.FOne, core.WithWriterMutex(k.kind)), spec.Scenario{
+			NReaders: 1, NWriters: m,
+			ReaderPassages: 0, WriterPassages: 2,
+			Scheduler: sched.NewSticky(),
+			Protocol:  sim.WriteThrough,
+			MaxSteps:  20_000_000,
+		})
+		if !solo.OK() {
+			return E10Row{}, &RunError{Exp: "E10", Alg: k.name, N: m, Detail: solo.Failures()}
 		}
+		contended := spec.Run(core.New(core.FOne, core.WithWriterMutex(k.kind)), spec.Scenario{
+			NReaders: 1, NWriters: m,
+			ReaderPassages: 0, WriterPassages: 2,
+			Scheduler: sched.NewRoundRobin(),
+			Protocol:  sim.WriteThrough,
+			MaxSteps:  20_000_000,
+		})
+		if !contended.OK() {
+			return E10Row{}, &RunError{Exp: "E10c", Alg: k.name, N: m, Detail: contended.Failures()}
+		}
+		var all []float64
+		for _, acct := range contended.WriterAccounts {
+			for _, pass := range acct.Passages {
+				all = append(all, float64(pass.RMR()))
+			}
+		}
+		return E10Row{
+			Mutex:            k.name,
+			M:                m,
+			SoloRMR:          solo.MaxWriterPassage.RMR(),
+			ContendedMeanRMR: stats.Summarize(all).Mean,
+			ContendedMaxRMR:  contended.MaxWriterPassage.RMR(),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e10Table(rows), nil
 }

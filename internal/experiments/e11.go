@@ -43,39 +43,39 @@ func E11AdversaryValue(ns []int, seeds []int64) ([]E11Row, *tablefmt.Table, erro
 		}
 	}
 
-	var rows []E11Row
-	for _, fac := range facs {
-		for _, n := range ns {
-			adv, err := lowerbound.Run(fac.New(), n, lowerbound.Config{
-				IterationCap: 4*n + 64,
-				StepBudget:   200_000 + 4*n*n,
-			})
-			if err != nil {
-				return nil, nil, fmt.Errorf("E11 %s n=%d: %w", fac.Name, n, err)
-			}
-			worstRandom := 0
-			for _, seed := range seeds {
-				rep := spec.Run(fac.New(), spec.Scenario{
-					NReaders: n, NWriters: 1,
-					ReaderPassages: 1, WriterPassages: 1,
-					Protocol:  sim.WriteThrough,
-					Scheduler: sched.NewRandom(seed),
-					MaxSteps:  20_000_000,
-				})
-				if !rep.OK() {
-					return nil, nil, &RunError{Exp: "E11r", Alg: fac.Name, N: n, Detail: rep.Failures()}
-				}
-				if got := rep.MaxReaderPassage.ExitRMR; got > worstRandom {
-					worstRandom = got
-				}
-			}
-			rows = append(rows, E11Row{
-				Alg: fac.Name, N: n,
-				AdversaryExitRMR: adv.MaxReaderExitRMR,
-				RandomExitRMR:    worstRandom,
-				Seeds:            len(seeds),
-			})
+	rows, err := gridRows(facs, ns, func(fac Factory, n int) (E11Row, error) {
+		adv, err := lowerbound.Run(fac.New(), n, lowerbound.Config{
+			IterationCap: 4*n + 64,
+			StepBudget:   200_000 + 4*n*n,
+		})
+		if err != nil {
+			return E11Row{}, fmt.Errorf("E11 %s n=%d: %w", fac.Name, n, err)
 		}
+		worstRandom := 0
+		for _, seed := range seeds {
+			rep := spec.Run(fac.New(), spec.Scenario{
+				NReaders: n, NWriters: 1,
+				ReaderPassages: 1, WriterPassages: 1,
+				Protocol:  sim.WriteThrough,
+				Scheduler: sched.NewRandom(seed),
+				MaxSteps:  20_000_000,
+			})
+			if !rep.OK() {
+				return E11Row{}, &RunError{Exp: "E11r", Alg: fac.Name, N: n, Detail: rep.Failures()}
+			}
+			if got := rep.MaxReaderPassage.ExitRMR; got > worstRandom {
+				worstRandom = got
+			}
+		}
+		return E11Row{
+			Alg: fac.Name, N: n,
+			AdversaryExitRMR: adv.MaxReaderExitRMR,
+			RandomExitRMR:    worstRandom,
+			Seeds:            len(seeds),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e11Table(rows), nil
 }

@@ -54,7 +54,9 @@ func e13CrashAlgs() []Factory {
 
 // E13CrashSweep runs the exhaustive crash sweep for every algorithm and
 // both victim classes on a 2-reader/2-writer, 2-passage round-robin
-// workload.
+// workload. The outer (algorithm, victim) loop stays serial: each
+// spec.CrashSweep already fans its crash points across the full worker
+// pool, so parallelizing the grid too would only oversubscribe it.
 func E13CrashSweep() ([]E13CrashRow, *tablefmt.Table, error) {
 	// CSReads gives the critical section a real shared-memory step, so the
 	// sweep has crash points attributable to the CS (with an empty CS the
@@ -139,20 +141,20 @@ func e13TryAlgs() []Factory {
 // (constant at f(n)=1), and the centralized lock is constant on both
 // sides.
 func E13AbortCost(ns []int) ([]E13AbortRow, *tablefmt.Table, error) {
-	var rows []E13AbortRow
-	for _, fac := range e13TryAlgs() {
-		for _, n := range ns {
-			c, err := spec.MeasureAbortCost(fac.New, n)
-			if err != nil {
-				return nil, nil, fmt.Errorf("E13 abort %s n=%d: %w", fac.Name, n, err)
-			}
-			rows = append(rows, E13AbortRow{
-				Alg: fac.Name, N: n,
-				ReaderRMR: c.ReaderAttemptRMR,
-				WriterRMR: c.WriterAttemptRMR,
-				Aborted:   c.ReaderAborted && c.WriterAborted,
-			})
+	rows, err := gridRows(e13TryAlgs(), ns, func(fac Factory, n int) (E13AbortRow, error) {
+		c, err := spec.MeasureAbortCost(fac.New, n)
+		if err != nil {
+			return E13AbortRow{}, fmt.Errorf("E13 abort %s n=%d: %w", fac.Name, n, err)
 		}
+		return E13AbortRow{
+			Alg: fac.Name, N: n,
+			ReaderRMR: c.ReaderAttemptRMR,
+			WriterRMR: c.WriterAttemptRMR,
+			Aborted:   c.ReaderAborted && c.WriterAborted,
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e13AbortTable(rows), nil
 }

@@ -45,43 +45,43 @@ func E2LowerBound(ns []int, protocol sim.Protocol) ([]E2Row, *tablefmt.Table, er
 		}
 		facs = append(facs, b)
 	}
-	var rows []E2Row
-	for _, fac := range facs {
-		for _, n := range ns {
-			// The cap is runaway protection only; the centralized
-			// baseline legitimately needs Theta(n) iterations (its exit
-			// is a CAS retry loop), so scale it with n.
-			// Budgets scale quadratically because the centralized
-			// baseline's exit loop legitimately needs Theta(n^2) total
-			// steps under the adversary (n readers x Theta(n) retries).
-			res, err := lowerbound.Run(fac.New(), n, lowerbound.Config{
-				Protocol:     protocol,
-				IterationCap: 4*n + 64,
-				StepBudget:   200_000 + 4*n*n,
-			})
-			if err != nil {
-				return nil, nil, fmt.Errorf("E2 %s n=%d: %w", fac.Name, n, err)
-			}
-			row := E2Row{
-				Alg:              fac.Name,
-				N:                n,
-				R:                res.R,
-				MaxExitExpanding: res.MaxReaderExitExpanding,
-				MaxExitRMR:       res.MaxReaderExitRMR,
-				WriterEntryRMR:   res.WriterEntryRMR,
-				WriterAware:      res.WriterAwareReaders,
-				MaxGrowth:        res.MaxRoundGrowth,
-				Lemma1Violations: res.Lemma1Violations,
-			}
-			if fac.HasF {
-				row.FGroups = fac.F.Groups(n)
-				row.Log3 = lowerbound.Log3Bound(n, row.FGroups)
-			}
-			if res.WriterAwareReaders != n {
-				return nil, nil, errors.New("E2: Lemma 4 violated for " + fac.Name)
-			}
-			rows = append(rows, row)
+	rows, err := gridRows(facs, ns, func(fac Factory, n int) (E2Row, error) {
+		// The cap is runaway protection only; the centralized
+		// baseline legitimately needs Theta(n) iterations (its exit
+		// is a CAS retry loop), so scale it with n.
+		// Budgets scale quadratically because the centralized
+		// baseline's exit loop legitimately needs Theta(n^2) total
+		// steps under the adversary (n readers x Theta(n) retries).
+		res, err := lowerbound.Run(fac.New(), n, lowerbound.Config{
+			Protocol:     protocol,
+			IterationCap: 4*n + 64,
+			StepBudget:   200_000 + 4*n*n,
+		})
+		if err != nil {
+			return E2Row{}, fmt.Errorf("E2 %s n=%d: %w", fac.Name, n, err)
 		}
+		row := E2Row{
+			Alg:              fac.Name,
+			N:                n,
+			R:                res.R,
+			MaxExitExpanding: res.MaxReaderExitExpanding,
+			MaxExitRMR:       res.MaxReaderExitRMR,
+			WriterEntryRMR:   res.WriterEntryRMR,
+			WriterAware:      res.WriterAwareReaders,
+			MaxGrowth:        res.MaxRoundGrowth,
+			Lemma1Violations: res.Lemma1Violations,
+		}
+		if fac.HasF {
+			row.FGroups = fac.F.Groups(n)
+			row.Log3 = lowerbound.Log3Bound(n, row.FGroups)
+		}
+		if res.WriterAwareReaders != n {
+			return E2Row{}, errors.New("E2: Lemma 4 violated for " + fac.Name)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e2Table(rows), nil
 }

@@ -41,20 +41,20 @@ type E3MRow struct {
 // operations only) does not cover them, and indeed faa-phasefair beats the
 // bound — E2's table shows it.
 func E3MaxBound(ns []int) ([]E3NRow, *tablefmt.Table, error) {
-	var rows []E3NRow
-	for _, fac := range AFFactories() {
-		for _, n := range ns {
-			res, err := lowerbound.Run(fac.New(), n, lowerbound.Config{})
-			if err != nil {
-				return nil, nil, fmt.Errorf("E3 %s n=%d: %w", fac.Name, n, err)
-			}
-			rows = append(rows, E3NRow{
-				Alg:     fac.Name,
-				N:       n,
-				MaxSide: max(res.WriterEntryRMR, res.MaxReaderExitRMR),
-				Log2N:   math.Log2(float64(n)),
-			})
+	rows, err := gridRows(AFFactories(), ns, func(fac Factory, n int) (E3NRow, error) {
+		res, err := lowerbound.Run(fac.New(), n, lowerbound.Config{})
+		if err != nil {
+			return E3NRow{}, fmt.Errorf("E3 %s n=%d: %w", fac.Name, n, err)
 		}
+		return E3NRow{
+			Alg:     fac.Name,
+			N:       n,
+			MaxSide: max(res.WriterEntryRMR, res.MaxReaderExitRMR),
+			Log2N:   math.Log2(float64(n)),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e3nTable(rows), nil
 }
@@ -76,26 +76,27 @@ func e3nTable(rows []E3NRow) *tablefmt.Table {
 // alone reduce to mutual exclusion, so per-passage writer RMRs grow with
 // log m (our WL is a Peterson tournament, Theta(log m) even solo).
 func E3WriterMutex(ms []int) ([]E3MRow, *tablefmt.Table, error) {
-	var rows []E3MRow
-	for _, fac := range AFFactories()[:2] { // af-1 and af-log suffice: WL dominates
-		for _, m := range ms {
-			rep := spec.Run(fac.New(), spec.Scenario{
-				NReaders: 1, NWriters: m,
-				ReaderPassages: 0, WriterPassages: 2,
-				Scheduler: sched.NewSticky(),
-				Protocol:  sim.WriteThrough,
-				MaxSteps:  20_000_000,
-			})
-			if !rep.OK() {
-				return nil, nil, &RunError{Exp: "E3m", Alg: fac.Name, N: m, Detail: rep.Failures()}
-			}
-			rows = append(rows, E3MRow{
-				Alg:           fac.Name,
-				M:             m,
-				WriterPassRMR: rep.MaxWriterPassage.RMR(),
-				Log2M:         math.Log2(float64(max(m, 2))),
-			})
+	// af-1 and af-log suffice: WL dominates.
+	rows, err := gridRows(AFFactories()[:2], ms, func(fac Factory, m int) (E3MRow, error) {
+		rep := spec.Run(fac.New(), spec.Scenario{
+			NReaders: 1, NWriters: m,
+			ReaderPassages: 0, WriterPassages: 2,
+			Scheduler: sched.NewSticky(),
+			Protocol:  sim.WriteThrough,
+			MaxSteps:  20_000_000,
+		})
+		if !rep.OK() {
+			return E3MRow{}, &RunError{Exp: "E3m", Alg: fac.Name, N: m, Detail: rep.Failures()}
 		}
+		return E3MRow{
+			Alg:           fac.Name,
+			M:             m,
+			WriterPassRMR: rep.MaxWriterPassage.RMR(),
+			Log2M:         math.Log2(float64(max(m, 2))),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e3mTable(rows), nil
 }

@@ -29,47 +29,47 @@ type E4Row struct {
 // E4Baselines runs the cross-algorithm comparison: every algorithm, every
 // mix, a fixed population, averaged over seeds under random scheduling.
 func E4Baselines(n, m int, seeds []int64, protocol sim.Protocol) ([]E4Row, *tablefmt.Table, error) {
-	var rows []E4Row
-	for _, fac := range AllFactories() {
-		for _, mix := range workload.Mixes {
-			rp, wp := workload.Plan(n, m, 8*(n+m), mix)
-			var readerRMRs, writerRMRs, totals []float64
-			for _, seed := range seeds {
-				rep := spec.Run(fac.New(), spec.Scenario{
-					NReaders: n, NWriters: m,
-					ReaderPassages: rp, WriterPassages: wp,
-					Protocol:  protocol,
-					Scheduler: sched.NewRandom(seed),
-					MaxSteps:  50_000_000,
-					CSReads:   1,
-				})
-				if !rep.OK() {
-					return nil, nil, &RunError{Exp: "E4", Alg: fac.Name, N: n, Detail: rep.Failures()}
-				}
-				total := 0
-				for _, acct := range rep.ReaderAccounts {
-					total += acct.TotalRMR
-					for _, pass := range acct.Passages {
-						readerRMRs = append(readerRMRs, float64(pass.RMR()))
-					}
-				}
-				for _, acct := range rep.WriterAccounts {
-					total += acct.TotalRMR
-					for _, pass := range acct.Passages {
-						writerRMRs = append(writerRMRs, float64(pass.RMR()))
-					}
-				}
-				totals = append(totals, float64(total))
-			}
-			rs := stats.Summarize(readerRMRs)
-			ws := stats.Summarize(writerRMRs)
-			ts := stats.Summarize(totals)
-			rows = append(rows, E4Row{
-				Alg: fac.Name, Mix: mix.Name, N: n, M: m,
-				MeanReaderRMR: rs.Mean, MeanWriterRMR: ws.Mean,
-				P95ReaderRMR: rs.P95, TotalRMR: ts.Mean,
+	rows, err := gridRows(AllFactories(), workload.Mixes, func(fac Factory, mix workload.Mix) (E4Row, error) {
+		rp, wp := workload.Plan(n, m, 8*(n+m), mix)
+		var readerRMRs, writerRMRs, totals []float64
+		for _, seed := range seeds {
+			rep := spec.Run(fac.New(), spec.Scenario{
+				NReaders: n, NWriters: m,
+				ReaderPassages: rp, WriterPassages: wp,
+				Protocol:  protocol,
+				Scheduler: sched.NewRandom(seed),
+				MaxSteps:  50_000_000,
+				CSReads:   1,
 			})
+			if !rep.OK() {
+				return E4Row{}, &RunError{Exp: "E4", Alg: fac.Name, N: n, Detail: rep.Failures()}
+			}
+			total := 0
+			for _, acct := range rep.ReaderAccounts {
+				total += acct.TotalRMR
+				for _, pass := range acct.Passages {
+					readerRMRs = append(readerRMRs, float64(pass.RMR()))
+				}
+			}
+			for _, acct := range rep.WriterAccounts {
+				total += acct.TotalRMR
+				for _, pass := range acct.Passages {
+					writerRMRs = append(writerRMRs, float64(pass.RMR()))
+				}
+			}
+			totals = append(totals, float64(total))
 		}
+		rs := stats.Summarize(readerRMRs)
+		ws := stats.Summarize(writerRMRs)
+		ts := stats.Summarize(totals)
+		return E4Row{
+			Alg: fac.Name, Mix: mix.Name, N: n, M: m,
+			MeanReaderRMR: rs.Mean, MeanWriterRMR: ws.Mean,
+			P95ReaderRMR: rs.P95, TotalRMR: ts.Mean,
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e4Table(rows), nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"repro/internal/parwork"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/tablefmt"
@@ -33,8 +34,9 @@ type E6Row struct {
 func E6Properties(seeds []int64) ([]E6Row, *tablefmt.Table, error) {
 	const n, m = 6, 2
 	exitBound := int(24*math.Log2(n+m)) + 32
-	var rows []E6Row
-	for _, fac := range ExtendedFactories() {
+	facs := ExtendedFactories()
+	rows := parwork.Do(0, len(facs), func(fi int) E6Row {
+		fac := facs[fi]
 		row := E6Row{
 			Alg:             fac.Name,
 			MutualExclusion: true,
@@ -81,8 +83,8 @@ func E6Properties(seeds []int64) ([]E6Row, *tablefmt.Table, error) {
 			row.Progress = false
 		}
 		row.ReaderOverlap = rep.MaxConcurrentReaders >= 2
-		rows = append(rows, row)
-	}
+		return row
+	})
 	return rows, e6Table(rows), nil
 }
 

@@ -55,23 +55,23 @@ func E8ModelContrast(ns []int) ([]E8Row, *tablefmt.Table, error) {
 		return rep.MaxReaderPassage.RMR(), rep.MaxWriterPassage.RMR(), nil
 	}
 
-	var rows []E8Row
-	for _, fac := range facs {
-		for _, n := range ns {
-			ccR, ccW, err := measure(fac, n, sim.WriteThrough)
-			if err != nil {
-				return nil, nil, err
-			}
-			dsmR, dsmW, err := measure(fac, n, sim.DSM)
-			if err != nil {
-				return nil, nil, err
-			}
-			rows = append(rows, E8Row{
-				Alg: fac.Name, N: n,
-				CCReader: ccR, CCWriter: ccW,
-				DSMReader: dsmR, DSMWriter: dsmW,
-			})
+	rows, err := gridRows(facs, ns, func(fac Factory, n int) (E8Row, error) {
+		ccR, ccW, err := measure(fac, n, sim.WriteThrough)
+		if err != nil {
+			return E8Row{}, err
 		}
+		dsmR, dsmW, err := measure(fac, n, sim.DSM)
+		if err != nil {
+			return E8Row{}, err
+		}
+		return E8Row{
+			Alg: fac.Name, N: n,
+			CCReader: ccR, CCWriter: ccW,
+			DSMReader: dsmR, DSMWriter: dsmW,
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e8Table(rows), nil
 }

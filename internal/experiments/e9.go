@@ -45,47 +45,58 @@ var e9Kinds = []struct {
 // E9CounterAblation measures reader and writer costs for all three counter
 // kinds.
 func E9CounterAblation(ns []int) ([]E9Row, *tablefmt.Table, error) {
-	var rows []E9Row
+	// Flatten the outer (f, counter kind) pair so the whole three-level
+	// grid rides one gridRows fan-out, keeping row-major order.
+	type cell struct {
+		f    core.F
+		name string
+		kind core.CounterKind
+	}
+	var cells []cell
 	for _, f := range []core.F{core.FOne, core.FLog} {
 		for _, k := range e9Kinds {
-			for _, n := range ns {
-				// Reader-side: all readers in lockstep (worst case for a
-				// shared word), no writer.
-				rep := spec.Run(core.NewWithCounter(f, k.kind), spec.Scenario{
-					NReaders: n, NWriters: 1,
-					ReaderPassages: 3, WriterPassages: 0,
-					Protocol:  sim.WriteThrough,
-					Scheduler: sched.NewRoundRobin(),
-					MaxSteps:  50_000_000,
-				})
-				if !rep.OK() {
-					return nil, nil, &RunError{Exp: "E9", Alg: "af-" + f.Name + "/" + k.name, N: n, Detail: rep.Failures()}
-				}
-				var all []float64
-				for _, acct := range rep.ReaderAccounts {
-					for _, pass := range acct.Passages {
-						all = append(all, float64(pass.RMR()))
-					}
-				}
-				// Writer-side: solo entry over quiescent readers.
-				wrep := spec.Run(core.NewWithCounter(f, k.kind), spec.Scenario{
-					NReaders: n, NWriters: 1,
-					ReaderPassages: 0, WriterPassages: 1,
-					Protocol:  sim.WriteThrough,
-					Scheduler: sched.LowestFirst{},
-					MaxSteps:  50_000_000,
-				})
-				if !wrep.OK() {
-					return nil, nil, &RunError{Exp: "E9w", Alg: "af-" + f.Name + "/" + k.name, N: n, Detail: wrep.Failures()}
-				}
-				rows = append(rows, E9Row{
-					FName: f.Name, Kind: k.name, N: n,
-					ReaderMean:     stats.Summarize(all).Mean,
-					ReaderMax:      rep.MaxReaderPassage.RMR(),
-					WriterEntryRMR: wrep.MaxWriterPassage.EntryRMR,
-				})
+			cells = append(cells, cell{f: f, name: k.name, kind: k.kind})
+		}
+	}
+	rows, err := gridRows(cells, ns, func(c cell, n int) (E9Row, error) {
+		// Reader-side: all readers in lockstep (worst case for a
+		// shared word), no writer.
+		rep := spec.Run(core.NewWithCounter(c.f, c.kind), spec.Scenario{
+			NReaders: n, NWriters: 1,
+			ReaderPassages: 3, WriterPassages: 0,
+			Protocol:  sim.WriteThrough,
+			Scheduler: sched.NewRoundRobin(),
+			MaxSteps:  50_000_000,
+		})
+		if !rep.OK() {
+			return E9Row{}, &RunError{Exp: "E9", Alg: "af-" + c.f.Name + "/" + c.name, N: n, Detail: rep.Failures()}
+		}
+		var all []float64
+		for _, acct := range rep.ReaderAccounts {
+			for _, pass := range acct.Passages {
+				all = append(all, float64(pass.RMR()))
 			}
 		}
+		// Writer-side: solo entry over quiescent readers.
+		wrep := spec.Run(core.NewWithCounter(c.f, c.kind), spec.Scenario{
+			NReaders: n, NWriters: 1,
+			ReaderPassages: 0, WriterPassages: 1,
+			Protocol:  sim.WriteThrough,
+			Scheduler: sched.LowestFirst{},
+			MaxSteps:  50_000_000,
+		})
+		if !wrep.OK() {
+			return E9Row{}, &RunError{Exp: "E9w", Alg: "af-" + c.f.Name + "/" + c.name, N: n, Detail: wrep.Failures()}
+		}
+		return E9Row{
+			FName: c.f.Name, Kind: c.name, N: n,
+			ReaderMean:     stats.Summarize(all).Mean,
+			ReaderMax:      rep.MaxReaderPassage.RMR(),
+			WriterEntryRMR: wrep.MaxWriterPassage.EntryRMR,
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, e9Table(rows), nil
 }

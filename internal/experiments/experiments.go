@@ -24,7 +24,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/fairness"
 	"repro/internal/memmodel"
+	"repro/internal/parwork"
 )
+
+// gridRows evaluates job over the (outer x inner) grid and returns one
+// result per cell in row-major order — the order the equivalent nested
+// loops would produce. Cells fan out across the process-default worker
+// count (parwork.Default, set by the cmd -parallel flags); the error of
+// the row-major-first failing cell wins, matching a serial loop that
+// stops at its first failure. Jobs run concurrently, so they must only
+// touch per-cell state (the Factory constructors are pure and safe).
+func gridRows[A, B, R any](outer []A, inner []B, job func(a A, b B) (R, error)) ([]R, error) {
+	if len(inner) == 0 || len(outer) == 0 {
+		return nil, nil
+	}
+	return parwork.DoErr(0, len(outer)*len(inner), func(i int) (R, error) {
+		return job(outer[i/len(inner)], inner[i%len(inner)])
+	})
+}
 
 // Factory creates fresh algorithm instances; algorithms are single-use
 // (one Init per execution), so experiments construct one per run.

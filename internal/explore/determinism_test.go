@@ -1,0 +1,40 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/spec"
+)
+
+// TestExploreDeterminism is the determinism gate for the parallel
+// exploration: the merged Result — runs, completeness, max depth, first
+// violation and its path — must be byte-identical at every worker count,
+// including when the run cap cuts the DFS mid-subtree. Run under -race in
+// CI.
+func TestExploreDeterminism(t *testing.T) {
+	newAlg := func() memmodel.Algorithm { return core.New(core.FOne) }
+	sc := spec.Scenario{NReaders: 1, NWriters: 1, ReaderPassages: 1, WriterPassages: 1}
+
+	for _, maxRuns := range []int{0, 100, 7} {
+		t.Run(fmt.Sprintf("cap=%d", maxRuns), func(t *testing.T) {
+			ref, err := Algorithm(newAlg, sc, Config{MaxRuns: maxRuns, Parallel: 1})
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			want := fmt.Sprintf("%+v", *ref)
+			for _, workers := range []int{2, runtime.NumCPU()} {
+				res, err := Algorithm(newAlg, sc, Config{MaxRuns: maxRuns, Parallel: workers})
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", workers, err)
+				}
+				if got := fmt.Sprintf("%+v", *res); got != want {
+					t.Errorf("parallel=%d diverged:\n got: %s\nwant: %s", workers, got, want)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/memmodel"
+	"repro/internal/parwork"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -28,6 +29,14 @@ type Config struct {
 	// MaxRuns caps the number of executions (default 1,000,000). If the
 	// cap is hit the Result reports Complete = false.
 	MaxRuns int
+	// Parallel is the worker count the exploration fans the root subtrees
+	// across: the schedule tree is split at its first choice and each
+	// subtree is a self-contained serial DFS, merged back in canonical
+	// (serial DFS) order. 0 selects the process default (parwork.Default),
+	// 1 forces a serial exploration. The Result is byte-identical at every
+	// worker count. A scenario with a non-nil Observer forces 1 (the shared
+	// closure must not be called concurrently).
+	Parallel int
 }
 
 // Result summarizes an exploration.
@@ -52,6 +61,9 @@ type replay struct {
 	path   []int
 	counts []int
 	depth  int
+	// floor is the shallowest depth backtrack may advance; subtree
+	// explorations pin their root choice by setting it to 1.
+	floor int
 }
 
 func (r *replay) Name() string { return "explore-replay" }
@@ -81,7 +93,7 @@ func (r *replay) reset() { r.depth = 0 }
 // backtrack advances to the next unexplored sibling, trimming exhausted
 // suffixes. It returns false when the whole tree has been explored.
 func (r *replay) backtrack() bool {
-	for i := len(r.path) - 1; i >= 0; i-- {
+	for i := len(r.path) - 1; i >= r.floor; i-- {
 		if r.path[i]+1 < r.counts[i] {
 			r.path[i]++
 			r.path = r.path[:i+1]
@@ -106,17 +118,88 @@ func Replay(newAlg func() memmodel.Algorithm, sc spec.Scenario, path []int) (*sp
 
 // Algorithm exhaustively explores the scenario's schedule tree for the
 // algorithm produced by newAlg (fresh instance per run). The scenario's
-// Scheduler field is ignored (the explorer installs its own).
+// Scheduler field is ignored (the explorer installs its own). The tree is
+// split at its root choice and the subtrees fan out across cfg.Parallel
+// workers (see Config.Parallel); the merged Result is byte-identical to a
+// serial DFS. With more than one worker, newAlg is called concurrently and
+// must be a pure constructor.
 func Algorithm(newAlg func() memmodel.Algorithm, sc spec.Scenario, cfg Config) (*Result, error) {
 	if cfg.MaxRuns == 0 {
 		cfg.MaxRuns = 1_000_000
 	}
-	rs := &replay{}
+	// Probe run: all-first choices. It discovers the branching factor at
+	// the root (the initially poised set is deterministic), and doubles as
+	// the whole exploration when the tree makes no choices at all.
+	probe := &replay{}
+	run := sc
+	run.Scheduler = probe
+	rep := spec.Run(newAlg(), run)
+	if len(probe.counts) == 0 {
+		res := &Result{Runs: 1, Complete: true, MaxDepth: probe.depth}
+		if !rep.OK() {
+			res.Violation = rep.Failures()
+			res.ViolationPath = append([]int(nil), probe.path[:probe.depth]...)
+			res.Complete = false
+		}
+		return res, nil
+	}
+
+	workers := parwork.Workers(cfg.Parallel)
+	if sc.Observer != nil {
+		workers = 1
+	}
+	// Each root subtree is a self-contained serial DFS, capped at the
+	// global budget (a deeper cut is reconstructed during the merge). The
+	// probe run is re-run as subtree 0's first execution so every subtree
+	// result is position-independent.
+	subs := parwork.Do(workers, probe.counts[0], func(k int) *Result {
+		return exploreSubtree(newAlg, sc, k, cfg.MaxRuns)
+	})
+
+	// Canonical merge: accumulate subtree results in root-choice order,
+	// reproducing exactly where the serial DFS would have stopped — at the
+	// first violation, or once the run budget is exhausted. A subtree the
+	// serial DFS would have entered with a smaller remaining budget than
+	// the worker used is re-explored with that exact budget.
+	res := &Result{Complete: true}
+	budget := cfg.MaxRuns
+	for k, s := range subs {
+		if budget <= 0 {
+			res.Complete = false
+			break
+		}
+		if s.Runs > budget {
+			s = exploreSubtree(newAlg, sc, k, budget)
+		}
+		res.Runs += s.Runs
+		res.MaxDepth = max(res.MaxDepth, s.MaxDepth)
+		budget -= s.Runs
+		if s.Violation != "" {
+			res.Violation = s.Violation
+			res.ViolationPath = s.ViolationPath
+			res.Complete = false
+			break
+		}
+		if !s.Complete {
+			res.Complete = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// exploreSubtree is the serial DFS restricted to the subtree under root
+// choice k: it stops at the subtree's first violation or after maxRuns
+// executions, whichever comes first, mirroring the serial loop's
+// check order (violation, then exhaustion, then budget).
+func exploreSubtree(newAlg func() memmodel.Algorithm, sc spec.Scenario, k, maxRuns int) *Result {
+	rs := &replay{path: []int{k}, counts: []int{0}, floor: 1}
 	res := &Result{}
 	for {
 		rs.reset()
-		sc.Scheduler = rs
-		rep := spec.Run(newAlg(), sc)
+		run := sc
+		run.Scheduler = rs
+		rep := spec.Run(newAlg(), run)
 		res.Runs++
 		if rs.depth > res.MaxDepth {
 			res.MaxDepth = rs.depth
@@ -124,14 +207,14 @@ func Algorithm(newAlg func() memmodel.Algorithm, sc spec.Scenario, cfg Config) (
 		if !rep.OK() {
 			res.Violation = rep.Failures()
 			res.ViolationPath = append([]int(nil), rs.path[:rs.depth]...)
-			return res, nil
+			return res
 		}
 		if !rs.backtrack() {
 			res.Complete = true
-			return res, nil
+			return res
 		}
-		if res.Runs >= cfg.MaxRuns {
-			return res, nil
+		if res.Runs >= maxRuns {
+			return res
 		}
 	}
 }

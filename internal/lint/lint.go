@@ -43,6 +43,11 @@ const memmodelPath = "repro/internal/memmodel"
 // AlgorithmPackages are the packages holding algorithm implementations
 // written against memmodel.Proc; memdiscipline and spinloop apply only
 // here (harness and backend packages legitimately use Go concurrency).
+// In particular internal/parwork — the parallel sweep engine — is out of
+// scope BY DESIGN: it coordinates whole simulator executions with real
+// goroutines, sync and sync/atomic, one abstraction level above the
+// simulated shared-memory steps the discipline governs. The boundary is
+// pinned by TestAlgorithmPackageScope.
 var AlgorithmPackages = map[string]bool{
 	"repro/internal/core":        true,
 	"repro/internal/baseline":    true,

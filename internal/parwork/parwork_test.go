@@ -1,0 +1,131 @@
+package parwork
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		got := Do(workers, 50, func(i int) int { return i * i })
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len=%d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	if got := Do(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Do with 0 jobs = %v, want nil", got)
+	}
+	if got, err := DoErr(4, 0, func(i int) (int, error) { return i, nil }); err != nil || len(got) != 0 {
+		t.Fatalf("DoErr with 0 jobs = %v, %v", got, err)
+	}
+}
+
+func TestDoErrLowestIndexWins(t *testing.T) {
+	errA := errors.New("a")
+	for _, workers := range []int{1, 4} {
+		_, err := DoErr(workers, 20, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errA
+			case 17:
+				return 0, errors.New("b")
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err=%v, want the index-3 error", workers, err)
+		}
+	}
+}
+
+func TestDoErrRunsEveryJob(t *testing.T) {
+	var ran atomic.Int64
+	_, err := DoErr(4, 20, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d jobs, want all 20 (errors must not skew sibling results)", ran.Load())
+	}
+}
+
+func TestDoScopedReusesStatePerWorker(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var entered, exited atomic.Int64
+		got := DoScoped(workers, 12,
+			func() *int { entered.Add(1); s := 0; return &s },
+			func(s *int) { exited.Add(1) },
+			func(s *int, i int) int { *s++; return i },
+		)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: got[%d]=%d", workers, i, v)
+			}
+		}
+		if entered.Load() != exited.Load() {
+			t.Fatalf("workers=%d: enter/exit mismatch: %d vs %d", workers, entered.Load(), exited.Load())
+		}
+		if max := int64(workers); entered.Load() > max {
+			t.Fatalf("workers=%d: %d scopes entered, want <= %d", workers, entered.Load(), max)
+		}
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if v := recover(); v == nil {
+					t.Errorf("workers=%d: panic did not propagate", workers)
+				} else if fmt.Sprint(v) != "boom" {
+					t.Errorf("workers=%d: panic value %v", workers, v)
+				}
+			}()
+			Do(workers, 8, func(i int) int {
+				if i == 5 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestWorkersAndDefault(t *testing.T) {
+	t.Cleanup(func() { SetDefault(0) })
+	SetDefault(0)
+	if got := Default(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	SetDefault(7)
+	if got := Workers(0); got != 7 {
+		t.Fatalf("Workers(0) with default 7 = %d", got)
+	}
+	if got := Workers(-1); got != 7 {
+		t.Fatalf("Workers(-1) with default 7 = %d", got)
+	}
+	SetDefault(-5)
+	if got := Default(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default() after reset = %d", got)
+	}
+}

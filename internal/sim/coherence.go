@@ -1,7 +1,8 @@
 package sim
 
 import (
-	"repro/internal/bitset"
+	"math/bits"
+
 	"repro/internal/memmodel"
 )
 
@@ -60,31 +61,85 @@ func (p Protocol) String() string {
 // (requires a valid/shared copy). This matches Lemma 17, which charges a
 // spinning process one RMR per successful CAS on its spin variable and
 // nothing for other processes' failed attempts.
+//
+// Sharer sets are stored as inline bitsets in one contiguous backing
+// array: variable v's set occupies words [v*stride, (v+1)*stride) of
+// sharers, stride = ceil(nProcs/64). This keeps the per-step hot path
+// (read/write/CAS classification) free of pointer chasing and keeps the
+// whole structure reusable across executions via reset — the simulator's
+// sweeps run thousands of short executions and the coherence state was
+// their dominant per-run allocation.
 type coherence struct {
 	protocol Protocol
 	nProcs   int
+	// stride is the number of 64-bit words per variable's sharer set.
+	stride int
 	// homes[v] is the owning process under DSM, or -1 (global memory).
 	homes []int32
-	// sharers[v] holds the processes with a valid (WT) or shared (WB)
-	// copy of v.
-	sharers []*bitset.Set
+	// sharers holds the inline per-variable bitsets of processes with a
+	// valid (WT) or shared (WB) copy.
+	sharers []uint64
 	// owner[v] is the process holding v exclusive under write-back, or -1.
 	owner []int32
 }
 
 func newCoherence(protocol Protocol, nProcs, nVars int, homes []int32) *coherence {
-	c := &coherence{
-		protocol: protocol,
-		nProcs:   nProcs,
-		homes:    homes,
-		sharers:  make([]*bitset.Set, nVars),
-		owner:    make([]int32, nVars),
+	c := &coherence{}
+	c.reset(protocol, nProcs, nVars, homes)
+	return c
+}
+
+// reset prepares c for a fresh execution, reusing the backing arrays when
+// they are large enough. All sharer sets come out empty and all owners -1,
+// exactly as newCoherence would build them.
+func (c *coherence) reset(protocol Protocol, nProcs, nVars int, homes []int32) {
+	c.protocol = protocol
+	c.nProcs = nProcs
+	c.stride = (nProcs + 63) / 64
+	c.homes = homes
+	nWords := nVars * c.stride
+	if cap(c.sharers) >= nWords {
+		c.sharers = c.sharers[:nWords]
+		clear(c.sharers)
+	} else {
+		c.sharers = make([]uint64, nWords)
 	}
-	for i := range c.sharers {
-		c.sharers[i] = bitset.New(nProcs)
+	if cap(c.owner) >= nVars {
+		c.owner = c.owner[:nVars]
+	} else {
+		c.owner = make([]int32, nVars)
+	}
+	for i := range c.owner {
 		c.owner[i] = -1
 	}
-	return c
+}
+
+// sharerContains reports whether p holds a valid/shared copy of v.
+func (c *coherence) sharerContains(v memmodel.Var, p int) bool {
+	return c.sharers[int(v)*c.stride+p>>6]&(1<<(uint(p)&63)) != 0
+}
+
+// sharerAdd records that p holds a copy of v.
+func (c *coherence) sharerAdd(v memmodel.Var, p int) {
+	c.sharers[int(v)*c.stride+p>>6] |= 1 << (uint(p) & 63)
+}
+
+// sharerClear invalidates every cached copy of v.
+func (c *coherence) sharerClear(v memmodel.Var) {
+	base := int(v) * c.stride
+	for i := base; i < base+c.stride; i++ {
+		c.sharers[i] = 0
+	}
+}
+
+// sharerCount returns the number of processes holding a copy of v.
+func (c *coherence) sharerCount(v memmodel.Var) int {
+	base := int(v) * c.stride
+	n := 0
+	for i := base; i < base+c.stride; i++ {
+		n += bits.OnesCount64(c.sharers[i])
+	}
+	return n
 }
 
 // hasCopy reports whether process p currently holds a readable copy of v
@@ -96,7 +151,7 @@ func (c *coherence) hasCopy(p int, v memmodel.Var) bool {
 	if c.protocol == WriteBack && c.owner[v] == int32(p) {
 		return true
 	}
-	return c.sharers[v].Contains(p)
+	return c.sharerContains(v, p)
 }
 
 // remote reports whether v is remote to p under DSM.
@@ -111,22 +166,22 @@ func (c *coherence) read(p int, v memmodel.Var) bool {
 	case DSM:
 		return c.remote(p, v)
 	case WriteThrough:
-		if c.sharers[v].Contains(p) {
+		if c.sharerContains(v, p) {
 			return false
 		}
-		c.sharers[v].Add(p)
+		c.sharerAdd(v, p)
 		return true
 	case WriteBack:
-		if c.owner[v] == int32(p) || c.sharers[v].Contains(p) {
+		if c.owner[v] == int32(p) || c.sharerContains(v, p) {
 			return false
 		}
 		// Downgrade any exclusive holder to shared, then take a shared
 		// copy.
 		if o := c.owner[v]; o >= 0 {
-			c.sharers[v].Add(int(o))
+			c.sharerAdd(v, int(o))
 			c.owner[v] = -1
 		}
-		c.sharers[v].Add(p)
+		c.sharerAdd(v, p)
 		return true
 	default:
 		panic("sim: unknown protocol")
@@ -142,8 +197,10 @@ func (c *coherence) restart(p int) {
 	if c.protocol == DSM {
 		return
 	}
-	for v := range c.sharers {
-		c.sharers[v].Remove(p)
+	word, mask := p>>6, uint64(1)<<(uint(p)&63)
+	nVars := len(c.owner)
+	for v := 0; v < nVars; v++ {
+		c.sharers[v*c.stride+word] &^= mask
 		if c.owner[v] == int32(p) {
 			c.owner[v] = -1
 		}
@@ -160,14 +217,14 @@ func (c *coherence) write(p int, v memmodel.Var) bool {
 	case WriteThrough:
 		// Write-through always goes to memory: one RMR, all other copies
 		// invalidated; the writer retains a valid copy.
-		c.sharers[v].Clear()
-		c.sharers[v].Add(p)
+		c.sharerClear(v)
+		c.sharerAdd(v, p)
 		return true
 	case WriteBack:
 		if c.owner[v] == int32(p) {
 			return false // already exclusive: write hits the cache
 		}
-		c.sharers[v].Clear()
+		c.sharerClear(v)
 		c.owner[v] = int32(p)
 		return true
 	default:

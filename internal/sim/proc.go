@@ -35,28 +35,30 @@ func (p *simProc) ID() int { return p.ps.id }
 
 // Read implements memmodel.Proc.
 func (p *simProc) Read(v memmodel.Var) uint64 {
-	return p.call(request{kind: memmodel.OpRead, v: v, vars: []memmodel.Var{v}}).val
+	return p.call(request{kind: memmodel.OpRead, v: v}).val
 }
 
 // Write implements memmodel.Proc.
 func (p *simProc) Write(v memmodel.Var, x uint64) {
-	p.call(request{kind: memmodel.OpWrite, v: v, arg: x, vars: []memmodel.Var{v}})
+	p.call(request{kind: memmodel.OpWrite, v: v, arg: x})
 }
 
 // CAS implements memmodel.Proc.
 func (p *simProc) CAS(v memmodel.Var, old, newVal uint64) (uint64, bool) {
-	resp := p.call(request{kind: memmodel.OpCAS, v: v, exp: old, arg: newVal, vars: []memmodel.Var{v}})
+	resp := p.call(request{kind: memmodel.OpCAS, v: v, exp: old, arg: newVal})
 	return resp.val, resp.swapped
 }
 
 // FetchAdd implements memmodel.Proc.
 func (p *simProc) FetchAdd(v memmodel.Var, delta uint64) uint64 {
-	return p.call(request{kind: memmodel.OpFetchAdd, v: v, arg: delta, vars: []memmodel.Var{v}}).val
+	return p.call(request{kind: memmodel.OpFetchAdd, v: v, arg: delta}).val
 }
 
-// Await implements memmodel.Proc.
+// Await implements memmodel.Proc. Single-variable awaits carry no vars
+// slice: the runner keys the single/multi distinction on mpred, so the
+// request is allocation-free like the other single-variable operations.
 func (p *simProc) Await(v memmodel.Var, pred memmodel.Pred) uint64 {
-	return p.call(request{kind: memmodel.OpAwait, v: v, vars: []memmodel.Var{v}, pred: pred}).val
+	return p.call(request{kind: memmodel.OpAwait, v: v, pred: pred}).val
 }
 
 // AwaitMulti implements memmodel.Proc.

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -91,7 +92,10 @@ type request struct {
 	section memmodel.Section
 	barrier bool
 
-	v     memmodel.Var
+	v memmodel.Var
+	// vars lists a multi-await's spin variables (mpred != nil). Every
+	// single-variable operation — including single-variable Await — carries
+	// only v, keeping the per-step request allocation-free.
 	vars  []memmodel.Var
 	arg   uint64
 	exp   uint64
@@ -145,13 +149,17 @@ type Runner struct {
 	nDone    int
 	nCrashed int
 
-	quit      chan struct{}
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	quit chan struct{}
+	// closed guards against double-closing quit. A plain bool suffices —
+	// all Runner methods are confined to the single driver goroutine — and
+	// unlike sync.Once it can be rearmed by Reset.
+	closed bool
+	wg     sync.WaitGroup
 
 	// scratch buffers reused across steps
 	poisedIDs []int
 	poisedOps []sched.PendingOp
+	awaitVals []uint64
 }
 
 // New returns a Runner with the given configuration.
@@ -192,7 +200,7 @@ func (r *Runner) AllocHome(name string, init uint64, home int) memmodel.Var {
 func (r *Runner) AllocN(name string, n int, init uint64) []memmodel.Var {
 	vs := make([]memmodel.Var, n)
 	for i := range vs {
-		vs[i] = r.Alloc(fmt.Sprintf("%s[%d]", name, i), init)
+		vs[i] = r.Alloc(name+"["+strconv.Itoa(i)+"]", init)
 	}
 	return vs
 }
@@ -259,8 +267,19 @@ func (r *Runner) Start() error {
 		return errors.New("sim: Start called twice")
 	}
 	r.started = true
-	r.coh = newCoherence(r.cfg.Protocol, len(r.procs), len(r.mem), r.homes)
-	r.acctHist = make([][]*Account, len(r.procs))
+	if r.coh == nil {
+		r.coh = newCoherence(r.cfg.Protocol, len(r.procs), len(r.mem), r.homes)
+	} else {
+		r.coh.reset(r.cfg.Protocol, len(r.procs), len(r.mem), r.homes)
+	}
+	if cap(r.acctHist) >= len(r.procs) {
+		r.acctHist = r.acctHist[:len(r.procs)]
+		for i := range r.acctHist {
+			r.acctHist[i] = nil
+		}
+	} else {
+		r.acctHist = make([][]*Account, len(r.procs))
+	}
 	for _, ps := range r.procs {
 		r.launch(ps)
 	}
@@ -288,8 +307,54 @@ func (r *Runner) launch(ps *procState) {
 // Close aborts any still-running process goroutines and waits for them to
 // exit. It is safe to call multiple times and after normal completion.
 func (r *Runner) Close() {
-	r.closeOnce.Do(func() { close(r.quit) })
+	if !r.closed {
+		r.closed = true
+		close(r.quit)
+	}
 	r.wg.Wait()
+}
+
+// Reset returns the Runner to the freshly-constructed state of New(cfg),
+// reusing the memory, name, home, process, account-slice, coherence and
+// scheduler-scratch buffers of the previous execution. It first Closes the
+// current execution (aborting any still-running process goroutines), so a
+// sweep can run thousands of short executions on one Runner without
+// re-paying their dominant allocations.
+//
+// What Reset may reuse: every buffer whose contents are fully rebuilt by
+// the next setup phase (Alloc/AddProc/Start) — the shared-memory array,
+// variable names and homes, the coherence sharer/owner words, the procs
+// and accts slices, and the poised/await scratch. What it must NOT reuse:
+// Account objects and procState channels, which escape into Reports and
+// into process goroutines of the previous execution; those are always
+// allocated fresh. Like every Runner method it must be called from the
+// single driver goroutine.
+func (r *Runner) Reset(cfg Config) {
+	r.Close()
+	if cfg.Protocol == 0 {
+		cfg.Protocol = WriteThrough
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewRoundRobin()
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 5_000_000
+	}
+	r.cfg = cfg
+	r.mem = r.mem[:0]
+	r.names = r.names[:0]
+	r.homes = r.homes[:0]
+	r.procs = r.procs[:0]
+	r.accts = r.accts[:0]
+	r.started = false
+	r.steps = 0
+	r.nDone = 0
+	r.nCrashed = 0
+	r.quit = make(chan struct{})
+	r.closed = false
+	// r.wg is reusable as-is: Close waited for every previous goroutine,
+	// so its counter is back to zero. r.coh and r.acctHist are re-prepared
+	// by Start, which knows the new process/variable counts.
 }
 
 // settle advances process ps until it is poised at a shared-memory op,
@@ -549,7 +614,7 @@ func (r *Runner) Poised() []sched.PendingOp {
 			Arg:         ps.pending.arg,
 			CASExpected: ps.pending.exp,
 		}
-		if ps.pending.kind == memmodel.OpAwait {
+		if ps.pending.mpred != nil {
 			op.Var = ps.pending.vars[0]
 			op.Vars = ps.pending.vars
 		}
@@ -572,7 +637,7 @@ func (r *Runner) PendingOf(id int) (sched.PendingOp, bool) {
 		Arg:         ps.pending.arg,
 		CASExpected: ps.pending.exp,
 	}
-	if ps.pending.kind == memmodel.OpAwait {
+	if ps.pending.mpred != nil {
 		op.Var = ps.pending.vars[0]
 		op.Vars = ps.pending.vars
 	}
@@ -775,9 +840,30 @@ func (r *Runner) execute(ps *procState) {
 // executeAwait performs one await check: it (re-)reads every spin variable
 // (charging cache-refill RMRs for invalidated copies), evaluates the
 // predicate, and either completes the await or parks the process again.
+// Single-variable awaits (the hot path — every spin loop in the algorithm
+// packages) run allocation-free; multi-awaits evaluate their predicate on
+// a runner-owned scratch slice and copy it only when the await completes,
+// because the returned values escape to the awaiting program.
 func (r *Runner) executeAwait(ps *procState) {
 	rq := ps.pending
-	vals := make([]uint64, len(rq.vars))
+	if rq.mpred == nil {
+		rmr := r.coh.read(ps.id, rq.v)
+		val := r.mem[rq.v]
+		r.record(ps.id, trace.Event{
+			Kind: memmodel.OpAwait, Var: rq.v,
+			Before: val, After: val, Trivial: true, RMR: rmr,
+		})
+		if rq.pred(val) {
+			r.reply(ps, response{val: val})
+			return
+		}
+		ps.status = statusAwaiting
+		return
+	}
+	if cap(r.awaitVals) < len(rq.vars) {
+		r.awaitVals = make([]uint64, len(rq.vars))
+	}
+	vals := r.awaitVals[:len(rq.vars)]
 	for i, v := range rq.vars {
 		rmr := r.coh.read(ps.id, v)
 		vals[i] = r.mem[v]
@@ -786,14 +872,10 @@ func (r *Runner) executeAwait(ps *procState) {
 			Before: vals[i], After: vals[i], Trivial: true, RMR: rmr,
 		})
 	}
-	var satisfied bool
-	if rq.mpred != nil {
-		satisfied = rq.mpred(vals)
-	} else {
-		satisfied = rq.pred(vals[0])
-	}
-	if satisfied {
-		r.reply(ps, response{val: vals[0], vals: vals})
+	if rq.mpred(vals) {
+		out := make([]uint64, len(vals))
+		copy(out, vals)
+		r.reply(ps, response{val: out[0], vals: out})
 		return
 	}
 	ps.status = statusAwaiting
@@ -804,6 +886,12 @@ func (r *Runner) executeAwait(ps *procState) {
 func (r *Runner) wakeAwaiters(writer int, v memmodel.Var) {
 	for _, q := range r.procs {
 		if q.id == writer || q.status != statusAwaiting {
+			continue
+		}
+		if q.pending.mpred == nil {
+			if q.pending.v == v {
+				q.status = statusPoised
+			}
 			continue
 		}
 		for _, av := range q.pending.vars {
@@ -967,7 +1055,11 @@ func (r *Runner) noProgress() *NoProgressError {
 	for _, id := range ids {
 		ps := r.procs[id]
 		s := StuckProc{Proc: id, Section: r.accts[id].Section(), Doomed: doomed}
-		for _, v := range ps.pending.vars {
+		spinVars := ps.pending.vars
+		if ps.pending.mpred == nil {
+			spinVars = []memmodel.Var{ps.pending.v}
+		}
+		for _, v := range spinVars {
 			s.Vars = append(s.Vars, v)
 			s.VarNames = append(s.VarNames, r.names[v])
 			s.Values = append(s.Values, r.mem[v])

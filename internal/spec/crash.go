@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/memmodel"
+	"repro/internal/parwork"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -64,6 +65,13 @@ func (o CrashOutcome) Safe() bool { return len(o.MEViolations) == 0 }
 // RunCrash executes the scenario against a fresh alg, crashing pt.Victim at
 // step boundary pt.Step, and classifies the outcome.
 func RunCrash(alg memmodel.Algorithm, sc Scenario, pt fault.Point) CrashOutcome {
+	var c runnerCache
+	defer c.close()
+	return runCrashOn(&c, alg, sc, pt)
+}
+
+// runCrashOn is RunCrash on a cached runner.
+func runCrashOn(c *runnerCache, alg memmodel.Algorithm, sc Scenario, pt fault.Point) CrashOutcome {
 	sc.defaults()
 	out := CrashOutcome{
 		Algorithm:      alg.Name(),
@@ -72,12 +80,11 @@ func RunCrash(alg memmodel.Algorithm, sc Scenario, pt fault.Point) CrashOutcome 
 		CrashSection:   memmodel.SecRemainder,
 	}
 	mon := newCSMonitor(sc.NReaders)
-	r, err := buildRunner(alg, sc, mon)
+	r, err := buildRunner(c, alg, sc, mon)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	defer r.Close()
 
 	err = fault.Drive(r, []fault.Point{pt})
 	out.Crashed = len(r.Crashed()) > 0
@@ -107,7 +114,11 @@ func RunCrash(alg memmodel.Algorithm, sc Scenario, pt fault.Point) CrashOutcome 
 // (fault.ExhaustivePoints over the reference step count). newAlg must
 // return fresh instances and mkSched fresh scheduler state per run, since
 // both are single-use; a nil mkSched selects round-robin. The Scheduler
-// field of sc is ignored in favor of mkSched.
+// field of sc is ignored in favor of mkSched. The crash runs fan out
+// across sc.Parallel workers (see Scenario.Parallel) with byte-identical
+// results at every worker count; with Parallel != 1, newAlg and mkSched
+// are called concurrently and must be safe for that (pure constructors
+// are).
 func CrashSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSched func() sched.Scheduler) ([]CrashOutcome, error) {
 	if mkSched == nil {
 		mkSched = func() sched.Scheduler { return sched.NewRoundRobin() }
@@ -118,12 +129,15 @@ func CrashSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 	if !rep.OK() {
 		return nil, fmt.Errorf("crash sweep: reference run of %s failed: %s", rep.Algorithm, rep.Failures())
 	}
-	outs := make([]CrashOutcome, 0, rep.Steps+1)
-	for _, pt := range fault.ExhaustivePoints(victim, rep.Steps) {
-		run := sc
-		run.Scheduler = mkSched()
-		outs = append(outs, RunCrash(newAlg(), run, pt))
-	}
+	pts := fault.ExhaustivePoints(victim, rep.Steps)
+	outs := parwork.DoScoped(sweepWorkers(sc), len(pts),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, i int) CrashOutcome {
+			run := sc
+			run.Scheduler = mkSched()
+			return runCrashOn(c, newAlg(), run, pts[i])
+		})
 	return outs, nil
 }
 
@@ -132,13 +146,21 @@ func CrashSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 // crash point drawn uniformly over victims and the reference execution's
 // step range. mkSched builds the scheduler for a seed; nil selects
 // sched.NewRandom. Use sched.NewPCT-based factories for
-// probabilistic-concurrency-testing sweeps.
+// probabilistic-concurrency-testing sweeps. Both phases — the per-seed
+// reference runs and the flattened (seed, point) crash runs — fan out
+// across sc.Parallel workers; see CrashSweep for the concurrency
+// requirements on newAlg and mkSched.
 func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []int, seeds []int64, perSeed int, mkSched func(seed int64) sched.Scheduler) ([]CrashOutcome, error) {
 	if mkSched == nil {
 		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
 	}
-	var outs []CrashOutcome
-	for _, seed := range seeds {
+	workers := sweepWorkers(sc)
+	type job struct {
+		seed int64
+		pt   fault.Point
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		rep := Run(newAlg(), ref)
@@ -146,12 +168,28 @@ func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 			return nil, fmt.Errorf("crash sweep: reference run of %s (seed %d) failed: %s",
 				rep.Algorithm, seed, rep.Failures())
 		}
-		for _, pt := range dedupPoints(fault.RandomPoints(seed, victims, rep.Steps+1, perSeed)) {
-			run := sc
-			run.Scheduler = mkSched(seed)
-			outs = append(outs, RunCrash(newAlg(), run, pt))
+		pts := dedupPoints(fault.RandomPoints(seed, victims, rep.Steps+1, perSeed))
+		jobs := make([]job, len(pts))
+		for k, pt := range pts {
+			jobs[k] = job{seed: seed, pt: pt}
 		}
+		return jobs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	jobs := make([]job, 0, len(seeds)*perSeed)
+	for _, js := range perSeedJobs {
+		jobs = append(jobs, js...)
+	}
+	outs := parwork.DoScoped(workers, len(jobs),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, i int) CrashOutcome {
+			run := sc
+			run.Scheduler = mkSched(jobs[i].seed)
+			return runCrashOn(c, newAlg(), run, jobs[i].pt)
+		})
 	return outs, nil
 }
 

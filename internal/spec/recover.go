@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/memmodel"
+	"repro/internal/parwork"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -110,6 +111,13 @@ func (o *RecoverOutcome) Failures() string {
 // so a restarted process finishes exactly the passages its dead
 // incarnations did not.
 func RunCrashRecover(alg memmodel.RecoverableAlgorithm, sc Scenario, pts []fault.RestartPoint) *RecoverOutcome {
+	var c runnerCache
+	defer c.close()
+	return runCrashRecoverOn(&c, alg, sc, pts)
+}
+
+// runCrashRecoverOn is RunCrashRecover on a cached runner.
+func runCrashRecoverOn(c *runnerCache, alg memmodel.RecoverableAlgorithm, sc Scenario, pts []fault.RestartPoint) *RecoverOutcome {
 	sc.defaults()
 	out := &RecoverOutcome{Algorithm: alg.Name(), Scenario: sc, Points: pts}
 	mon := newCSMonitor(sc.NReaders)
@@ -121,13 +129,12 @@ func RunCrashRecover(alg memmodel.RecoverableAlgorithm, sc Scenario, pts []fault
 			user(e)
 		}
 	}
-	r := sim.New(sim.Config{
+	r := c.get(sim.Config{
 		Protocol:  sc.Protocol,
 		Scheduler: sc.Scheduler,
 		MaxSteps:  sc.MaxSteps,
 		Observer:  observe,
 	})
-	defer r.Close()
 
 	if err := alg.Init(r, sc.NReaders, sc.NWriters); err != nil {
 		out.Err = fmt.Errorf("init: %w", err)
@@ -267,6 +274,10 @@ func RunCrashRecover(alg memmodel.RecoverableAlgorithm, sc Scenario, pts []fault
 // restarting the victim delay steps after each crash. newAlg must return
 // fresh instances and mkSched fresh scheduler state per run; a nil mkSched
 // selects round-robin. The Scenario's Scheduler field is ignored.
+// The recovery runs fan out across sc.Parallel workers (see
+// Scenario.Parallel) with byte-identical results at every worker count;
+// with Parallel != 1, newAlg and mkSched are called concurrently and must
+// be safe for that (pure constructors are).
 func RecoverySweep(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, victim, delay int, mkSched func() sched.Scheduler) ([]*RecoverOutcome, error) {
 	if mkSched == nil {
 		mkSched = func() sched.Scheduler { return sched.NewRoundRobin() }
@@ -278,13 +289,16 @@ func RecoverySweep(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, vic
 		return nil, fmt.Errorf("recovery sweep: reference run of %s failed: %s",
 			refOut.Algorithm, refOut.Failures())
 	}
-	outs := make([]*RecoverOutcome, 0, refOut.Steps+1)
-	for k := 0; k <= refOut.Steps; k++ {
-		run := sc
-		run.Scheduler = mkSched()
-		outs = append(outs, RunCrashRecover(newAlg(), run,
-			[]fault.RestartPoint{{Victim: victim, Step: k, Delay: delay}}))
-	}
+	n := refOut.Steps + 1
+	outs := parwork.DoScoped(sweepWorkers(sc), n,
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, k int) *RecoverOutcome {
+			run := sc
+			run.Scheduler = mkSched()
+			return runCrashRecoverOn(c, newAlg(), run,
+				[]fault.RestartPoint{{Victim: victim, Step: k, Delay: delay}})
+		})
 	return outs, nil
 }
 
@@ -307,7 +321,7 @@ func RecoverySweepRecrash(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 		return nil, fmt.Errorf("recovery sweep: reference run of %s failed: %s",
 			refOut.Algorithm, refOut.Failures())
 	}
-	var outs []*RecoverOutcome
+	pairs := make([][2]fault.RestartPoint, 0, (refOut.Steps/stride+1)*len(offsets))
 	for k := 0; k <= refOut.Steps; k += stride {
 		for _, off := range offsets {
 			if off < 1 {
@@ -315,26 +329,39 @@ func RecoverySweepRecrash(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 				// dead and is skipped; only strictly-later offsets re-crash.
 				continue
 			}
-			run := sc
-			run.Scheduler = mkSched()
-			outs = append(outs, RunCrashRecover(newAlg(), run, []fault.RestartPoint{
+			pairs = append(pairs, [2]fault.RestartPoint{
 				{Victim: victim, Step: k, Delay: 0},
 				{Victim: victim, Step: k + off, Delay: 0},
-			}))
+			})
 		}
 	}
+	outs := parwork.DoScoped(sweepWorkers(sc), len(pairs),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, i int) *RecoverOutcome {
+			run := sc
+			run.Scheduler = mkSched()
+			return runCrashRecoverOn(c, newAlg(), run, pairs[i][:])
+		})
 	return outs, nil
 }
 
 // RecoverySweepSampled samples restart points under seed-parameterized
 // schedules, deduplicated per seed like CrashSweepSampled. mkSched builds
 // the scheduler for a seed; nil selects sched.NewRandom.
+// Both phases fan out across sc.Parallel workers; see RecoverySweep for
+// the concurrency requirements on newAlg and mkSched.
 func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, victims []int, seeds []int64, perSeed, delay int, mkSched func(seed int64) sched.Scheduler) ([]*RecoverOutcome, error) {
 	if mkSched == nil {
 		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
 	}
-	var outs []*RecoverOutcome
-	for _, seed := range seeds {
+	workers := sweepWorkers(sc)
+	type job struct {
+		seed int64
+		pt   fault.RestartPoint
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		refOut := RunCrashRecover(newAlg(), ref, nil)
@@ -342,12 +369,27 @@ func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 			return nil, fmt.Errorf("recovery sweep: reference run of %s (seed %d) failed: %s",
 				refOut.Algorithm, seed, refOut.Failures())
 		}
-		for _, pt := range dedupPoints(fault.RandomPoints(seed, victims, refOut.Steps+1, perSeed)) {
-			run := sc
-			run.Scheduler = mkSched(seed)
-			outs = append(outs, RunCrashRecover(newAlg(), run,
-				[]fault.RestartPoint{{Victim: pt.Victim, Step: pt.Step, Delay: delay}}))
+		pts := dedupPoints(fault.RandomPoints(seed, victims, refOut.Steps+1, perSeed))
+		jobs := make([]job, len(pts))
+		for k, pt := range pts {
+			jobs[k] = job{seed: seed, pt: fault.RestartPoint{Victim: pt.Victim, Step: pt.Step, Delay: delay}}
 		}
+		return jobs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	jobs := make([]job, 0, len(seeds)*perSeed)
+	for _, js := range perSeedJobs {
+		jobs = append(jobs, js...)
+	}
+	outs := parwork.DoScoped(workers, len(jobs),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, i int) *RecoverOutcome {
+			run := sc
+			run.Scheduler = mkSched(jobs[i].seed)
+			return runCrashRecoverOn(c, newAlg(), run, []fault.RestartPoint{jobs[i].pt})
+		})
 	return outs, nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/memmodel"
+	"repro/internal/parwork"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -38,8 +39,19 @@ type Scenario struct {
 	// critical section, lengthening CS occupancy to expose races.
 	CSReads int
 	// Observer, if non-nil, additionally receives every trace event (the
-	// harness always installs its own mutual-exclusion monitor).
+	// harness always installs its own mutual-exclusion monitor). Sweeps
+	// with a non-nil Observer always run serially: a shared observer
+	// closure would otherwise be invoked concurrently from worker
+	// goroutines.
 	Observer func(trace.Event)
+	// Parallel is the worker count the sweep entry points (CrashSweep,
+	// StallSweep, RecoverySweep, and their sampled variants) fan their
+	// independent executions across. 0 selects the process default
+	// (parwork.Default, typically GOMAXPROCS; the cmd binaries set it from
+	// -parallel); 1 forces serial execution. Results are byte-identical at
+	// every worker count — see internal/parwork. Single executions (Run,
+	// RunCrash, ...) ignore it.
+	Parallel int
 }
 
 func (s Scenario) String() string {
@@ -98,7 +110,7 @@ func (r *Report) Failures() string {
 // Exclusion: a writer in the CS excludes everyone.
 type csMonitor struct {
 	nReaders   int
-	inCS       map[int]bool // proc id -> in CS
+	inCS       []bool // proc id -> in CS, grown on demand
 	writersIn  int
 	readersIn  int
 	maxReaders int
@@ -106,7 +118,7 @@ type csMonitor struct {
 }
 
 func newCSMonitor(nReaders int) *csMonitor {
-	return &csMonitor{nReaders: nReaders, inCS: make(map[int]bool)}
+	return &csMonitor{nReaders: nReaders}
 }
 
 func (m *csMonitor) isWriter(proc int) bool { return proc >= m.nReaders }
@@ -114,6 +126,9 @@ func (m *csMonitor) isWriter(proc int) bool { return proc >= m.nReaders }
 func (m *csMonitor) observe(e trace.Event) {
 	if !e.SectionChange {
 		return
+	}
+	for len(m.inCS) <= e.Proc {
+		m.inCS = append(m.inCS, false)
 	}
 	was := m.inCS[e.Proc]
 	now := e.Section == memmodel.SecCS
@@ -161,10 +176,42 @@ func (s *Scenario) defaults() {
 	}
 }
 
+// sweepWorkers resolves the worker count a sweep over sc fans out across:
+// the Parallel field (parwork-normalized), forced to 1 when the scenario
+// carries a shared user Observer, which must not be invoked concurrently.
+func sweepWorkers(sc Scenario) int {
+	if sc.Observer != nil {
+		return 1
+	}
+	return parwork.Workers(sc.Parallel)
+}
+
+// runnerCache lends one sim.Runner out to consecutive executions on the
+// same goroutine: the first get constructs it, later gets Reset it,
+// reusing the simulator's memory/coherence/account buffers. Each sweep
+// worker owns one cache (parwork.DoScoped), so runners are never shared.
+type runnerCache struct{ r *sim.Runner }
+
+func (c *runnerCache) get(cfg sim.Config) *sim.Runner {
+	if c.r == nil {
+		c.r = sim.New(cfg)
+	} else {
+		c.r.Reset(cfg)
+	}
+	return c.r
+}
+
+func (c *runnerCache) close() {
+	if c.r != nil {
+		c.r.Close()
+	}
+}
+
 // buildRunner wires alg and the scenario's passage-driving programs into a
-// fresh, started runner with mon installed as the mutual-exclusion
-// monitor. The caller owns Close.
-func buildRunner(alg memmodel.Algorithm, sc Scenario, mon *csMonitor) (*sim.Runner, error) {
+// started runner drawn from c, with mon installed as the mutual-exclusion
+// monitor. The cache owns Close; a runner is never closed between cached
+// executions (Reset does it).
+func buildRunner(c *runnerCache, alg memmodel.Algorithm, sc Scenario, mon *csMonitor) (*sim.Runner, error) {
 	observe := mon.observe
 	if sc.Observer != nil {
 		user := sc.Observer
@@ -173,7 +220,7 @@ func buildRunner(alg memmodel.Algorithm, sc Scenario, mon *csMonitor) (*sim.Runn
 			user(e)
 		}
 	}
-	r := sim.New(sim.Config{
+	r := c.get(sim.Config{
 		Protocol:  sc.Protocol,
 		Scheduler: sc.Scheduler,
 		MaxSteps:  sc.MaxSteps,
@@ -181,7 +228,6 @@ func buildRunner(alg memmodel.Algorithm, sc Scenario, mon *csMonitor) (*sim.Runn
 	})
 
 	if err := alg.Init(r, sc.NReaders, sc.NWriters); err != nil {
-		r.Close()
 		return nil, fmt.Errorf("init: %w", err)
 	}
 	scratch := r.Alloc("spec.scratch", 0)
@@ -220,7 +266,6 @@ func buildRunner(alg memmodel.Algorithm, sc Scenario, mon *csMonitor) (*sim.Runn
 	}
 
 	if err := r.Start(); err != nil {
-		r.Close()
 		return nil, err
 	}
 	return r, nil
@@ -229,16 +274,22 @@ func buildRunner(alg memmodel.Algorithm, sc Scenario, mon *csMonitor) (*sim.Runn
 // Run executes the scenario against alg and returns the report. The
 // algorithm instance must be fresh (Init not yet called).
 func Run(alg memmodel.Algorithm, sc Scenario) *Report {
+	var c runnerCache
+	defer c.close()
+	return runOn(&c, alg, sc)
+}
+
+// runOn is Run on a cached runner.
+func runOn(c *runnerCache, alg memmodel.Algorithm, sc Scenario) *Report {
 	sc.defaults()
 	rep := &Report{Algorithm: alg.Name(), Scenario: sc}
 	mon := newCSMonitor(sc.NReaders)
 
-	r, err := buildRunner(alg, sc, mon)
+	r, err := buildRunner(c, alg, sc, mon)
 	if err != nil {
 		rep.Err = err
 		return rep
 	}
-	defer r.Close()
 	rep.Err = r.Run()
 	rep.Steps = r.StepCount()
 	rep.Violations = mon.violations

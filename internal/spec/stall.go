@@ -23,6 +23,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/fault"
 	"repro/internal/memmodel"
+	"repro/internal/parwork"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -97,6 +98,13 @@ func RunStall(alg memmodel.Algorithm, sc Scenario, pt fault.StallPoint) StallOut
 // completes its quota, which is the crash model's expected outcome, not a
 // liveness defect of the survivors).
 func RunMixed(alg memmodel.Algorithm, sc Scenario, crashes []fault.Point, pt fault.StallPoint) StallOutcome {
+	var c runnerCache
+	defer c.close()
+	return runMixedOn(&c, alg, sc, crashes, pt)
+}
+
+// runMixedOn is RunMixed on a cached runner.
+func runMixedOn(c *runnerCache, alg memmodel.Algorithm, sc Scenario, crashes []fault.Point, pt fault.StallPoint) StallOutcome {
 	sc.defaults()
 	out := StallOutcome{
 		Algorithm:      alg.Name(),
@@ -115,12 +123,11 @@ func RunMixed(alg memmodel.Algorithm, sc Scenario, crashes []fault.Point, pt fau
 			userObs(e)
 		}
 	}
-	r, err := buildRunner(alg, sc, mon)
+	r, err := buildRunner(c, alg, sc, mon)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	defer r.Close()
 
 	events, err := fault.DriveMixed(r, crashes, []fault.StallPoint{pt})
 	if len(events) == 1 && events[0].Stalled {
@@ -217,6 +224,10 @@ func classifyWedge(np *sim.NoProgressError, out StallOutcome, r *sim.Runner) []s
 // instances and mkSched fresh scheduler state per run; a nil mkSched
 // selects round-robin. The Scheduler field of sc is ignored in favor of
 // mkSched.
+// The stall runs fan out across sc.Parallel workers (see
+// Scenario.Parallel) with byte-identical results at every worker count;
+// with Parallel != 1, newAlg and mkSched are called concurrently and must
+// be safe for that (pure constructors are).
 func StallSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSched func() sched.Scheduler) ([]StallOutcome, error) {
 	if mkSched == nil {
 		mkSched = func() sched.Scheduler { return sched.NewRoundRobin() }
@@ -228,14 +239,20 @@ func StallSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 		return nil, fmt.Errorf("stall sweep: reference run of %s failed: %s", rep.Algorithm, rep.Failures())
 	}
 	delay := rep.Steps + 1
-	outs := make([]StallOutcome, 0, 2*(rep.Steps+1))
+	pts := make([]fault.StallPoint, 0, 2*(rep.Steps+1))
 	for k := 0; k <= rep.Steps; k++ {
 		for _, d := range []int{delay, fault.Forever} {
-			run := sc
-			run.Scheduler = mkSched()
-			outs = append(outs, RunStall(newAlg(), run, fault.StallPoint{Victim: victim, Step: k, Duration: d}))
+			pts = append(pts, fault.StallPoint{Victim: victim, Step: k, Duration: d})
 		}
 	}
+	outs := parwork.DoScoped(sweepWorkers(sc), len(pts),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, i int) StallOutcome {
+			run := sc
+			run.Scheduler = mkSched()
+			return runMixedOn(c, newAlg(), run, nil, pts[i])
+		})
 	return outs, nil
 }
 
@@ -244,12 +261,19 @@ func StallSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 // the points drawn duplicate-free over victims and the reference
 // execution's step range with a mix of finite and indefinite durations.
 // mkSched builds the scheduler for a seed; nil selects sched.NewRandom.
+// Both phases fan out across sc.Parallel workers; see StallSweep for the
+// concurrency requirements on newAlg and mkSched.
 func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []int, seeds []int64, perSeed int, mkSched func(seed int64) sched.Scheduler) ([]StallOutcome, error) {
 	if mkSched == nil {
 		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
 	}
-	var outs []StallOutcome
-	for _, seed := range seeds {
+	workers := sweepWorkers(sc)
+	type job struct {
+		seed int64
+		pt   fault.StallPoint
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		rep := Run(newAlg(), ref)
@@ -257,12 +281,28 @@ func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 			return nil, fmt.Errorf("stall sweep: reference run of %s (seed %d) failed: %s",
 				rep.Algorithm, seed, rep.Failures())
 		}
-		for _, pt := range fault.RandomStallPoints(seed, victims, rep.Steps+1, perSeed, rep.Steps+1) {
-			run := sc
-			run.Scheduler = mkSched(seed)
-			outs = append(outs, RunStall(newAlg(), run, pt))
+		pts := fault.RandomStallPoints(seed, victims, rep.Steps+1, perSeed, rep.Steps+1)
+		jobs := make([]job, len(pts))
+		for k, pt := range pts {
+			jobs[k] = job{seed: seed, pt: pt}
 		}
+		return jobs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	jobs := make([]job, 0, len(seeds)*perSeed)
+	for _, js := range perSeedJobs {
+		jobs = append(jobs, js...)
+	}
+	outs := parwork.DoScoped(workers, len(jobs),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, i int) StallOutcome {
+			run := sc
+			run.Scheduler = mkSched(jobs[i].seed)
+			return runMixedOn(c, newAlg(), run, nil, jobs[i].pt)
+		})
 	return outs, nil
 }
 
@@ -272,12 +312,20 @@ func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 // victims from stallVictims, skipping collisions). Only safety and
 // watchdog-classification axes are pass/fail for mixed runs; liveness is
 // characterized through the returned outcomes.
+// Both phases fan out across sc.Parallel workers; see StallSweep for the
+// concurrency requirements on newAlg and mkSched.
 func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVictims, stallVictims []int, seeds []int64, perSeed int, mkSched func(seed int64) sched.Scheduler) ([]StallOutcome, error) {
 	if mkSched == nil {
 		mkSched = func(seed int64) sched.Scheduler { return sched.NewRandom(seed) }
 	}
-	var outs []StallOutcome
-	for _, seed := range seeds {
+	workers := sweepWorkers(sc)
+	type job struct {
+		seed  int64
+		crash fault.Point
+		stall fault.StallPoint
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		rep := Run(newAlg(), ref)
@@ -288,15 +336,30 @@ func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVicti
 		crashes := fault.RandomPoints(seed, crashVictims, rep.Steps+1, perSeed)
 		stalls := fault.RandomStallPoints(seed+1, stallVictims, rep.Steps+1, perSeed, rep.Steps+1)
 		n := min(len(crashes), len(stalls))
-		for i := 0; i < n; i++ {
-			if crashes[i].Victim == stalls[i].Victim {
+		jobs := make([]job, 0, n)
+		for k := 0; k < n; k++ {
+			if crashes[k].Victim == stalls[k].Victim {
 				continue
 			}
-			run := sc
-			run.Scheduler = mkSched(seed)
-			outs = append(outs, RunMixed(newAlg(), run, []fault.Point{crashes[i]}, stalls[i]))
+			jobs = append(jobs, job{seed: seed, crash: crashes[k], stall: stalls[k]})
 		}
+		return jobs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	jobs := make([]job, 0, len(seeds)*perSeed)
+	for _, js := range perSeedJobs {
+		jobs = append(jobs, js...)
+	}
+	outs := parwork.DoScoped(workers, len(jobs),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		func(c *runnerCache, i int) StallOutcome {
+			run := sc
+			run.Scheduler = mkSched(jobs[i].seed)
+			return runMixedOn(c, newAlg(), run, []fault.Point{jobs[i].crash}, jobs[i].stall)
+		})
 	return outs, nil
 }
 
