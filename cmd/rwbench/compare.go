@@ -1,0 +1,117 @@
+// The -compare mode turns the committed BENCH_sweeps.json baseline into
+// an enforced budget: it diffs two -sweeps artifacts and fails when a
+// workload's serial cost regressed past the configured ratios. Serial
+// numbers are the comparison axis because they are independent of the
+// host's core count; ns/op still varies with host speed (CI disables that
+// axis and relies on allocs/op, which is host-independent).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/tablefmt"
+)
+
+// loadSweepReport parses a -sweeps JSON artifact.
+func loadSweepReport(path string) (*SweepReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments (not a -sweeps artifact?)", path)
+	}
+	return &rep, nil
+}
+
+// runCompare diffs oldPath (the baseline) against newPath and returns the
+// process exit code: 0 when every baseline workload is present in the new
+// artifact and within budget, 1 otherwise. A ratio limit of 0 disables
+// that axis; workloads only present in the new artifact are reported but
+// never fail (they have no baseline yet).
+func runCompare(oldPath, newPath string, maxNsRatio, maxAllocRatio float64) (int, error) {
+	oldRep, err := loadSweepReport(oldPath)
+	if err != nil {
+		return 1, err
+	}
+	newRep, err := loadSweepReport(newPath)
+	if err != nil {
+		return 1, err
+	}
+	newByName := map[string]SweepCost{}
+	for _, e := range newRep.Experiments {
+		newByName[e.Name] = e.Serial
+	}
+
+	fmt.Printf("comparing serial sweep costs: %s (baseline) vs %s\n", oldPath, newPath)
+	fmt.Printf("budgets: ns/op ratio <= %s, allocs/op ratio <= %s\n",
+		ratioLimit(maxNsRatio), ratioLimit(maxAllocRatio))
+	table := tablefmt.New("workload", "ns/op old", "ns/op new", "ratio", "allocs old", "allocs new", "ratio", "status")
+	failed := false
+	for _, e := range oldRep.Experiments {
+		nc, ok := newByName[e.Name]
+		if !ok {
+			table.AddRow(e.Name, fmt.Sprint(e.Serial.NsPerOp), "-", "-",
+				fmt.Sprint(e.Serial.AllocsPerOp), "-", "-", "FAIL (missing)")
+			failed = true
+			continue
+		}
+		delete(newByName, e.Name)
+		nsRatio := ratio(nc.NsPerOp, e.Serial.NsPerOp)
+		allocRatio := ratio(nc.AllocsPerOp, e.Serial.AllocsPerOp)
+		status := "ok"
+		if maxNsRatio > 0 && nsRatio > maxNsRatio {
+			status = "FAIL (ns/op)"
+			failed = true
+		}
+		if maxAllocRatio > 0 && allocRatio > maxAllocRatio {
+			if status != "ok" {
+				status = "FAIL (ns/op, allocs/op)"
+			} else {
+				status = "FAIL (allocs/op)"
+			}
+			failed = true
+		}
+		table.AddRow(e.Name,
+			fmt.Sprint(e.Serial.NsPerOp), fmt.Sprint(nc.NsPerOp), fmt.Sprintf("%.3f", nsRatio),
+			fmt.Sprint(e.Serial.AllocsPerOp), fmt.Sprint(nc.AllocsPerOp), fmt.Sprintf("%.3f", allocRatio),
+			status)
+	}
+	for name, nc := range newByName {
+		table.AddRow(name, "-", fmt.Sprint(nc.NsPerOp), "-", "-", fmt.Sprint(nc.AllocsPerOp), "-", "new")
+	}
+	fmt.Println(table)
+	if failed {
+		fmt.Println("FAIL: sweep cost regressed past the budget (or a baseline workload disappeared)")
+		return 1, nil
+	}
+	fmt.Println("PASS: all sweep costs within budget")
+	return 0, nil
+}
+
+// ratio returns new/old, treating a zero baseline as exactly met (1.0) so
+// a workload that allocated nothing before and still allocates nothing
+// passes, while any growth from zero trips the budget.
+func ratio(newV, oldV int64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 1
+		}
+		return 1e9
+	}
+	return float64(newV) / float64(oldV)
+}
+
+// ratioLimit renders a threshold, showing disabled axes explicitly.
+func ratioLimit(v float64) string {
+	if v <= 0 {
+		return "disabled"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

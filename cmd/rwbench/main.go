@@ -10,10 +10,16 @@
 // results, and writes machine-readable numbers (ns/op, allocs/op, speedup)
 // to a JSON file.
 //
+// With -compare it instead diffs two -sweeps JSON artifacts and enforces
+// regression budgets on the serial measurements: the run fails if new
+// ns/op or allocs/op exceed the baseline by more than the configured
+// ratios. CI runs it against the committed BENCH_sweeps.json.
+//
 // Usage:
 //
 //	rwbench [-readers 8] [-writers 2] [-dur 200ms] [-parallel N]
 //	rwbench -sweeps [-out BENCH_sweeps.json] [-benchtime 1s]
+//	rwbench -compare [-max-ns-ratio 1.25] [-max-alloc-ratio 1.10] old.json new.json
 package main
 
 import (
@@ -45,11 +51,33 @@ func main() {
 	sweeps := flag.Bool("sweeps", false, "benchmark the simulator sweep workloads (serial vs parallel) and write JSON")
 	out := flag.String("out", "BENCH_sweeps.json", "output path for -sweeps")
 	benchtime := flag.Duration("benchtime", time.Second, "measurement time per sweep configuration in -sweeps mode")
+	compare := flag.Bool("compare", false, "compare two -sweeps JSON files (old new) and fail on perf regressions")
+	maxNsRatio := flag.Float64("max-ns-ratio", 1.25, "-compare: max allowed new/old serial ns/op ratio (0 disables the axis)")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.10, "-compare: max allowed new/old serial allocs/op ratio (0 disables the axis)")
 	applyParallel := cliutil.ParallelFlag()
+	applyRobust := cliutil.RobustFlags()
 	flag.Parse()
-	cliutil.NoArgs(flag.CommandLine)
+	if !*compare {
+		cliutil.NoArgs(flag.CommandLine)
+	}
 	applyParallel()
+	if err := applyRobust(); err != nil {
+		fmt.Fprintln(os.Stderr, "rwbench:", err)
+		os.Exit(1)
+	}
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "rwbench: -compare takes exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		code, err := runCompare(flag.Arg(0), flag.Arg(1), *maxNsRatio, *maxAllocRatio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rwbench:", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
 	if *sweeps {
 		if err := runSweeps(*out, *benchtime); err != nil {
 			fmt.Fprintln(os.Stderr, "rwbench:", err)

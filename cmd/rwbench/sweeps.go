@@ -105,6 +105,14 @@ func sweepWorkloads() []struct {
 // runSweeps measures every sweep workload at 1 worker and at GOMAXPROCS
 // workers for benchtime each and writes the JSON report to outPath.
 func runSweeps(outPath string, benchtime time.Duration) error {
+	// Checkpointing cannot coexist with measurement: the loops re-run the
+	// same sweep many times, and restored rows would turn later iterations
+	// into no-ops. Any robust default installed by the shared flags is
+	// dropped for the duration of the benchmarks.
+	if spec.DefaultRobust() != nil {
+		fmt.Fprintln(os.Stderr, "rwbench: -sweeps ignores the robust-sweep flags (measurement must recompute every row)")
+		spec.SetDefaultRobust(nil)
+	}
 	// testing.Benchmark sizes b.N from the test.benchtime flag, which only
 	// exists after testing.Init; registering it post-Parse is fine because
 	// it is set programmatically, never from the command line.

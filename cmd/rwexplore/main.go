@@ -4,9 +4,15 @@
 // scenario (one reader, one writer, one passage each) the schedule tree is
 // fully exhausted; larger scenarios explore until the run cap.
 //
+// Large explorations are crash-safe: with -checkpoint FILE completed root
+// subtrees are recorded durably, SIGINT/SIGTERM stops the exploration
+// cooperatively (exit status 3), and -resume recomputes only the subtrees
+// the interrupted run did not finish.
+//
 // Usage:
 //
 //	rwexplore [-alg af-log] [-n 1] [-m 1] [-rp 1] [-wp 1] [-max 1000000] [-parallel N]
+//	          [-checkpoint FILE [-resume]] [-row-timeout D]
 //	rwexplore -list
 package main
 
@@ -32,9 +38,14 @@ func main() {
 	maxRuns := flag.Int("max", 1_000_000, "run cap")
 	traceFlag := flag.Bool("trace", false, "on violation, replay and print the schedule as a timeline")
 	applyParallel := cliutil.ParallelFlag()
+	applyRobust := cliutil.RobustFlags()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
 	applyParallel()
+	if err := applyRobust(); err != nil {
+		fmt.Fprintln(os.Stderr, "rwexplore:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, fac := range experiments.ExtendedFactories() {
@@ -43,8 +54,7 @@ func main() {
 		return
 	}
 	if err := run(*algFlag, *n, *m, *rp, *wp, *maxRuns, *traceFlag); err != nil {
-		fmt.Fprintln(os.Stderr, "rwexplore:", err)
-		os.Exit(1)
+		cliutil.Fail("rwexplore", err)
 	}
 }
 

@@ -26,9 +26,15 @@
 // mixed sweep. It fails on any liveness-contract violation, watchdog
 // misattribution, or bypass-budget breach.
 //
+// Long sweeps are crash-safe: with -checkpoint FILE completed rows are
+// recorded durably, SIGINT/SIGTERM stops the sweep cooperatively (exit
+// status 3), and -resume picks up where the interrupted run stopped with
+// byte-identical final output. See also -keep-going and -row-timeout.
+//
 // Usage:
 //
 //	rwverify [-seeds 1,2,3,4,5] [-crash] [-recover] [-stall] [-parallel N]
+//	         [-checkpoint FILE [-resume]] [-keep-going] [-row-timeout D]
 package main
 
 import (
@@ -46,14 +52,18 @@ func main() {
 	recoverFlag := flag.Bool("recover", false, "also run the E14 crash-recovery sweep")
 	stallFlag := flag.Bool("stall", false, "also run the E15 fail-slow (stall) sweeps")
 	applyParallel := cliutil.ParallelFlag()
+	applyRobust := cliutil.RobustFlags()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
 	applyParallel()
+	if err := applyRobust(); err != nil {
+		fmt.Fprintln(os.Stderr, "rwverify:", err)
+		os.Exit(1)
+	}
 
 	code, err := run(*seedsFlag, *crashFlag, *recoverFlag, *stallFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rwverify:", err)
-		os.Exit(1)
+		cliutil.Fail("rwverify", err)
 	}
 	os.Exit(code)
 }

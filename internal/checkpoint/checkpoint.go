@@ -1,0 +1,268 @@
+// Package checkpoint makes long-running sweeps crash-safe: it persists
+// completed result slots to a versioned on-disk store so an interrupted or
+// killed sweep restarts where it stopped instead of from zero.
+//
+// A Store holds one section per sweep invocation. Each section records the
+// sweep's row count, a fingerprint of its configuration (algorithm name,
+// scenario, victim/seed/grid sets — everything that determines the results,
+// and nothing that doesn't, so the fingerprint is worker-count-independent)
+// and the encoded payload of every completed row. On resume, a section
+// whose stored fingerprint does not match the current configuration is
+// rejected with a typed *MismatchError — a stale checkpoint (changed
+// scenario, changed seed set, changed algorithm implementation) must never
+// be silently merged into fresh results. An unreadable or truncated file is
+// rejected with a typed *CorruptError.
+//
+// Writes are atomic: Flush marshals the whole store to a temp file in the
+// destination directory and renames it over the target, so a crash during
+// a flush leaves either the previous checkpoint or the new one, never a
+// torn file.
+//
+// Within one process, sections are identified by a human-readable name plus
+// a per-name call counter: the k-th Section call for a name binds to slot
+// "name#k". Sweeps run in deterministic order inside the cmd binaries, so a
+// resumed process asks for the same slots in the same order and each slot's
+// fingerprint check compares like with like.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Version is the checkpoint file format version. Files written by a
+// different version are rejected with a *MismatchError rather than
+// reinterpreted.
+const Version = 1
+
+// Fingerprint condenses the parts that determine a sweep's results into a
+// fixed-length key. Callers pass every input that shapes the result slots
+// (sweep kind, algorithm name, scenario, victims, seeds, reference step
+// counts) and nothing execution-dependent (worker counts, timestamps).
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		// Length-prefix each part so ("ab","c") and ("a","bc") differ.
+		fmt.Fprintf(h, "%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MismatchError reports a checkpoint that exists but was written for a
+// different configuration (or format version) than the one resuming.
+type MismatchError struct {
+	// Path is the checkpoint file.
+	Path string
+	// Section is the section slot in conflict ("" for file-level
+	// mismatches such as the format version).
+	Section string
+	// Field names the mismatched property: "version", "fingerprint" or
+	// "rows".
+	Field string
+	// Want and Got are the expected (current-run) and stored values.
+	Want, Got string
+}
+
+func (e *MismatchError) Error() string {
+	where := e.Path
+	if e.Section != "" {
+		where += " section " + e.Section
+	}
+	return fmt.Sprintf("checkpoint: %s was written for a different configuration: %s is %s, current run needs %s (delete the file or rerun without -resume to start over)",
+		where, e.Field, e.Got, e.Want)
+}
+
+// CorruptError reports a checkpoint file that could not be parsed —
+// truncated by a crash mid-rename-window, hand-edited, or not a checkpoint
+// at all.
+type CorruptError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("checkpoint: %s is unreadable: %v (delete the file or rerun without -resume to start over)", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// fileFormat is the on-disk JSON schema.
+type fileFormat struct {
+	Version  int                       `json:"version"`
+	Sections map[string]*sectionFormat `json:"sections"`
+}
+
+type sectionFormat struct {
+	Fingerprint string                     `json:"fingerprint"`
+	Total       int                        `json:"total"`
+	Done        map[string]json.RawMessage `json:"done"`
+}
+
+// Store is an on-disk collection of per-sweep checkpoints. It is safe for
+// concurrent use by the sweep workers recording into its sections.
+type Store struct {
+	path string
+
+	mu       sync.Mutex
+	sections map[string]*sectionFormat
+	calls    map[string]int // per-name Section call counter
+}
+
+// Open opens the checkpoint store at path. With resume false it starts
+// empty, ignoring any file already there (the first Flush overwrites it).
+// With resume true it loads the existing file, returning an error wrapping
+// os.ErrNotExist when there is nothing to resume, a *CorruptError when the
+// file cannot be parsed, and a *MismatchError when it was written by a
+// different format version.
+func Open(path string, resume bool) (*Store, error) {
+	s := &Store{path: path, sections: map[string]*sectionFormat{}, calls: map[string]int{}}
+	if !resume {
+		return s, nil
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("checkpoint: nothing to resume: %w", err)
+		}
+		return nil, &CorruptError{Path: path, Err: err}
+	}
+	var f fileFormat
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, &CorruptError{Path: path, Err: err}
+	}
+	if f.Version != Version {
+		return nil, &MismatchError{Path: path, Field: "version",
+			Want: strconv.Itoa(Version), Got: strconv.Itoa(f.Version)}
+	}
+	if f.Sections != nil {
+		s.sections = f.Sections
+	}
+	for _, sec := range s.sections {
+		if sec.Done == nil {
+			sec.Done = map[string]json.RawMessage{}
+		}
+	}
+	return s, nil
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Section binds the next call slot for name to a checkpoint section with
+// the given fingerprint and row count. A fresh slot starts empty; a slot
+// restored from a resumed file must carry the same fingerprint and total or
+// the call fails with a *MismatchError — resuming under a changed
+// configuration is an error, never a silent merge.
+func (s *Store) Section(name, fingerprint string, total int) (*Section, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls[name]++
+	key := fmt.Sprintf("%s#%d", name, s.calls[name])
+	sec, ok := s.sections[key]
+	if !ok {
+		sec = &sectionFormat{Fingerprint: fingerprint, Total: total, Done: map[string]json.RawMessage{}}
+		s.sections[key] = sec
+		return &Section{store: s, key: key, sec: sec}, nil
+	}
+	if sec.Fingerprint != fingerprint {
+		return nil, &MismatchError{Path: s.path, Section: key, Field: "fingerprint",
+			Want: fingerprint, Got: sec.Fingerprint}
+	}
+	if sec.Total != total {
+		return nil, &MismatchError{Path: s.path, Section: key, Field: "rows",
+			Want: strconv.Itoa(total), Got: strconv.Itoa(sec.Total)}
+	}
+	return &Section{store: s, key: key, sec: sec}, nil
+}
+
+// Flush atomically persists the whole store: marshal to a temp file in the
+// destination directory, fsync, rename over the target.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	// Compact on purpose: row payloads are stored verbatim, and an
+	// indenting marshal would reformat them, breaking the byte-for-byte
+	// Record/Restore round trip the resume determinism contract rests on.
+	buf, err := json.Marshal(&fileFormat{Version: Version, Sections: s.sections})
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	buf = append(buf, '\n')
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Section is one sweep's slot view of a Store. It satisfies the sweep
+// engine's sink contract (see internal/parwork.Sink): Restore hands back
+// payloads recorded by a previous run, Record stores newly completed rows,
+// Flush persists the whole store. Safe for concurrent use.
+type Section struct {
+	store *Store
+	key   string
+	sec   *sectionFormat
+}
+
+// Name returns the section's slot key within the store.
+func (c *Section) Name() string { return c.key }
+
+// Done returns the number of recorded rows.
+func (c *Section) Done() int {
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	return len(c.sec.Done)
+}
+
+// Restore returns the payload recorded for row i, if any.
+func (c *Section) Restore(i int) ([]byte, bool) {
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	p, ok := c.sec.Done[strconv.Itoa(i)]
+	return p, ok
+}
+
+// Record stores the payload of newly completed row i. The payload must be
+// valid JSON; it is compacted before storage so that Restore returns the
+// same bytes before and after a file round trip.
+func (c *Section) Record(i int, payload []byte) error {
+	if i < 0 || i >= c.sec.Total {
+		return fmt.Errorf("checkpoint: row %d out of range [0,%d)", i, c.sec.Total)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return fmt.Errorf("checkpoint: row %d payload is not valid JSON: %w", i, err)
+	}
+	c.store.mu.Lock()
+	defer c.store.mu.Unlock()
+	c.sec.Done[strconv.Itoa(i)] = json.RawMessage(compact.Bytes())
+	return nil
+}
+
+// Flush persists the owning store.
+func (c *Section) Flush() error { return c.store.Flush() }

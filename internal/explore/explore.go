@@ -18,6 +18,7 @@ package explore
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/memmodel"
 	"repro/internal/parwork"
 	"repro/internal/spec"
@@ -152,9 +153,10 @@ func Algorithm(newAlg func() memmodel.Algorithm, sc spec.Scenario, cfg Config) (
 	// global budget (a deeper cut is reconstructed during the merge). The
 	// probe run is re-run as subtree 0's first execution so every subtree
 	// result is position-independent.
-	subs := parwork.Do(workers, probe.counts[0], func(k int) *Result {
-		return exploreSubtree(newAlg, sc, k, cfg.MaxRuns)
-	})
+	subs, err := exploreSubtrees(newAlg, sc, cfg, workers, probe.counts[0])
+	if err != nil {
+		return nil, err
+	}
 
 	// Canonical merge: accumulate subtree results in root-choice order,
 	// reproducing exactly where the serial DFS would have stopped — at the
@@ -186,6 +188,44 @@ func Algorithm(newAlg func() memmodel.Algorithm, sc spec.Scenario, cfg Config) (
 		}
 	}
 	return res, nil
+}
+
+// exploreSubtrees fans the root subtrees out across the worker pool. With
+// no robust options in play (spec.EffectiveRobust over the scenario) it is
+// a plain parwork.Do; with options active the subtrees run through the
+// checkpointed path, so an interrupted exploration resumes its unfinished
+// subtrees instead of restarting. KeepGoing is never honored here: the
+// canonical merge needs every subtree's real result, so row-failure
+// isolation would only corrupt the budget accounting. Result round-trips
+// through the checkpoint verbatim (ints, bool, string, []int).
+func exploreSubtrees(newAlg func() memmodel.Algorithm, sc spec.Scenario, cfg Config, workers, roots int) ([]*Result, error) {
+	ro := spec.EffectiveRobust(sc)
+	job := func(k int) *Result { return exploreSubtree(newAlg, sc, k, cfg.MaxRuns) }
+	if ro == nil || (ro.Store == nil && ro.RowTimeout <= 0 && ro.Stop == nil && ro.AfterRow == nil) {
+		return parwork.Do(workers, roots, job), nil
+	}
+	opt := parwork.Options{
+		Workers:    workers,
+		RowTimeout: ro.RowTimeout,
+		Stop:       ro.Stop,
+		AfterRow:   ro.AfterRow,
+		RowInfo:    func(k int) string { return fmt.Sprintf("root subtree %d", k) },
+	}
+	if ro.Store != nil {
+		algName := newAlg().Name()
+		fp := checkpoint.Fingerprint("explore", algName, sc.String(),
+			fmt.Sprintf("csreads=%d maxsteps=%d maxruns=%d roots=%d",
+				sc.CSReads, sc.MaxSteps, cfg.MaxRuns, roots))
+		sec, err := ro.Store.Section("explore/"+algName, fp, roots)
+		if err != nil {
+			return nil, err
+		}
+		opt.Sink = sec
+	}
+	outs, _, err := parwork.DoRobust(opt, roots, parwork.JSONCodec[*Result](),
+		func() struct{} { return struct{}{} }, func(struct{}) {},
+		func(_ struct{}, k int) *Result { return job(k) }, nil)
+	return outs, err
 }
 
 // exploreSubtree is the serial DFS restricted to the subtree under root

@@ -135,13 +135,24 @@ func DoScoped[S, T any](workers, n int, enter func() S, exit func(S), job func(s
 // goroutines (capped at n). body claims job indices from the shared
 // counter until it is exhausted; with one worker it runs on the calling
 // goroutine.
+//
+// A panic in any worker poisons the claim counter: the surviving workers
+// finish only the job they are on and then drain, rather than claiming and
+// running every outstanding index before the panic re-raises (fail-fast —
+// per-row isolation is DoRobust's KeepGoing mode). Jobs that merely return
+// errors (DoErr) do not poison anything: every job still runs, as DoErr's
+// lowest-index-error contract requires.
 func run(workers, n int, body func(claim func() (int, bool))) {
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	var next atomic.Int64
+	var poisoned atomic.Bool
 	claim := func() (int, bool) {
+		if poisoned.Load() {
+			return 0, false
+		}
 		i := int(next.Add(1)) - 1
 		return i, i < n
 	}
@@ -157,6 +168,7 @@ func run(workers, n int, body func(claim func() (int, bool))) {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
+					poisoned.Store(true)
 					panicked.CompareAndSwap(nil, &panicValue{v})
 				}
 			}()

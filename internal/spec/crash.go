@@ -130,15 +130,21 @@ func CrashSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 		return nil, fmt.Errorf("crash sweep: reference run of %s failed: %s", rep.Algorithm, rep.Failures())
 	}
 	pts := fault.ExhaustivePoints(victim, rep.Steps)
-	outs := parwork.DoScoped(sweepWorkers(sc), len(pts),
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	return robustDo(sc, "crash", rep.Algorithm,
+		[]string{"crash", rep.Algorithm, fpScenario(sc), mkSched().Name(),
+			fmt.Sprintf("victim=%d refsteps=%d", victim, rep.Steps)},
+		len(pts),
+		func(i int) string { return pts[i].String() },
 		func(c *runnerCache, i int) CrashOutcome {
 			run := sc
 			run.Scheduler = mkSched()
 			return runCrashOn(c, newAlg(), run, pts[i])
+		},
+		func(i int, f *parwork.RowFailure) CrashOutcome {
+			return CrashOutcome{Algorithm: rep.Algorithm, Point: pts[i],
+				VictimIsWriter: pts[i].Victim >= sc.NReaders,
+				CrashSection:   memmodel.SecRemainder, Err: f}
 		})
-	return outs, nil
 }
 
 // CrashSweepSampled samples crash points under seed-parameterized
@@ -159,13 +165,17 @@ func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		seed int64
 		pt   fault.Point
 	}
-	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+	type seedJobs struct {
+		jobs     []job
+		refSteps int
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) (seedJobs, error) {
 		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		rep := Run(newAlg(), ref)
 		if !rep.OK() {
-			return nil, fmt.Errorf("crash sweep: reference run of %s (seed %d) failed: %s",
+			return seedJobs{}, fmt.Errorf("crash sweep: reference run of %s (seed %d) failed: %s",
 				rep.Algorithm, seed, rep.Failures())
 		}
 		pts := dedupPoints(fault.RandomPoints(seed, victims, rep.Steps+1, perSeed))
@@ -173,24 +183,45 @@ func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		for k, pt := range pts {
 			jobs[k] = job{seed: seed, pt: pt}
 		}
-		return jobs, nil
+		return seedJobs{jobs: jobs, refSteps: rep.Steps}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	jobs := make([]job, 0, len(seeds)*perSeed)
-	for _, js := range perSeedJobs {
-		jobs = append(jobs, js...)
+	refSteps := make([]int, 0, len(seeds))
+	for _, sj := range perSeedJobs {
+		jobs = append(jobs, sj.jobs...)
+		refSteps = append(refSteps, sj.refSteps)
 	}
-	outs := parwork.DoScoped(workers, len(jobs),
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	// The per-seed reference step counts pin the sampled job list exactly
+	// (the points are a pure function of seed, victims, perSeed and that
+	// count), keeping the fingerprint compact at any sample size.
+	algName := newAlg().Name()
+	return robustDo(sc, "crash-sampled", algName,
+		[]string{"crash-sampled", algName, fpScenario(sc), sampledSchedName(mkSched, seeds),
+			fmt.Sprintf("victims=%v seeds=%v perSeed=%d refsteps=%v", victims, seeds, perSeed, refSteps)},
+		len(jobs),
+		func(i int) string { return fmt.Sprintf("seed=%d %s", jobs[i].seed, jobs[i].pt) },
 		func(c *runnerCache, i int) CrashOutcome {
 			run := sc
 			run.Scheduler = mkSched(jobs[i].seed)
 			return runCrashOn(c, newAlg(), run, jobs[i].pt)
+		},
+		func(i int, f *parwork.RowFailure) CrashOutcome {
+			return CrashOutcome{Algorithm: algName, Point: jobs[i].pt,
+				VictimIsWriter: jobs[i].pt.Victim >= sc.NReaders,
+				CrashSection:   memmodel.SecRemainder, Err: f}
 		})
-	return outs, nil
+}
+
+// sampledSchedName renders the scheduler family a sampled sweep uses, for
+// its fingerprint (probed on the first seed; the family is seed-uniform).
+func sampledSchedName(mkSched func(seed int64) sched.Scheduler, seeds []int64) string {
+	if len(seeds) == 0 {
+		return "none"
+	}
+	return mkSched(seeds[0]).Name()
 }
 
 // dedupPoints drops duplicate sampled crash points, keeping first

@@ -290,16 +290,21 @@ func RecoverySweep(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, vic
 			refOut.Algorithm, refOut.Failures())
 	}
 	n := refOut.Steps + 1
-	outs := parwork.DoScoped(sweepWorkers(sc), n,
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	return robustDo(sc, "recover", refOut.Algorithm,
+		[]string{"recover", refOut.Algorithm, fpScenario(sc), mkSched().Name(),
+			fmt.Sprintf("victim=%d delay=%d refsteps=%d", victim, delay, refOut.Steps)},
+		n,
+		func(k int) string { return fault.RestartPoint{Victim: victim, Step: k, Delay: delay}.String() },
 		func(c *runnerCache, k int) *RecoverOutcome {
 			run := sc
 			run.Scheduler = mkSched()
 			return runCrashRecoverOn(c, newAlg(), run,
 				[]fault.RestartPoint{{Victim: victim, Step: k, Delay: delay}})
+		},
+		func(k int, f *parwork.RowFailure) *RecoverOutcome {
+			return &RecoverOutcome{Algorithm: refOut.Algorithm, Scenario: sc,
+				Points: []fault.RestartPoint{{Victim: victim, Step: k, Delay: delay}}, Err: f}
 		})
-	return outs, nil
 }
 
 // RecoverySweepRecrash sweeps double-crash configurations: the victim is
@@ -335,15 +340,20 @@ func RecoverySweepRecrash(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 			})
 		}
 	}
-	outs := parwork.DoScoped(sweepWorkers(sc), len(pairs),
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	return robustDo(sc, "recover-recrash", refOut.Algorithm,
+		[]string{"recover-recrash", refOut.Algorithm, fpScenario(sc), mkSched().Name(),
+			fmt.Sprintf("victim=%d stride=%d offsets=%v refsteps=%d", victim, stride, offsets, refOut.Steps)},
+		len(pairs),
+		func(i int) string { return fmt.Sprintf("%s then %s", pairs[i][0], pairs[i][1]) },
 		func(c *runnerCache, i int) *RecoverOutcome {
 			run := sc
 			run.Scheduler = mkSched()
 			return runCrashRecoverOn(c, newAlg(), run, pairs[i][:])
+		},
+		func(i int, f *parwork.RowFailure) *RecoverOutcome {
+			return &RecoverOutcome{Algorithm: refOut.Algorithm, Scenario: sc,
+				Points: pairs[i][:], Err: f}
 		})
-	return outs, nil
 }
 
 // RecoverySweepSampled samples restart points under seed-parameterized
@@ -360,13 +370,17 @@ func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 		seed int64
 		pt   fault.RestartPoint
 	}
-	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+	type seedJobs struct {
+		jobs     []job
+		refSteps int
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) (seedJobs, error) {
 		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		refOut := RunCrashRecover(newAlg(), ref, nil)
 		if !refOut.OK() {
-			return nil, fmt.Errorf("recovery sweep: reference run of %s (seed %d) failed: %s",
+			return seedJobs{}, fmt.Errorf("recovery sweep: reference run of %s (seed %d) failed: %s",
 				refOut.Algorithm, seed, refOut.Failures())
 		}
 		pts := dedupPoints(fault.RandomPoints(seed, victims, refOut.Steps+1, perSeed))
@@ -374,22 +388,31 @@ func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 		for k, pt := range pts {
 			jobs[k] = job{seed: seed, pt: fault.RestartPoint{Victim: pt.Victim, Step: pt.Step, Delay: delay}}
 		}
-		return jobs, nil
+		return seedJobs{jobs: jobs, refSteps: refOut.Steps}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	jobs := make([]job, 0, len(seeds)*perSeed)
-	for _, js := range perSeedJobs {
-		jobs = append(jobs, js...)
+	refSteps := make([]int, 0, len(seeds))
+	for _, sj := range perSeedJobs {
+		jobs = append(jobs, sj.jobs...)
+		refSteps = append(refSteps, sj.refSteps)
 	}
-	outs := parwork.DoScoped(workers, len(jobs),
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	algName := newAlg().Name()
+	return robustDo(sc, "recover-sampled", algName,
+		[]string{"recover-sampled", algName, fpScenario(sc), sampledSchedName(mkSched, seeds),
+			fmt.Sprintf("victims=%v seeds=%v perSeed=%d delay=%d refsteps=%v",
+				victims, seeds, perSeed, delay, refSteps)},
+		len(jobs),
+		func(i int) string { return fmt.Sprintf("seed=%d %s", jobs[i].seed, jobs[i].pt) },
 		func(c *runnerCache, i int) *RecoverOutcome {
 			run := sc
 			run.Scheduler = mkSched(jobs[i].seed)
 			return runCrashRecoverOn(c, newAlg(), run, []fault.RestartPoint{jobs[i].pt})
+		},
+		func(i int, f *parwork.RowFailure) *RecoverOutcome {
+			return &RecoverOutcome{Algorithm: algName, Scenario: sc,
+				Points: []fault.RestartPoint{jobs[i].pt}, Err: f}
 		})
-	return outs, nil
 }

@@ -1,0 +1,134 @@
+// Robust sweep execution: every sweep entry point in this package routes
+// its fan-out through robustDo, which is a thin dispatcher — with no
+// robustness options in play it is exactly the historical
+// parwork.DoScoped call, and with options active it runs the same jobs
+// through parwork.DoRobust with a checkpoint section as the durable sink.
+// The result slots are identical either way; that is what makes an
+// interrupted-and-resumed sweep byte-identical to an uninterrupted one
+// (see TestCheckpointResumeDeterminism).
+package spec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/parwork"
+)
+
+// RobustOptions selects the robust execution behaviors for a sweep (see
+// Scenario.Robust). The zero value disables them all, which — as an
+// explicit non-nil Scenario.Robust — also shields a sweep from the
+// process default.
+type RobustOptions struct {
+	// Store, when non-nil, checkpoints completed rows: each sweep binds
+	// a section keyed by a fingerprint of its configuration, restores
+	// rows a previous run completed, and records new ones. A stale
+	// checkpoint (different configuration) fails the sweep with a typed
+	// *checkpoint.MismatchError.
+	Store *checkpoint.Store
+	// KeepGoing isolates row failures: a panicking or timed-out row is
+	// reported inside its result slot (the outcome's Err holds the
+	// *parwork.RowFailure) and the sweep continues. Default is
+	// fail-fast.
+	KeepGoing bool
+	// RowTimeout, when positive, is the wall-clock deadline for one
+	// sweep row; a row exceeding it is reported as a stuck-row
+	// *parwork.RowFailure with an all-goroutine stack dump.
+	RowTimeout time.Duration
+	// Stop, when non-nil, cooperatively cancels the sweep: workers stop
+	// claiming rows, the checkpoint is flushed, and the sweep returns a
+	// *parwork.InterruptedError. The cmd binaries wire SIGINT/SIGTERM
+	// to it.
+	Stop *parwork.Stopper
+	// AfterRow, when non-nil, observes progress (cumulative rows
+	// computed this run). Called concurrently from sweep workers.
+	AfterRow func(done int)
+}
+
+// active reports whether any robust behavior is requested.
+func (o *RobustOptions) active() bool {
+	return o != nil && (o.Store != nil || o.KeepGoing || o.RowTimeout > 0 ||
+		o.Stop != nil || o.AfterRow != nil)
+}
+
+// defaultRobust is the process-wide default (see SetDefaultRobust).
+var defaultRobust atomic.Pointer[RobustOptions]
+
+// SetDefaultRobust installs the process-wide robust options applied to
+// every sweep whose Scenario.Robust is nil. The cmd binaries call it from
+// their -checkpoint/-resume/-keep-going/-row-timeout flags, mirroring how
+// parwork.SetDefault carries -parallel. Pass nil to clear.
+func SetDefaultRobust(o *RobustOptions) { defaultRobust.Store(o) }
+
+// DefaultRobust returns the current process-wide default, nil if unset.
+func DefaultRobust() *RobustOptions { return defaultRobust.Load() }
+
+// EffectiveRobust resolves the robust options a sweep over sc runs under:
+// the scenario's own Robust field wins (including a non-nil zero value,
+// which opts out of the default); otherwise the process default. Exported
+// for internal/explore, whose subtree split honors the same options.
+func EffectiveRobust(sc Scenario) *RobustOptions {
+	if sc.Robust != nil {
+		return sc.Robust
+	}
+	return DefaultRobust()
+}
+
+// robustDo is the single fan-out point for every sweep in this package.
+// kind/algName/fpParts identify the sweep to the checkpoint store: kind
+// and algName name the section, fpParts fingerprint the full
+// configuration (they must determine the row set exactly and contain
+// nothing execution-dependent such as worker counts). rowInfo describes
+// row i for failure reports; onFailure builds the keep-going placeholder
+// outcome carrying the row's *parwork.RowFailure.
+func robustDo[T any](
+	sc Scenario,
+	kind, algName string,
+	fpParts []string,
+	n int,
+	rowInfo func(i int) string,
+	job func(c *runnerCache, i int) T,
+	onFailure func(i int, f *parwork.RowFailure) T,
+) ([]T, error) {
+	workers := sweepWorkers(sc)
+	ro := EffectiveRobust(sc)
+	if !ro.active() {
+		return parwork.DoScoped(workers, n,
+			func() *runnerCache { return &runnerCache{} },
+			(*runnerCache).close,
+			job), nil
+	}
+	opt := parwork.Options{
+		Workers:    workers,
+		KeepGoing:  ro.KeepGoing,
+		RowTimeout: ro.RowTimeout,
+		Stop:       ro.Stop,
+		RowInfo:    rowInfo,
+		AfterRow:   ro.AfterRow,
+	}
+	if ro.Store != nil {
+		sec, err := ro.Store.Section(kind+"/"+algName, checkpoint.Fingerprint(fpParts...), n)
+		if err != nil {
+			return nil, err
+		}
+		opt.Sink = sec
+	}
+	outs, _, err := parwork.DoRobust(opt, n, parwork.JSONCodec[T](),
+		func() *runnerCache { return &runnerCache{} },
+		(*runnerCache).close,
+		job, onFailure)
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// fpScenario renders the scenario fields a sweep fingerprint must cover:
+// everything String() shows plus the step budget and CS padding, which
+// also shape results. The scheduler name is passed separately (the sweeps
+// ignore sc.Scheduler in favor of their mkSched factories).
+func fpScenario(sc Scenario) string {
+	return fmt.Sprintf("%s csreads=%d maxsteps=%d", sc.String(), sc.CSReads, sc.MaxSteps)
+}

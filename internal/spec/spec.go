@@ -52,6 +52,16 @@ type Scenario struct {
 	// every worker count — see internal/parwork. Single executions (Run,
 	// RunCrash, ...) ignore it.
 	Parallel int
+	// Robust selects the sweep entry points' robust execution options
+	// (checkpointing, cooperative cancellation, per-row failure
+	// isolation, row deadline — see RobustOptions). nil selects the
+	// process default (SetDefaultRobust, set by the cmd binaries'
+	// -checkpoint/-resume/-keep-going/-row-timeout flags); a non-nil
+	// zero-valued struct opts OUT of that default, forcing the plain
+	// fast path. Single executions ignore it. Like Parallel it never
+	// affects results: a resumed or keep-going sweep fills the same
+	// result slots with the same values (failed rows excepted).
+	Robust *RobustOptions
 }
 
 func (s Scenario) String() string {

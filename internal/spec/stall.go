@@ -245,15 +245,21 @@ func StallSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 			pts = append(pts, fault.StallPoint{Victim: victim, Step: k, Duration: d})
 		}
 	}
-	outs := parwork.DoScoped(sweepWorkers(sc), len(pts),
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	return robustDo(sc, "stall", rep.Algorithm,
+		[]string{"stall", rep.Algorithm, fpScenario(sc), mkSched().Name(),
+			fmt.Sprintf("victim=%d refsteps=%d", victim, rep.Steps)},
+		len(pts),
+		func(i int) string { return pts[i].String() },
 		func(c *runnerCache, i int) StallOutcome {
 			run := sc
 			run.Scheduler = mkSched()
 			return runMixedOn(c, newAlg(), run, nil, pts[i])
+		},
+		func(i int, f *parwork.RowFailure) StallOutcome {
+			return StallOutcome{Algorithm: rep.Algorithm, Point: pts[i],
+				VictimIsWriter: pts[i].Victim >= sc.NReaders,
+				StallSection:   memmodel.SecRemainder, Err: f}
 		})
-	return outs, nil
 }
 
 // StallSweepSampled samples stall points under seed-parameterized
@@ -272,13 +278,17 @@ func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		seed int64
 		pt   fault.StallPoint
 	}
-	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+	type seedJobs struct {
+		jobs     []job
+		refSteps int
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) (seedJobs, error) {
 		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		rep := Run(newAlg(), ref)
 		if !rep.OK() {
-			return nil, fmt.Errorf("stall sweep: reference run of %s (seed %d) failed: %s",
+			return seedJobs{}, fmt.Errorf("stall sweep: reference run of %s (seed %d) failed: %s",
 				rep.Algorithm, seed, rep.Failures())
 		}
 		pts := fault.RandomStallPoints(seed, victims, rep.Steps+1, perSeed, rep.Steps+1)
@@ -286,24 +296,33 @@ func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		for k, pt := range pts {
 			jobs[k] = job{seed: seed, pt: pt}
 		}
-		return jobs, nil
+		return seedJobs{jobs: jobs, refSteps: rep.Steps}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	jobs := make([]job, 0, len(seeds)*perSeed)
-	for _, js := range perSeedJobs {
-		jobs = append(jobs, js...)
+	refSteps := make([]int, 0, len(seeds))
+	for _, sj := range perSeedJobs {
+		jobs = append(jobs, sj.jobs...)
+		refSteps = append(refSteps, sj.refSteps)
 	}
-	outs := parwork.DoScoped(workers, len(jobs),
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	algName := newAlg().Name()
+	return robustDo(sc, "stall-sampled", algName,
+		[]string{"stall-sampled", algName, fpScenario(sc), sampledSchedName(mkSched, seeds),
+			fmt.Sprintf("victims=%v seeds=%v perSeed=%d refsteps=%v", victims, seeds, perSeed, refSteps)},
+		len(jobs),
+		func(i int) string { return fmt.Sprintf("seed=%d %s", jobs[i].seed, jobs[i].pt) },
 		func(c *runnerCache, i int) StallOutcome {
 			run := sc
 			run.Scheduler = mkSched(jobs[i].seed)
 			return runMixedOn(c, newAlg(), run, nil, jobs[i].pt)
+		},
+		func(i int, f *parwork.RowFailure) StallOutcome {
+			return StallOutcome{Algorithm: algName, Point: jobs[i].pt,
+				VictimIsWriter: jobs[i].pt.Victim >= sc.NReaders,
+				StallSection:   memmodel.SecRemainder, Err: f}
 		})
-	return outs, nil
 }
 
 // MixedSweepSampled samples combined crash+stall configurations: per seed,
@@ -324,13 +343,17 @@ func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVicti
 		crash fault.Point
 		stall fault.StallPoint
 	}
-	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) ([]job, error) {
+	type seedJobs struct {
+		jobs     []job
+		refSteps int
+	}
+	perSeedJobs, err := parwork.DoErr(workers, len(seeds), func(i int) (seedJobs, error) {
 		seed := seeds[i]
 		ref := sc
 		ref.Scheduler = mkSched(seed)
 		rep := Run(newAlg(), ref)
 		if !rep.OK() {
-			return nil, fmt.Errorf("mixed sweep: reference run of %s (seed %d) failed: %s",
+			return seedJobs{}, fmt.Errorf("mixed sweep: reference run of %s (seed %d) failed: %s",
 				rep.Algorithm, seed, rep.Failures())
 		}
 		crashes := fault.RandomPoints(seed, crashVictims, rep.Steps+1, perSeed)
@@ -343,24 +366,37 @@ func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVicti
 			}
 			jobs = append(jobs, job{seed: seed, crash: crashes[k], stall: stalls[k]})
 		}
-		return jobs, nil
+		return seedJobs{jobs: jobs, refSteps: rep.Steps}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	jobs := make([]job, 0, len(seeds)*perSeed)
-	for _, js := range perSeedJobs {
-		jobs = append(jobs, js...)
+	refSteps := make([]int, 0, len(seeds))
+	for _, sj := range perSeedJobs {
+		jobs = append(jobs, sj.jobs...)
+		refSteps = append(refSteps, sj.refSteps)
 	}
-	outs := parwork.DoScoped(workers, len(jobs),
-		func() *runnerCache { return &runnerCache{} },
-		(*runnerCache).close,
+	algName := newAlg().Name()
+	return robustDo(sc, "mixed-sampled", algName,
+		[]string{"mixed-sampled", algName, fpScenario(sc), sampledSchedName(mkSched, seeds),
+			fmt.Sprintf("crashVictims=%v stallVictims=%v seeds=%v perSeed=%d refsteps=%v",
+				crashVictims, stallVictims, seeds, perSeed, refSteps)},
+		len(jobs),
+		func(i int) string {
+			return fmt.Sprintf("seed=%d %s + %s", jobs[i].seed, jobs[i].crash, jobs[i].stall)
+		},
 		func(c *runnerCache, i int) StallOutcome {
 			run := sc
 			run.Scheduler = mkSched(jobs[i].seed)
 			return runMixedOn(c, newAlg(), run, []fault.Point{jobs[i].crash}, jobs[i].stall)
+		},
+		func(i int, f *parwork.RowFailure) StallOutcome {
+			return StallOutcome{Algorithm: algName, Point: jobs[i].stall,
+				CrashPoints:    []fault.Point{jobs[i].crash},
+				VictimIsWriter: jobs[i].stall.Victim >= sc.NReaders,
+				StallSection:   memmodel.SecRemainder, Err: f}
 		})
-	return outs, nil
 }
 
 // StallViolations applies the section-sensitive fail-slow liveness

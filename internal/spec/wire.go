@@ -1,0 +1,164 @@
+// Checkpoint wire codecs for the sweep outcome types. The resume
+// determinism contract is render fidelity: a restored outcome must be
+// indistinguishable from the computed one under the %+v rendering the
+// determinism gates (and the experiment tables) use. Two fields need help
+// from encoding/json to get there:
+//
+//   - Err error: interface values don't round-trip. The wire carries the
+//     message and the decoder rebuilds a plain error — fmt renders error
+//     fields via Error(), so the rendering is unchanged. (RowFailure
+//     placeholders never take this path: failed rows are not recorded, a
+//     resumed run retries them.)
+//
+//   - RecoverOutcome.Scenario: it embeds a live sched.Scheduler and
+//     callback fields that cannot (and must not) be serialized. Scenario
+//     renders via its String() method — population, passages, protocol,
+//     scheduler NAME — so the wire carries exactly those fields and the
+//     decoder installs a name-only stub scheduler that renders identically
+//     but refuses to run.
+//
+// Each wire struct embeds a method-free alias of its outcome type and
+// shadows the problem fields at depth 0, which suppresses the embedded
+// originals under encoding/json's field-conflict rule.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// errString renders err for the wire, "" for nil.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// errFromWire rebuilds an error field, nil for "".
+func errFromWire(s string) error {
+	if s == "" {
+		return nil
+	}
+	return errors.New(s)
+}
+
+// decodedScheduler is the name-only scheduler stub installed in restored
+// Scenarios: Name() preserves rendering, Next refuses to run (a restored
+// outcome is a record, not a runnable configuration).
+type decodedScheduler struct{ name string }
+
+func (d decodedScheduler) Name() string { return d.name }
+
+func (d decodedScheduler) Next(int, []int) int {
+	panic("spec: Scenario restored from a checkpoint is not runnable")
+}
+
+// scenarioWire carries the Scenario fields its String() rendering covers.
+type scenarioWire struct {
+	NReaders, NWriters             int
+	ReaderPassages, WriterPassages int
+	Protocol                       sim.Protocol
+	Scheduler                      string
+	MaxSteps, CSReads              int
+}
+
+func scenarioToWire(sc Scenario) scenarioWire {
+	name := "round-robin"
+	if sc.Scheduler != nil {
+		name = sc.Scheduler.Name()
+	}
+	return scenarioWire{
+		NReaders: sc.NReaders, NWriters: sc.NWriters,
+		ReaderPassages: sc.ReaderPassages, WriterPassages: sc.WriterPassages,
+		Protocol: sc.Protocol, Scheduler: name,
+		MaxSteps: sc.MaxSteps, CSReads: sc.CSReads,
+	}
+}
+
+func (w scenarioWire) toScenario() Scenario {
+	return Scenario{
+		NReaders: w.NReaders, NWriters: w.NWriters,
+		ReaderPassages: w.ReaderPassages, WriterPassages: w.WriterPassages,
+		Protocol: w.Protocol, Scheduler: decodedScheduler{w.Scheduler},
+		MaxSteps: w.MaxSteps, CSReads: w.CSReads,
+	}
+}
+
+// crashOutcomePlain is CrashOutcome without its methods, so the wire
+// struct's embedded marshal doesn't recurse into MarshalJSON.
+type crashOutcomePlain CrashOutcome
+
+type crashOutcomeWire struct {
+	crashOutcomePlain
+	Err string `json:"Err,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler (value receiver, so both values
+// and pointers marshal through it).
+func (o CrashOutcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(crashOutcomeWire{crashOutcomePlain(o), errString(o.Err)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (o *CrashOutcome) UnmarshalJSON(p []byte) error {
+	var w crashOutcomeWire
+	if err := json.Unmarshal(p, &w); err != nil {
+		return err
+	}
+	*o = CrashOutcome(w.crashOutcomePlain)
+	o.Err = errFromWire(w.Err)
+	return nil
+}
+
+type stallOutcomePlain StallOutcome
+
+type stallOutcomeWire struct {
+	stallOutcomePlain
+	Err string `json:"Err,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (o StallOutcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(stallOutcomeWire{stallOutcomePlain(o), errString(o.Err)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (o *StallOutcome) UnmarshalJSON(p []byte) error {
+	var w stallOutcomeWire
+	if err := json.Unmarshal(p, &w); err != nil {
+		return err
+	}
+	*o = StallOutcome(w.stallOutcomePlain)
+	o.Err = errFromWire(w.Err)
+	return nil
+}
+
+type recoverOutcomePlain RecoverOutcome
+
+type recoverOutcomeWire struct {
+	recoverOutcomePlain
+	Scenario scenarioWire `json:"Scenario"`
+	Err      string       `json:"Err,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (o RecoverOutcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(recoverOutcomeWire{
+		recoverOutcomePlain(o), scenarioToWire(o.Scenario), errString(o.Err),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (o *RecoverOutcome) UnmarshalJSON(p []byte) error {
+	var w recoverOutcomeWire
+	if err := json.Unmarshal(p, &w); err != nil {
+		return err
+	}
+	*o = RecoverOutcome(w.recoverOutcomePlain)
+	o.Scenario = w.Scenario.toScenario()
+	o.Err = errFromWire(w.Err)
+	return nil
+}
