@@ -30,12 +30,34 @@ func loadSweepReport(path string) (*SweepReport, error) {
 	return &rep, nil
 }
 
+// hostMismatch lists the Host fields on which two artifacts disagree.
+// ns/op comparisons across different hosts are noise, so a mismatch is
+// always surfaced; -require-same-host upgrades it to a hard failure.
+func hostMismatch(a, b *SweepReport) []string {
+	var diffs []string
+	if a.Host.GOOS != b.Host.GOOS {
+		diffs = append(diffs, fmt.Sprintf("goos %q vs %q", a.Host.GOOS, b.Host.GOOS))
+	}
+	if a.Host.GOARCH != b.Host.GOARCH {
+		diffs = append(diffs, fmt.Sprintf("goarch %q vs %q", a.Host.GOARCH, b.Host.GOARCH))
+	}
+	if a.Host.NumCPU != b.Host.NumCPU {
+		diffs = append(diffs, fmt.Sprintf("num_cpu %d vs %d", a.Host.NumCPU, b.Host.NumCPU))
+	}
+	if a.Host.GOMAXPROCS != b.Host.GOMAXPROCS {
+		diffs = append(diffs, fmt.Sprintf("gomaxprocs %d vs %d", a.Host.GOMAXPROCS, b.Host.GOMAXPROCS))
+	}
+	return diffs
+}
+
 // runCompare diffs oldPath (the baseline) against newPath and returns the
 // process exit code: 0 when every baseline workload is present in the new
 // artifact and within budget, 1 otherwise. A ratio limit of 0 disables
 // that axis; workloads only present in the new artifact are reported but
-// never fail (they have no baseline yet).
-func runCompare(oldPath, newPath string, maxNsRatio, maxAllocRatio float64) (int, error) {
+// never fail (they have no baseline yet). Artifacts from different hosts
+// draw a loud warning (the ns/op axis is meaningless across hosts) and,
+// with requireSameHost, fail outright.
+func runCompare(oldPath, newPath string, maxNsRatio, maxAllocRatio float64, requireSameHost bool) (int, error) {
 	oldRep, err := loadSweepReport(oldPath)
 	if err != nil {
 		return 1, err
@@ -43,6 +65,14 @@ func runCompare(oldPath, newPath string, maxNsRatio, maxAllocRatio float64) (int
 	newRep, err := loadSweepReport(newPath)
 	if err != nil {
 		return 1, err
+	}
+	hostDiffs := hostMismatch(oldRep, newRep)
+	for _, d := range hostDiffs {
+		fmt.Printf("WARNING: artifacts come from different hosts: %s — ns/op ratios are not comparable\n", d)
+	}
+	if requireSameHost && len(hostDiffs) > 0 {
+		fmt.Println("FAIL: -require-same-host set and the Host blocks differ")
+		return 1, nil
 	}
 	newByName := map[string]SweepCost{}
 	for _, e := range newRep.Experiments {

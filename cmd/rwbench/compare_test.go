@@ -98,12 +98,75 @@ func TestCompareRejectsNonArtifacts(t *testing.T) {
 }
 
 func captureCompare(t *testing.T, oldPath, newPath string, maxNs, maxAlloc float64) (string, int, error) {
+	return captureCompareHost(t, oldPath, newPath, maxNs, maxAlloc, false)
+}
+
+func captureCompareHost(t *testing.T, oldPath, newPath string, maxNs, maxAlloc float64, requireSameHost bool) (string, int, error) {
 	t.Helper()
 	var code int
 	var errRun error
 	out, _ := capture(t, func() error {
-		code, errRun = runCompare(oldPath, newPath, maxNs, maxAlloc)
+		code, errRun = runCompare(oldPath, newPath, maxNs, maxAlloc, requireSameHost)
 		return nil
 	})
 	return out, code, errRun
+}
+
+// writeHostReport is writeReport with an explicit Host block.
+func writeHostReport(t *testing.T, path string, serial map[string]SweepCost, goos string, numCPU int) {
+	t.Helper()
+	rep := SweepReport{}
+	rep.Host.GOOS = goos
+	rep.Host.GOARCH = "amd64"
+	rep.Host.NumCPU = numCPU
+	rep.Host.GOMAXPROCS = numCPU
+	for name, c := range serial {
+		rep.Experiments = append(rep.Experiments, SweepResult{Name: name, Serial: c})
+	}
+	buf, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareHostMismatch(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	serial := map[string]SweepCost{"A": {NsPerOp: 1000, AllocsPerOp: 100}}
+	writeHostReport(t, oldPath, serial, "linux", 64)
+	writeHostReport(t, newPath, serial, "darwin", 8)
+
+	// Default: loud warning, but the comparison still runs and passes.
+	out, code, err := captureCompare(t, oldPath, newPath, 1.25, 1.10)
+	if err != nil || code != 0 {
+		t.Fatalf("host-mismatch warn-only compare: code %d, err %v\n%s", code, err, out)
+	}
+	for _, want := range []string{"WARNING", "different hosts", `goos "linux" vs "darwin"`, "num_cpu 64 vs 8", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -require-same-host upgrades the mismatch to a hard failure.
+	out, code, err = captureCompareHost(t, oldPath, newPath, 1.25, 1.10, true)
+	if err != nil || code != 1 {
+		t.Fatalf("require-same-host compare: code %d, err %v\n%s", code, err, out)
+	}
+	if !strings.Contains(out, "FAIL: -require-same-host") {
+		t.Errorf("hard host failure missing from output:\n%s", out)
+	}
+
+	// Same host: no warning, flag or not.
+	writeHostReport(t, newPath, serial, "linux", 64)
+	out, code, err = captureCompareHost(t, oldPath, newPath, 1.25, 1.10, true)
+	if err != nil || code != 0 {
+		t.Fatalf("same-host compare: code %d, err %v\n%s", code, err, out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("spurious host warning:\n%s", out)
+	}
 }

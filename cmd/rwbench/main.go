@@ -54,6 +54,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two -sweeps JSON files (old new) and fail on perf regressions")
 	maxNsRatio := flag.Float64("max-ns-ratio", 1.25, "-compare: max allowed new/old serial ns/op ratio (0 disables the axis)")
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.10, "-compare: max allowed new/old serial allocs/op ratio (0 disables the axis)")
+	requireSameHost := flag.Bool("require-same-host", false, "-compare: fail when the two artifacts' Host blocks differ instead of just warning")
 	applyParallel := cliutil.ParallelFlag()
 	applyRobust := cliutil.RobustFlags()
 	flag.Parse()
@@ -71,7 +72,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rwbench: -compare takes exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		code, err := runCompare(flag.Arg(0), flag.Arg(1), *maxNsRatio, *maxAllocRatio)
+		code, err := runCompare(flag.Arg(0), flag.Arg(1), *maxNsRatio, *maxAllocRatio, *requireSameHost)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rwbench:", err)
 			os.Exit(1)

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lockd"
+)
+
+func startServer(t *testing.T, cfg lockd.Config) *lockd.Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = 10 * time.Millisecond
+	}
+	if cfg.MinTTL == 0 {
+		cfg.MinTTL = 50 * time.Millisecond
+	}
+	srv, err := lockd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck // Close makes Serve return
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func loadCfg(addr string) config {
+	return config{
+		addr:    addr,
+		clients: 8,
+		keys:    4,
+		mix:     "read-heavy",
+		dur:     500 * time.Millisecond,
+		wait:    300 * time.Millisecond,
+		ttl:     200 * time.Millisecond,
+		seed:    1,
+	}
+}
+
+func TestMixesRunClean(t *testing.T) {
+	for _, mix := range []string{"read-heavy", "write-heavy", "bursty", "skewed"} {
+		t.Run(mix, func(t *testing.T) {
+			// Fresh server per mix: the ledger reconciles this run's tokens
+			// against the server's cumulative grant counters.
+			srv := startServer(t, lockd.Config{})
+			cfg := loadCfg(srv.Addr().String())
+			cfg.mix = mix
+			var out bytes.Buffer
+			code, err := run(cfg, &out)
+			if err != nil || code != 0 {
+				t.Fatalf("run: code=%d err=%v\n%s", code, err, out.String())
+			}
+			for _, want := range []string{"throughput=", "latency: p50=", "dup=0", "lost=0", "fairness: max-reader-bypass="} {
+				if !strings.Contains(out.String(), want) {
+					t.Fatalf("report missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestCrashInjectionStillZeroLost(t *testing.T) {
+	srv := startServer(t, lockd.Config{})
+	cfg := loadCfg(srv.Addr().String())
+	cfg.mix = "write-heavy"
+	cfg.crashRate = 0.2
+	cfg.dur = time.Second
+	var out bytes.Buffer
+	code, err := run(cfg, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "crashes=") || strings.Contains(out.String(), "crashes=0 ") {
+		t.Fatalf("crash injection never fired:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "lost=0") {
+		t.Fatalf("crashed holds not reconciled:\n%s", out.String())
+	}
+}
+
+func TestChaosTransportStillClean(t *testing.T) {
+	srv := startServer(t, lockd.Config{})
+	cfg := loadCfg(srv.Addr().String())
+	cfg.mix = "write-heavy"
+	cfg.dur = time.Second
+	cfg.chaos = lockd.ChaosConfig{Seed: 9, Drop: 0.05, Dup: 0.05, Delay: 0.05, MaxDelay: 10 * time.Millisecond}
+	var out bytes.Buffer
+	code, err := run(cfg, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run under chaos: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "dup=0") || !strings.Contains(out.String(), "lost=0") {
+		t.Fatalf("chaos run not clean:\n%s", out.String())
+	}
+}
+
+func TestStopsOnDrain(t *testing.T) {
+	srv := startServer(t, lockd.Config{})
+	cfg := loadCfg(srv.Addr().String())
+	cfg.dur = 5 * time.Second // would run long; the drain must cut it short
+
+	done := make(chan struct{})
+	var out bytes.Buffer
+	var code int
+	var err error
+	go func() {
+		defer close(done)
+		code, err = run(cfg, &out)
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if leaked := srv.Drain(5 * time.Second); len(leaked) != 0 {
+		t.Fatalf("drain leaked %d holds", len(leaked))
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("rwload did not stop on drain")
+	}
+	if err != nil || code != 0 {
+		t.Fatalf("drained run: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "draining=true") {
+		t.Fatalf("drain not observed in report:\n%s", out.String())
+	}
+}
+
+func TestUnknownMixRejected(t *testing.T) {
+	cfg := loadCfg("127.0.0.1:1")
+	cfg.mix = "nope"
+	var out bytes.Buffer
+	code, err := run(cfg, &out)
+	if code != 2 || err == nil {
+		t.Fatalf("unknown mix: code=%d err=%v", code, err)
+	}
+}

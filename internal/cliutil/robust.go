@@ -80,13 +80,18 @@ func RobustFlags() (apply func() error) {
 func notifyStop(stop *parwork.Stopper) {
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-ch
-		stop.Stop()
-		fmt.Fprintln(os.Stderr, "interrupt: finishing in-flight rows and flushing the checkpoint (interrupt again to abort)")
-		<-ch
-		exit(130)
-	}()
+	go handleSignals(ch, stop)
+}
+
+// handleSignals is notifyStop's body, split out so tests can drive it
+// through an injected channel: the first signal stops the sweep
+// cooperatively and tells the user how to abort; the second exits 130.
+func handleSignals(ch <-chan os.Signal, stop *parwork.Stopper) {
+	<-ch
+	stop.Stop()
+	fmt.Fprintln(os.Stderr, "interrupt: finishing in-flight rows and flushing the checkpoint (interrupt again to abort)")
+	<-ch
+	exit(130)
 }
 
 // Fail reports a fatal sweep error and exits: status 3 for a cooperative

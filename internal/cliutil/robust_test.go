@@ -1,0 +1,120 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/parwork"
+)
+
+// TestHandleSignalsCooperativeThenAbort drives the signal handler through
+// an injected channel: the first SIGINT must stop the sweep cooperatively
+// (and say so on stderr), a cooperative interruption must surface as exit
+// 3 with the resume hint, and a second SIGINT must abort with 130.
+func TestHandleSignalsCooperativeThenAbort(t *testing.T) {
+	exitCode := make(chan int, 2)
+	exit = func(code int) { exitCode <- code }
+	defer func() { exit = os.Exit }()
+
+	oldStderr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = oldStderr }()
+
+	stop := parwork.NewStopper()
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		handleSignals(ch, stop)
+	}()
+
+	if stop.Stopped() {
+		t.Fatal("stopper tripped before any signal")
+	}
+	ch <- syscall.SIGINT
+	waitFor(t, "cooperative stop", stop.Stopped)
+
+	// The cooperative path: an interrupted sweep fails with exit 3 and,
+	// with a checkpoint in play, advertises -resume.
+	resumableHint = true
+	defer func() { resumableHint = false }()
+	Fail("tool", fmt.Errorf("E15: %w", &parwork.InterruptedError{Done: 1, Total: 4}))
+	if code := <-exitCode; code != 3 {
+		t.Fatalf("interrupted sweep exited %d, want 3", code)
+	}
+
+	// Second signal: abort.
+	ch <- syscall.SIGINT
+	<-done
+	if code := <-exitCode; code != 130 {
+		t.Fatalf("second interrupt exited %d, want 130", code)
+	}
+
+	w.Close()
+	os.Stderr = oldStderr
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := string(buf)
+	if !strings.Contains(msg, "interrupt again to abort") {
+		t.Errorf("first-signal guidance missing from stderr: %q", msg)
+	}
+	if !strings.Contains(msg, "resumable, rerun with -resume") {
+		t.Errorf("resume hint missing from stderr: %q", msg)
+	}
+}
+
+// TestNotifyStopRealSignal sends the process an actual SIGINT and checks
+// the installed handler trips the stopper — the full os/signal wiring, in
+// process.
+func TestNotifyStopRealSignal(t *testing.T) {
+	exit = func(code int) {} // a stray second delivery must not kill the test binary
+	defer func() { exit = os.Exit }()
+
+	stop := parwork.NewStopper()
+	notifyStop(stop)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "stop after real SIGINT", stop.Stopped)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRobustFlagsValidation: -resume without -checkpoint must be rejected
+// by apply, not silently ignored. RobustFlags registers on the global flag
+// set (once per process), so the flags are flipped via flag.Set.
+func TestRobustFlagsValidation(t *testing.T) {
+	apply := RobustFlags()
+	if err := apply(); err != nil {
+		t.Fatalf("no-op apply: %v", err)
+	}
+	if err := flag.Set("resume", "true"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("resume", "false") //nolint:errcheck // restoring default
+	if err := apply(); err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("resume without checkpoint: err = %v, want -checkpoint requirement", err)
+	}
+}

@@ -17,6 +17,13 @@ import (
 // The monitor is backend-agnostic: install Observe as (or inside) a
 // sim.Config/spec.Scenario observer. Processes are identified by the spec
 // harness numbering (readers 0..nReaders-1, writers above).
+//
+// Concurrency contract: BypassMonitor is single-threaded. The simulator
+// delivers observer events from one goroutine, so Observe and the query
+// methods are deliberately unsynchronized — adding a lock here would tax
+// every simulated step. Callers with real concurrency (the rwlockd shard
+// grant tables, anything outside the single-stepped simulator) must use
+// LockedBypassMonitor instead.
 type BypassMonitor struct {
 	nReaders int
 	inEntry  []bool

@@ -1,0 +1,66 @@
+package fairness
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// LockedBypassMonitor is a concurrency-safe wrapper over BypassMonitor for
+// callers outside the single-stepped simulator — rwlockd shards feed it
+// grant/wait transitions from many connection goroutines and the stats
+// endpoint reads it concurrently. Every method takes an internal mutex;
+// the embedded monitor's single-threaded contract (see BypassMonitor) is
+// never visible to callers.
+//
+// Under concurrent observers the per-event ordering is whatever the lock
+// admits, so exact counts depend on interleaving; the monitor's invariants
+// (counts never negative, MaxBypass ≤ TotalBypass per closed wait) hold
+// regardless.
+type LockedBypassMonitor struct {
+	mu sync.Mutex
+	m  *BypassMonitor
+}
+
+// NewLockedBypassMonitor returns a locked monitor for nProcs processes of
+// which the first nReaders are readers.
+func NewLockedBypassMonitor(nProcs, nReaders int) *LockedBypassMonitor {
+	return &LockedBypassMonitor{m: NewBypassMonitor(nProcs, nReaders)}
+}
+
+// Observe consumes one trace event; safe for concurrent use.
+func (l *LockedBypassMonitor) Observe(e trace.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m.Observe(e)
+}
+
+// MaxBypass returns the largest single-wait overtake count proc suffered.
+func (l *LockedBypassMonitor) MaxBypass(proc int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.MaxBypass(proc)
+}
+
+// TotalBypass returns proc's total overtake count across all waits.
+func (l *LockedBypassMonitor) TotalBypass(proc int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.TotalBypass(proc)
+}
+
+// MaxReaderBypass returns the worst single-wait overtake count over all
+// readers.
+func (l *LockedBypassMonitor) MaxReaderBypass() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.MaxReaderBypass()
+}
+
+// MaxWriterBypass returns the worst single-wait overtake count over all
+// writers.
+func (l *LockedBypassMonitor) MaxWriterBypass() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.MaxWriterBypass()
+}

@@ -1,0 +1,109 @@
+package fairness
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/trace"
+)
+
+func sectionEvent(proc int, sec memmodel.Section) trace.Event {
+	return trace.Event{Proc: proc, Section: sec, SectionChange: true}
+}
+
+// TestLockedMatchesUnlockedSequentially: with one goroutine, the locked
+// wrapper is observationally identical to the bare monitor.
+func TestLockedMatchesUnlockedSequentially(t *testing.T) {
+	bare := NewBypassMonitor(4, 2)
+	locked := NewLockedBypassMonitor(4, 2)
+	script := []trace.Event{
+		sectionEvent(0, memmodel.SecEntry),
+		sectionEvent(1, memmodel.SecEntry),
+		sectionEvent(2, memmodel.SecEntry),
+		sectionEvent(2, memmodel.SecCS), // overtakes 0 and 1
+		sectionEvent(2, memmodel.SecRemainder),
+		sectionEvent(0, memmodel.SecCS), // overtakes 1
+		sectionEvent(0, memmodel.SecRemainder),
+		sectionEvent(1, memmodel.SecCS),
+		sectionEvent(1, memmodel.SecRemainder),
+	}
+	for _, e := range script {
+		bare.Observe(e)
+		locked.Observe(e)
+	}
+	for p := 0; p < 4; p++ {
+		if bare.MaxBypass(p) != locked.MaxBypass(p) || bare.TotalBypass(p) != locked.TotalBypass(p) {
+			t.Fatalf("proc %d: locked (max %d, total %d) != bare (max %d, total %d)",
+				p, locked.MaxBypass(p), locked.TotalBypass(p), bare.MaxBypass(p), bare.TotalBypass(p))
+		}
+	}
+	// Reader 1 was overtaken twice in one wait (by writer 2, then reader
+	// 0); neither writer was ever overtaken.
+	if locked.MaxReaderBypass() != 2 || locked.MaxWriterBypass() != 0 {
+		t.Fatalf("reader/writer worst = %d/%d, want 2/0",
+			locked.MaxReaderBypass(), locked.MaxWriterBypass())
+	}
+}
+
+// TestLockedBypassMonitorRaceStress hammers one locked monitor from many
+// goroutines — writers feeding entry/CS/remainder transitions, readers
+// polling every query method — under -race. The exact counts depend on
+// interleaving; the assertions are the interleaving-independent invariants
+// (non-negative counts, per-proc max ≤ total) and race-freedom itself.
+func TestLockedBypassMonitorRaceStress(t *testing.T) {
+	const (
+		nProcs   = 16
+		nReaders = 8
+		rounds   = 500
+	)
+	m := NewLockedBypassMonitor(nProcs, nReaders)
+
+	var observers sync.WaitGroup
+	for p := 0; p < nProcs; p++ {
+		observers.Add(1)
+		go func(proc int) {
+			defer observers.Done()
+			for i := 0; i < rounds; i++ {
+				m.Observe(sectionEvent(proc, memmodel.SecEntry))
+				m.Observe(sectionEvent(proc, memmodel.SecCS))
+				m.Observe(sectionEvent(proc, memmodel.SecRemainder))
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.MaxReaderBypass()
+				m.MaxWriterBypass()
+				for p := 0; p < nProcs; p++ {
+					if m.MaxBypass(p) < 0 || m.TotalBypass(p) < 0 {
+						t.Error("negative bypass count")
+						return
+					}
+				}
+			}
+		}()
+	}
+	observers.Wait()
+	close(stop)
+	pollers.Wait()
+
+	for p := 0; p < nProcs; p++ {
+		if m.MaxBypass(p) > m.TotalBypass(p) {
+			t.Fatalf("proc %d: max bypass %d exceeds total %d", p, m.MaxBypass(p), m.TotalBypass(p))
+		}
+	}
+	if m.MaxReaderBypass() < 0 || m.MaxWriterBypass() < 0 {
+		t.Fatal("negative aggregate bypass")
+	}
+}

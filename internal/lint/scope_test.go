@@ -42,6 +42,11 @@ func TestAlgorithmPackageScope(t *testing.T) {
 		"repro/internal/sim",
 		"repro/internal/spec",
 		"repro/internal/explore",
+		// The lock service is real concurrency by design: goroutines, sync,
+		// TCP. Its native.Backend use (per-shard passage counters) happens
+		// under a conventional mutex, not the simulated discipline.
+		"repro/internal/lockd",
+		"repro/internal/lockd/wire",
 	}
 	for _, pkg := range harness {
 		if lint.DefaultScope(lint.MemDiscipline, pkg) {

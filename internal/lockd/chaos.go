@@ -1,0 +1,175 @@
+package lockd
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/lockd/wire"
+)
+
+// ChaosConfig is the seeded fault-injection layer between client and
+// server. It operates on whole protocol messages (both sides write one
+// message per Write call and messages are newline-framed), in both
+// directions, with independent per-message faults:
+//
+//   - Drop: the message silently vanishes (lost request or response);
+//   - Dup: the message is delivered twice (retransmission storm);
+//   - Delay: delivery is postponed by up to MaxDelay, which can reorder
+//     messages (fail-slow link);
+//   - Disconnect: the connection is cut (crash of the link or peer).
+//
+// All randomness derives from Seed, so a chaos test's fault pattern is
+// reproducible given the same schedule of messages.
+type ChaosConfig struct {
+	Seed       int64
+	Drop       float64
+	Dup        float64
+	Delay      float64
+	Disconnect float64
+	// MaxDelay bounds a delayed message's extra latency (default 20ms).
+	MaxDelay time.Duration
+}
+
+// Enabled reports whether any fault has nonzero probability.
+func (c ChaosConfig) Enabled() bool {
+	return c.Drop > 0 || c.Dup > 0 || c.Delay > 0 || c.Disconnect > 0
+}
+
+// chaosRand is the shared, locked fault source for one dialer.
+type chaosRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (r *chaosRand) roll() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
+func (r *chaosRand) delay(max time.Duration) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(max)))
+}
+
+// ChaosDialer wraps dial (nil for plain TCP) so every connection it
+// produces injects cfg's faults on both directions.
+func ChaosDialer(cfg ChaosConfig, dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 20 * time.Millisecond
+	}
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	cr := &chaosRand{rng: rand.New(rand.NewSource(cfg.Seed))}
+	return func(addr string) (net.Conn, error) {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return newChaosConn(c, cfg, cr), nil
+	}
+}
+
+// chaosConn injects faults around an underlying conn. The write path
+// (client->server) treats each Write as one message; the read path
+// (server->client) reframes the inbound byte stream into messages through
+// a pump goroutine and delivers them via an in-process pipe.
+type chaosConn struct {
+	net.Conn
+	cfg ChaosConfig
+	cr  *chaosRand
+
+	wmu sync.Mutex // serializes underlying writes (delayed ones included)
+
+	pr *io.PipeReader
+	pw *io.PipeWriter
+
+	closeOnce sync.Once
+}
+
+func newChaosConn(c net.Conn, cfg ChaosConfig, cr *chaosRand) *chaosConn {
+	pr, pw := io.Pipe()
+	cc := &chaosConn{Conn: c, cfg: cfg, cr: cr, pr: pr, pw: pw}
+	go cc.readPump()
+	return cc
+}
+
+// apply runs the fault schedule for one message, invoking deliver zero
+// (drop), one, or two (dup) times; deliveries may be pushed onto delayed
+// goroutines. It reports false when the fault was a disconnect.
+func (cc *chaosConn) apply(deliver func()) bool {
+	if cc.cfg.Disconnect > 0 && cc.cr.roll() < cc.cfg.Disconnect {
+		cc.Close()
+		return false
+	}
+	if cc.cfg.Drop > 0 && cc.cr.roll() < cc.cfg.Drop {
+		return true
+	}
+	n := 1
+	if cc.cfg.Dup > 0 && cc.cr.roll() < cc.cfg.Dup {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		if cc.cfg.Delay > 0 && cc.cr.roll() < cc.cfg.Delay {
+			d := cc.cr.delay(cc.cfg.MaxDelay)
+			go func() {
+				time.Sleep(d)
+				deliver()
+			}()
+			continue
+		}
+		deliver()
+	}
+	return true
+}
+
+// Write handles one outbound message.
+func (cc *chaosConn) Write(b []byte) (int, error) {
+	msg := append([]byte(nil), b...) // deliveries may outlive the caller's buffer
+	ok := cc.apply(func() {
+		cc.wmu.Lock()
+		defer cc.wmu.Unlock()
+		cc.Conn.Write(msg) // errors surface via the read path
+	})
+	if !ok {
+		return 0, io.ErrClosedPipe
+	}
+	return len(b), nil
+}
+
+// readPump reframes the inbound stream and injects faults per message.
+func (cc *chaosConn) readPump() {
+	sc := wire.NewScanner(cc.Conn)
+	for sc.Scan() {
+		msg := append(append([]byte(nil), sc.Bytes()...), '\n')
+		if !cc.apply(func() {
+			cc.pw.Write(msg) // pipe writes are internally serialized
+		}) {
+			return
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = io.EOF
+	}
+	cc.pw.CloseWithError(err)
+}
+
+// Read delivers fault-processed inbound messages.
+func (cc *chaosConn) Read(b []byte) (int, error) { return cc.pr.Read(b) }
+
+// Close tears down both the underlying conn and the pipe.
+func (cc *chaosConn) Close() error {
+	var err error
+	cc.closeOnce.Do(func() {
+		err = cc.Conn.Close()
+		cc.pw.CloseWithError(io.ErrClosedPipe)
+		cc.pr.Close()
+	})
+	return err
+}

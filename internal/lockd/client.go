@@ -1,0 +1,362 @@
+package lockd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockd/wire"
+)
+
+// Lock modes, re-exported so callers need not import the wire package.
+const (
+	ModeRead  = wire.ModeRead
+	ModeWrite = wire.ModeWrite
+)
+
+// Options parameterizes a client connection. Zero values select defaults.
+type Options struct {
+	// TTL is the requested session lease; the server clamps it and the
+	// granted value is available as Client.TTL (default: server default).
+	TTL time.Duration
+	// HeartbeatEvery overrides the heartbeat period (default: granted
+	// TTL / 3).
+	HeartbeatEvery time.Duration
+	// RetransmitAfter is the initial response timeout before a request is
+	// retransmitted with the same seq; it doubles per retry up to 8x
+	// (default 100ms).
+	RetransmitAfter time.Duration
+	// Dialer overrides the TCP dial — the chaos transport hooks in here.
+	Dialer func(addr string) (net.Conn, error)
+}
+
+// Client is one rwlockd session. All methods are safe for concurrent use;
+// a client whose connection (or lease) dies fails every call with
+// ErrDisconnected or ErrSessionExpired and must be replaced by a fresh
+// Dial — reconnection is reacquisition, by design (recovery ↔
+// reconnect-and-reacquire).
+type Client struct {
+	opts Options
+	conn net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	seq atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *wire.Response
+	deadErr error // set once, before deadCh closes
+
+	deadCh chan struct{}
+	hbStop chan struct{}
+
+	closeOnce sync.Once
+	session   string
+	ttl       time.Duration
+}
+
+// Dial connects, performs the hello handshake, and starts the heartbeat.
+func Dial(ctx context.Context, addr string, opts Options) (*Client, error) {
+	if opts.RetransmitAfter <= 0 {
+		opts.RetransmitAfter = 100 * time.Millisecond
+	}
+	dial := opts.Dialer
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrDisconnected, addr, err)
+	}
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		pending: map[uint64]chan *wire.Response{},
+		deadCh:  make(chan struct{}),
+		hbStop:  make(chan struct{}),
+	}
+	go c.readLoop()
+
+	hctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		hctx, cancel = context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+	}
+	resp, err := c.call(hctx, &wire.Request{Op: wire.OpHello, TTLMS: opts.TTL.Milliseconds()})
+	if err != nil {
+		c.Abandon()
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	if !resp.OK {
+		c.Abandon()
+		return nil, fmt.Errorf("hello: %w", codeErr(resp.Code, resp.Err))
+	}
+	c.session = resp.Session
+	c.ttl = time.Duration(resp.TTLMS) * time.Millisecond
+	hb := opts.HeartbeatEvery
+	if hb <= 0 {
+		hb = c.ttl / 3
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	go c.heartbeatLoop(hb)
+	return c, nil
+}
+
+// SessionID returns the server-assigned session id.
+func (c *Client) SessionID() string { return c.session }
+
+// TTL returns the granted lease TTL.
+func (c *Client) TTL() time.Duration { return c.ttl }
+
+// markDead records the terminal error (first writer wins) and wakes every
+// in-flight call.
+func (c *Client) markDead(err error) {
+	c.pmu.Lock()
+	already := c.deadErr != nil
+	if !already {
+		c.deadErr = err
+	}
+	c.pmu.Unlock()
+	if !already {
+		close(c.deadCh)
+		c.conn.Close()
+	}
+}
+
+func (c *Client) deadError() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.deadErr != nil {
+		return c.deadErr
+	}
+	return ErrDisconnected
+}
+
+// readLoop dispatches responses to pending calls by seq. Responses with no
+// pending entry (duplicates, or answers to calls that gave up) are
+// dropped.
+func (c *Client) readLoop() {
+	sc := wire.NewScanner(c.conn)
+	for sc.Scan() {
+		var resp wire.Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			continue
+		}
+		c.pmu.Lock()
+		ch := c.pending[resp.Seq]
+		c.pmu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- &resp:
+			default: // duplicate delivery of the same seq
+			}
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = fmt.Errorf("%w: connection closed", ErrDisconnected)
+	} else {
+		err = fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	c.markDead(err)
+}
+
+// send writes one request as a single Write call (the framing the chaos
+// transport relies on).
+func (c *Client) send(req *wire.Request) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf, err := wire.Append(c.wbuf[:0], req)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf[:0]
+	if _, err := c.conn.Write(buf); err != nil {
+		return fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	return nil
+}
+
+// call performs one at-most-once request: it assigns a fresh seq,
+// transmits, and retransmits the identical request under backoff until a
+// response, the context deadline, or connection death. The server
+// deduplicates by seq, so a retransmitted acquire can never double-grant.
+func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	req.Seq = c.seq.Add(1)
+	ch := make(chan *wire.Response, 1)
+	c.pmu.Lock()
+	if c.deadErr != nil {
+		err := c.deadErr
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.pending[req.Seq] = ch
+	c.pmu.Unlock()
+	defer func() {
+		c.pmu.Lock()
+		delete(c.pending, req.Seq)
+		c.pmu.Unlock()
+	}()
+
+	rto := c.opts.RetransmitAfter
+	maxRTO := 8 * c.opts.RetransmitAfter
+	timer := time.NewTimer(rto)
+	defer timer.Stop()
+	for {
+		if err := c.send(req); err != nil {
+			// The write failed; the read loop will observe the dead conn
+			// too, but fail fast here.
+			c.markDead(err)
+			return nil, c.deadError()
+		}
+		select {
+		case resp := <-ch:
+			return resp, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.deadCh:
+			return nil, c.deadError()
+		case <-timer.C:
+			if rto < maxRTO {
+				rto *= 2
+			}
+			timer.Reset(rto)
+		}
+	}
+}
+
+// heartbeatLoop renews the lease until the client dies or closes.
+func (c *Client) heartbeatLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-c.deadCh:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), every)
+			resp, err := c.call(ctx, &wire.Request{Op: wire.OpHeartbeat})
+			cancel()
+			if err != nil {
+				continue // timeout: keep trying until the lease verdict is in
+			}
+			if !resp.OK {
+				// The lease is gone; every hold was revoked server-side.
+				c.markDead(fmt.Errorf("%w: heartbeat rejected: %s", ErrSessionExpired, resp.Err))
+				return
+			}
+		}
+	}
+}
+
+// Hold is one granted lock passage.
+type Hold struct {
+	c    *Client
+	Key  string
+	Mode string
+	// Passage is the grant's fencing token: unique and strictly
+	// increasing per key for write grants.
+	Passage uint64
+}
+
+// Acquire requests key in mode, letting the server queue the request up
+// to wait (wait <= 0 is tryacquire: fail immediately when the lock is
+// busy). Failures are typed: ErrTimeout, ErrShed, ErrDraining,
+// ErrRevoked, ErrSessionExpired, ErrDisconnected.
+func (c *Client) Acquire(ctx context.Context, key, mode string, wait time.Duration) (*Hold, error) {
+	waitMS := wait.Milliseconds()
+	if wait > 0 && waitMS == 0 {
+		waitMS = 1 // don't let a sub-millisecond wait degrade to tryacquire
+	}
+	if _, ok := ctx.Deadline(); !ok && wait >= 0 {
+		// Budget: the server-side wait plus transport slack.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, wait+5*time.Second)
+		defer cancel()
+	}
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpAcquire, Key: key, Mode: mode, WaitMS: waitMS})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTimeout, err)
+		}
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, codeErr(resp.Code, resp.Err)
+	}
+	return &Hold{c: c, Key: key, Mode: mode, Passage: resp.Passage}, nil
+}
+
+// TryAcquire is Acquire with no queueing.
+func (c *Client) TryAcquire(ctx context.Context, key, mode string) (*Hold, error) {
+	return c.Acquire(ctx, key, mode, 0)
+}
+
+// Release gives the hold back. The zero-deadline default budget is 5s.
+func (h *Hold) Release(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+	}
+	resp, err := h.c.call(ctx, &wire.Request{Op: wire.OpRelease, Key: h.Key, Mode: h.Mode})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return codeErr(resp.Code, resp.Err)
+	}
+	return nil
+}
+
+// Stats fetches a server state snapshot.
+func (c *Client) Stats(ctx context.Context) (*wire.Stats, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+	}
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, codeErr(resp.Code, resp.Err)
+	}
+	return resp.Stats, nil
+}
+
+// Close says goodbye (releasing all holds server-side) and tears the
+// connection down.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		close(c.hbStop)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, _ = c.call(ctx, &wire.Request{Op: wire.OpBye})
+		cancel()
+		c.markDead(fmt.Errorf("%w: closed", ErrDisconnected))
+	})
+}
+
+// Abandon drops the connection without a goodbye — the client-side
+// simulation of kill -9. The session's holds survive server-side until
+// the lease expires.
+func (c *Client) Abandon() {
+	c.closeOnce.Do(func() {
+		close(c.hbStop)
+		c.markDead(fmt.Errorf("%w: abandoned", ErrDisconnected))
+	})
+}

@@ -1,0 +1,77 @@
+package lockd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lockd/wire"
+)
+
+// Typed protocol errors. Server-side code returns them from acquire paths;
+// the client maps wire error codes back onto the same sentinels, so both
+// sides of the protocol test with errors.Is against one vocabulary.
+var (
+	// ErrTimeout: the acquire deadline passed (or a tryacquire found the
+	// lock busy).
+	ErrTimeout = errors.New("lockd: acquire deadline exceeded")
+	// ErrShed: the lock's bounded wait queue was full and the request was
+	// load-shed instead of queued.
+	ErrShed = errors.New("lockd: wait queue full, request shed")
+	// ErrRevoked: the session's lease expired while the request waited, so
+	// the request (and every hold of the session) was revoked.
+	ErrRevoked = errors.New("lockd: session lease expired, request revoked")
+	// ErrDraining: the server is draining and refuses new acquires.
+	ErrDraining = errors.New("lockd: server draining")
+	// ErrSessionExpired: the session's lease had already expired when the
+	// request arrived; the client must reconnect and reacquire.
+	ErrSessionExpired = errors.New("lockd: session expired")
+	// ErrBadRequest: the request was malformed or semantically invalid
+	// (e.g. releasing a lock the session does not hold).
+	ErrBadRequest = errors.New("lockd: bad request")
+	// ErrDisconnected: the client lost its connection before a response
+	// arrived; the outcome of the in-flight request is unknown (a granted
+	// hold will be reclaimed by lease expiry).
+	ErrDisconnected = errors.New("lockd: connection lost")
+)
+
+// errCode maps a server-side error to its wire code.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrTimeout):
+		return wire.CodeTimeout
+	case errors.Is(err, ErrShed):
+		return wire.CodeShed
+	case errors.Is(err, ErrRevoked):
+		return wire.CodeRevoked
+	case errors.Is(err, ErrDraining):
+		return wire.CodeDraining
+	case errors.Is(err, ErrSessionExpired):
+		return wire.CodeExpired
+	default:
+		return wire.CodeBadRequest
+	}
+}
+
+// codeErr maps a wire error code back to the typed sentinel, wrapping the
+// human-readable detail so errors.Is keeps working through the transport.
+func codeErr(code, detail string) error {
+	var base error
+	switch code {
+	case wire.CodeTimeout:
+		base = ErrTimeout
+	case wire.CodeShed:
+		base = ErrShed
+	case wire.CodeRevoked:
+		base = ErrRevoked
+	case wire.CodeDraining:
+		base = ErrDraining
+	case wire.CodeExpired:
+		base = ErrSessionExpired
+	default:
+		base = ErrBadRequest
+	}
+	if detail == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, detail)
+}

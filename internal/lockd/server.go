@@ -1,0 +1,431 @@
+// Package lockd implements rwlockd: a fault-tolerant named reader-writer
+// lock service and its client. The failure model mirrors the simulator's
+// (see DESIGN.md): a crash-stopped client is a session whose lease
+// expires, a fail-slow client is one whose heartbeats arrive late, and
+// recovery is reconnect-and-reacquire under a fresh session. Locks are
+// sharded namespaces of grant tables; per-key write-passage counters live
+// on the native memmodel backend so every write grant carries a fencing
+// token, and per-key fairness is measured live by
+// fairness.LockedBypassMonitor.
+package lockd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockd/wire"
+)
+
+// Config parameterizes a Server. Zero values select the defaults.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// test port).
+	Addr string
+	// Shards is the number of lock-namespace partitions (default 8).
+	Shards int
+	// KeysPerShard sizes each shard's native-backend passage-counter
+	// arena (default 512). Keys hash onto the arena; sharing a word
+	// preserves per-key token uniqueness.
+	KeysPerShard int
+	// DefaultTTL is the session lease granted when hello does not request
+	// one; MinTTL/MaxTTL clamp requested TTLs (defaults 5s, 50ms, 60s).
+	DefaultTTL, MinTTL, MaxTTL time.Duration
+	// SweepInterval is the lease-expiry scan period (default 25ms).
+	SweepInterval time.Duration
+	// MaxQueue bounds each named lock's wait queue; an acquire beyond it
+	// is shed with ErrShed instead of queued (default 128).
+	MaxQueue int
+	// MaxWait clamps the server-side acquire deadline (default 30s).
+	MaxWait time.Duration
+	// Logf, when set, receives server event logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.KeysPerShard <= 0 {
+		c.KeysPerShard = 512
+	}
+	if c.DefaultTTL <= 0 {
+		c.DefaultTTL = 5 * time.Second
+	}
+	if c.MinTTL <= 0 {
+		c.MinTTL = 50 * time.Millisecond
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = 60 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = 25 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 128
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the rwlockd service.
+type Server struct {
+	cfg      Config
+	ln       net.Listener
+	shards   []*shard
+	sessions *sessionTable
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	wg        sync.WaitGroup // conn handlers + sweeper
+	sweepStop chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// New binds the listener and builds the shard tables; call Serve to start
+// accepting.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("lockd: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		ln:        ln,
+		sessions:  newSessionTable(),
+		sweepStop: make(chan struct{}),
+		conns:     map[net.Conn]struct{}{},
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(s, i, cfg.KeysPerShard)
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// shardFor maps a key to its shard.
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Serve runs the lease sweeper and the accept loop until Close. It
+// returns nil on a clean shutdown.
+func (s *Server) Serve() error {
+	s.wg.Add(1)
+	go s.sweepLoop()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("lockd: accept: %w", err)
+		}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// sweepLoop periodically expires sessions whose lease lapsed, revoking
+// their holds and cancelling their queued waiters.
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-t.C:
+			for _, sess := range s.sessions.expire(now) {
+				s.revokeSession(sess, "lease expired")
+			}
+		}
+	}
+}
+
+// revokeSession tears down an expired session: queued waiters get
+// ErrRevoked, holds are released and their queues promoted.
+func (s *Server) revokeSession(sess *session, why string) {
+	holds, waiters := sess.snapshotForRevoke()
+	for _, w := range waiters {
+		s.shardFor(w.ls.key).cancelWaiter(w, ErrRevoked)
+	}
+	for _, h := range holds {
+		s.shardFor(h.key).revokeHold(sess, h.key, h.mode)
+	}
+	if len(holds) > 0 || len(waiters) > 0 {
+		s.cfg.Logf("session %s: %s; revoked %d holds, %d waiters",
+			sess.id, why, len(holds), len(waiters))
+	}
+}
+
+// clampTTL applies the configured lease bounds to a requested TTL.
+func (s *Server) clampTTL(ms int64) time.Duration {
+	ttl := s.cfg.DefaultTTL
+	if ms > 0 {
+		ttl = time.Duration(ms) * time.Millisecond
+	}
+	if ttl < s.cfg.MinTTL {
+		ttl = s.cfg.MinTTL
+	}
+	if ttl > s.cfg.MaxTTL {
+		ttl = s.cfg.MaxTTL
+	}
+	return ttl
+}
+
+// connWriter serializes response writes on a connection. Write errors are
+// swallowed: the read loop notices a dead peer, and an undelivered
+// response is exactly what the at-most-once retransmit machinery exists
+// for.
+type connWriter struct {
+	mu  sync.Mutex
+	c   net.Conn
+	buf []byte
+}
+
+func (w *connWriter) send(resp *wire.Response) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf, err := wire.Append(w.buf[:0], resp)
+	if err != nil {
+		return
+	}
+	w.buf = buf[:0]
+	// Bound the write so a wedged peer cannot pin response goroutines
+	// forever; on timeout the conn is killed and the client reconnects.
+	w.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := w.c.Write(buf); err != nil {
+		w.c.Close()
+	}
+}
+
+// handleConn runs one connection: hello, then a request loop. Fast
+// operations are handled inline; blocking acquires get their own
+// goroutine so heartbeats keep flowing on the same connection.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		c.Close()
+	}()
+
+	w := &connWriter{c: c}
+	sc := wire.NewScanner(c)
+	var sess *session
+	for sc.Scan() {
+		var req wire.Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			w.send(&wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: "malformed request"})
+			return
+		}
+		now := time.Now()
+		if sess == nil {
+			if req.Op != wire.OpHello {
+				w.send(&wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: "first request must be hello"})
+				return
+			}
+			ttl := s.clampTTL(req.TTLMS)
+			sess = s.sessions.create(ttl, now)
+			w.send(&wire.Response{Seq: req.Seq, OK: true, Session: sess.id, TTLMS: ttl.Milliseconds()})
+			continue
+		}
+		if !sess.renew(now) {
+			// The lease lapsed: every hold is gone; the client must
+			// reconnect under a fresh session and reacquire.
+			w.send(&wire.Response{Seq: req.Seq, Code: wire.CodeExpired, Err: "session lease expired"})
+			continue
+		}
+		cached, drop, process := sess.begin(req.Seq)
+		if cached != nil {
+			w.send(cached)
+			continue
+		}
+		if drop || !process {
+			continue
+		}
+		if req.Op == wire.OpBye {
+			s.finishBye(sess, req.Seq, w)
+			return
+		}
+		if req.Op == wire.OpAcquire && req.WaitMS > 0 {
+			s.wg.Add(1)
+			go func(req wire.Request) {
+				defer s.wg.Done()
+				s.dispatch(sess, &req, w)
+			}(req)
+			continue
+		}
+		s.dispatch(sess, &req, w)
+	}
+	// Connection gone without bye: the session (and its holds) lives on
+	// until the lease expires — a killed client never wedges a lock, and
+	// a merely-partitioned one can still lose its holds only via TTL.
+}
+
+// dispatch executes one deduplicated request and sends+caches the
+// response.
+func (s *Server) dispatch(sess *session, req *wire.Request, w *connWriter) {
+	var resp *wire.Response
+	switch req.Op {
+	case wire.OpHeartbeat:
+		resp = &wire.Response{Seq: req.Seq, OK: true}
+	case wire.OpStats:
+		st := s.Stats()
+		resp = &wire.Response{Seq: req.Seq, OK: true, Stats: &st}
+	case wire.OpAcquire:
+		resp = s.doAcquire(sess, req)
+	case wire.OpRelease:
+		resp = s.doRelease(sess, req)
+	case wire.OpHello:
+		resp = &wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: "duplicate hello"}
+	default:
+		resp = &wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+	sess.finish(req.Seq, resp)
+	w.send(resp)
+}
+
+func validKeyMode(req *wire.Request) error {
+	if req.Key == "" {
+		return errors.New("empty key")
+	}
+	if req.Mode != wire.ModeRead && req.Mode != wire.ModeWrite {
+		return fmt.Errorf("bad mode %q", req.Mode)
+	}
+	return nil
+}
+
+func (s *Server) doAcquire(sess *session, req *wire.Request) *wire.Response {
+	if err := validKeyMode(req); err != nil {
+		return &wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: err.Error()}
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait > s.cfg.MaxWait {
+		wait = s.cfg.MaxWait
+	}
+	tok, err := s.shardFor(req.Key).acquire(sess, req.Key, req.Mode, wait)
+	if err != nil {
+		return &wire.Response{Seq: req.Seq, Code: errCode(err), Err: err.Error()}
+	}
+	return &wire.Response{Seq: req.Seq, OK: true, Passage: tok}
+}
+
+func (s *Server) doRelease(sess *session, req *wire.Request) *wire.Response {
+	if err := validKeyMode(req); err != nil {
+		return &wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: err.Error()}
+	}
+	if err := s.shardFor(req.Key).release(sess, req.Key, req.Mode); err != nil {
+		return &wire.Response{Seq: req.Seq, Code: errCode(err), Err: err.Error()}
+	}
+	return &wire.Response{Seq: req.Seq, OK: true}
+}
+
+// finishBye releases everything the session owns, removes it, and
+// acknowledges; the caller closes the connection.
+func (s *Server) finishBye(sess *session, seq uint64, w *connWriter) {
+	holds, waiters := sess.snapshotForRevoke()
+	for _, wt := range waiters {
+		s.shardFor(wt.ls.key).cancelWaiter(wt, ErrRevoked)
+	}
+	for _, h := range holds {
+		// A clean goodbye is a release, not a revocation.
+		if err := s.shardFor(h.key).release(sess, h.key, h.mode); err != nil {
+			s.cfg.Logf("bye: release %q/%s: %v", h.key, h.mode, err)
+		}
+	}
+	s.sessions.remove(sess)
+	w.send(&wire.Response{Seq: seq, OK: true})
+}
+
+// Stats snapshots server state.
+func (s *Server) Stats() wire.Stats {
+	st := wire.Stats{
+		Draining: s.draining.Load(),
+		Sessions: s.sessions.count(),
+	}
+	for _, sh := range s.shards {
+		st.Shards = append(st.Shards, sh.snapshotStats())
+	}
+	return st
+}
+
+// holdCount totals outstanding holds across shards.
+func (s *Server) holdCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.holdCount()
+	}
+	return n
+}
+
+// Drain performs a graceful shutdown of the lock namespaces: new acquires
+// fail with ErrDraining, queued waiters are cancelled with ErrDraining,
+// and holders get until the deadline to release. The lease sweeper keeps
+// running, so holds of already-dead clients still expire during the
+// drain. It returns the holds still outstanding at the deadline — the
+// leaked holds; an empty result is a clean drain.
+func (s *Server) Drain(timeout time.Duration) []HoldInfo {
+	s.draining.Store(true)
+	for _, sh := range s.shards {
+		sh.cancelAllWaiters(ErrDraining)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.holdCount() == 0 {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var leaked []HoldInfo
+	for _, sh := range s.shards {
+		leaked = append(leaked, sh.leakedHolds()...)
+	}
+	return leaked
+}
+
+// Close stops the accept loop and the sweeper, closes every connection,
+// and waits for all handler goroutines.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	close(s.sweepStop)
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,147 @@
+// Package wire defines the rwlockd client/server protocol: newline-
+// delimited JSON messages over a byte stream, one Request or Response per
+// line. The framing is deliberately trivial — every message fits in one
+// Write call, which is what lets the chaos transport (internal/lockd)
+// drop, delay, duplicate, or reorder whole messages without having to
+// understand a binary format.
+//
+// Reliability model: the transport between client and server is assumed
+// lossy (the chaos layer makes it so on purpose). Every request carries a
+// client-chosen sequence number; the server keeps, per session, a bounded
+// cache of recent responses and answers a retransmitted seq from the cache
+// instead of re-executing the operation. Acquire/release are therefore
+// at-most-once: a retried acquire whose original response was lost returns
+// the original grant (same passage token), never a second grant.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Ops. The first request on a connection must be OpHello, which creates
+// the connection's session and lease; every subsequent request implicitly
+// renews the lease.
+const (
+	OpHello     = "hello"
+	OpHeartbeat = "heartbeat"
+	OpAcquire   = "acquire"
+	OpRelease   = "release"
+	OpStats     = "stats"
+	OpBye       = "bye"
+)
+
+// Lock modes.
+const (
+	ModeRead  = "r"
+	ModeWrite = "w"
+)
+
+// Error codes carried in Response.Code. internal/lockd maps each to a
+// typed sentinel error on the client side.
+const (
+	CodeTimeout    = "timeout"     // deadline passed (or tryacquire found the lock busy)
+	CodeShed       = "shed"        // bounded wait queue full, load shed
+	CodeRevoked    = "revoked"     // session lease expired while waiting
+	CodeDraining   = "draining"    // server is draining, no new acquires
+	CodeExpired    = "expired"     // session lease already expired
+	CodeBadRequest = "bad-request" // malformed or semantically invalid request
+)
+
+// Request is one client->server message.
+type Request struct {
+	// Seq is the client-chosen sequence number, strictly increasing per
+	// connection. Retransmits of the same logical request reuse the seq so
+	// the server can deduplicate.
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"`
+	// Key names the lock for acquire/release.
+	Key string `json:"key,omitempty"`
+	// Mode is ModeRead or ModeWrite for acquire/release.
+	Mode string `json:"mode,omitempty"`
+	// WaitMS bounds how long an acquire may block server-side before
+	// failing with CodeTimeout. Zero means tryacquire: fail immediately
+	// when the lock is not grantable.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+	// TTLMS is the requested session lease TTL (hello only); the server
+	// clamps it to its configured bounds and returns the granted value.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// Response is one server->client message, matched to its request by Seq.
+type Response struct {
+	Seq uint64 `json:"seq"`
+	OK  bool   `json:"ok"`
+	// Code classifies a failure (OK == false); Err is the human-readable
+	// detail.
+	Code string `json:"code,omitempty"`
+	Err  string `json:"err,omitempty"`
+	// Session and TTLMS answer a hello.
+	Session string `json:"session,omitempty"`
+	TTLMS   int64  `json:"ttl_ms,omitempty"`
+	// Passage is the fencing token of a granted acquire: for write grants
+	// it is unique and strictly increasing per key, so duplicated or
+	// replayed grants are detectable; for read grants it is the key's
+	// current write-passage count.
+	Passage uint64 `json:"passage,omitempty"`
+	// Stats answers an OpStats request.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats is the server-state snapshot returned by OpStats.
+type Stats struct {
+	Draining bool         `json:"draining"`
+	Sessions int          `json:"sessions"`
+	Shards   []ShardStats `json:"shards"`
+}
+
+// ShardStats aggregates one shard's counters and fairness readings.
+type ShardStats struct {
+	Locks  int `json:"locks"`  // named locks ever touched
+	Held   int `json:"held"`   // holds currently outstanding
+	Queued int `json:"queued"` // waiters currently queued
+
+	ReadGrants  uint64 `json:"read_grants"`
+	WriteGrants uint64 `json:"write_grants"`
+	Releases    uint64 `json:"releases"`
+	// Revoked counts holds torn down by lease expiry; RevokedWrite is the
+	// write-mode subset (the passage-ledger term in rwload).
+	Revoked      uint64 `json:"revoked"`
+	RevokedWrite uint64 `json:"revoked_write"`
+	Sheds        uint64 `json:"sheds"`
+	Timeouts     uint64 `json:"timeouts"`
+
+	// Bypass readings from the shard's fairness monitors: the worst
+	// single-wait overtake count any reader/writer suffered on any lock in
+	// this shard.
+	MaxReaderBypass int `json:"max_reader_bypass"`
+	MaxWriterBypass int `json:"max_writer_bypass"`
+}
+
+// MaxLine bounds one encoded message; a line longer than this is a
+// protocol violation and kills the connection.
+const MaxLine = 1 << 20
+
+// Append marshals msg and appends it plus the newline terminator to buf,
+// returning the extended buffer. Callers hand the result to a single
+// Write so every message is one write call (the chaos layer depends on
+// this framing).
+func Append(buf []byte, msg any) ([]byte, error) {
+	b, err := json.Marshal(msg)
+	if err != nil {
+		return buf, err
+	}
+	if len(b)+1 > MaxLine {
+		return buf, fmt.Errorf("wire: message exceeds %d bytes", MaxLine)
+	}
+	return append(append(buf, b...), '\n'), nil
+}
+
+// NewScanner returns a line scanner over r sized for protocol messages.
+func NewScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	return sc
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAppendRoundTrip(t *testing.T) {
+	req := &Request{Seq: 7, Op: OpAcquire, Key: "k", Mode: ModeWrite, WaitMS: 250}
+	buf, err := Append(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[len(buf)-1] != '\n' {
+		t.Fatal("message not newline-terminated")
+	}
+	var got Request
+	if err := json.Unmarshal(buf[:len(buf)-1], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != *req {
+		t.Fatalf("round trip: %+v != %+v", got, *req)
+	}
+
+	// Append extends, preserving earlier messages (batched writes).
+	buf2, err := Append(buf, &Response{Seq: 7, OK: true, Passage: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(strings.NewReader(string(buf2)))
+	lines := 0
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 2 || sc.Err() != nil {
+		t.Fatalf("scanner saw %d lines (err %v), want 2", lines, sc.Err())
+	}
+}
+
+func TestAppendRejectsOversizedMessage(t *testing.T) {
+	if _, err := Append(nil, &Request{Op: OpAcquire, Key: strings.Repeat("k", MaxLine)}); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}

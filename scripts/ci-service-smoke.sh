@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Lock service smoke test (CI job service-smoke; also runs standalone).
+# Phase 1: a clean rwload run against a live rwlockd must exit 0 with a
+# clean passage ledger (zero duplicated, zero lost write passages).
+# Phase 2: SIGTERM the server while a second rwload run is mid-flight;
+# the server must drain gracefully — exit 0, zero leaked holds — and the
+# load generator must stop on the drain signal and still exit 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/rwlockd" ./cmd/rwlockd
+go build -o "$work/rwload" ./cmd/rwload
+
+addr="127.0.0.1:7911"
+"$work/rwlockd" -addr "$addr" -ttl 500ms -quiet \
+    >"$work/server.out" 2>"$work/server.err" &
+server_pid=$!
+
+# Wait for the listener.
+for i in $(seq 1 50); do
+    if grep -q "listening on" "$work/server.out" 2>/dev/null; then break; fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "FAIL: rwlockd died on startup:" >&2
+        cat "$work/server.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Phase 1: a short clean mix. Exit 0 requires dup=0 and lost=0.
+"$work/rwload" -addr "$addr" -clients 32 -keys 8 -mix write-heavy \
+    -dur 3s -ttl 500ms >"$work/load1.out" || {
+    echo "FAIL: clean rwload run failed:" >&2
+    cat "$work/load1.out" >&2
+    exit 1
+}
+grep -q "dup=0" "$work/load1.out" && grep -q "lost=0" "$work/load1.out" || {
+    echo "FAIL: clean run ledger not clean:" >&2
+    cat "$work/load1.out" >&2
+    exit 1
+}
+
+# Phase 2: SIGTERM mid-run. The load generator would run 30s; the drain
+# must cut it short and both processes must exit 0.
+"$work/rwload" -addr "$addr" -clients 32 -keys 8 -mix read-heavy \
+    -dur 30s -ttl 500ms >"$work/load2.out" &
+load_pid=$!
+sleep 2
+kill -TERM "$server_pid"
+
+server_status=0
+wait "$server_pid" || server_status=$?
+load_status=0
+wait "$load_pid" || load_status=$?
+server_pid=""
+
+if [ "$server_status" -ne 0 ]; then
+    echo "FAIL: rwlockd drain exited $server_status, want 0:" >&2
+    cat "$work/server.out" "$work/server.err" >&2
+    exit 1
+fi
+grep -q "drain complete, 0 leaked holds" "$work/server.out" || {
+    echo "FAIL: drain did not report zero leaked holds:" >&2
+    cat "$work/server.out" "$work/server.err" >&2
+    exit 1
+}
+if [ "$load_status" -ne 0 ]; then
+    echo "FAIL: rwload exited $load_status across the drain, want 0:" >&2
+    cat "$work/load2.out" >&2
+    exit 1
+fi
+grep -q "draining=true" "$work/load2.out" || {
+    echo "FAIL: rwload never observed the drain:" >&2
+    cat "$work/load2.out" >&2
+    exit 1
+}
+
+echo "service smoke: clean ledger, graceful drain with 0 leaked holds, clean client exit"
