@@ -14,12 +14,21 @@
 //	bursty      10% writes, workers alternate on/off phases
 //	skewed      10% writes, half the traffic hammers one hot key
 //
+// With -server-bin, rwload also supervises the server under test: it
+// spawns rwlockd itself, kill -9s it at -server-crash-rate while the load
+// runs, restarts it against the same data directory, and requires the
+// scraped server epochs to be strictly increasing across restarts. The
+// ledger must still reconcile to zero lost and zero duplicated write
+// passages — server crashes included.
+//
 // Usage:
 //
 //	rwload -addr 127.0.0.1:7911 [-clients 64] [-keys 16] [-mix read-heavy]
 //	       [-dur 5s] [-wait 500ms] [-hold 0] [-ttl 1s] [-seed 1]
-//	       [-crash-rate 0] [-chaos-seed 0] [-drop 0] [-dup 0] [-delay 0]
-//	       [-max-delay 20ms] [-disconnect 0]
+//	       [-crash-rate 0] [-max-backoff 250ms] [-chaos-seed 0] [-drop 0]
+//	       [-dup 0] [-delay 0] [-max-delay 20ms] [-disconnect 0]
+//	       [-server-bin ./rwlockd] [-server-flags "-addr ... -data-dir ..."]
+//	       [-server-crash-rate 0]
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,8 +73,15 @@ type config struct {
 	ttl     time.Duration
 	seed    int64
 
-	crashRate float64
-	chaos     lockd.ChaosConfig
+	crashRate  float64
+	maxBackoff time.Duration
+	chaos      lockd.ChaosConfig
+
+	// Server supervision (-server-bin spawns rwlockd; -server-crash-rate
+	// kill -9s it at that mean rate per second while the load runs).
+	serverBin       string
+	serverFlags     string
+	serverCrashRate float64
 }
 
 // ledger tracks every observed write passage token per key. A token seen
@@ -106,10 +123,20 @@ type counters struct {
 	timeouts   uint64
 	sheds      uint64
 	revoked    uint64
+	fenced     uint64
+	recovering uint64
 	reconnects uint64
 	crashes    uint64
 	draining   bool
 	latencies  []time.Duration
+
+	// Backoff accounting, kept separate from op latencies: time a worker
+	// spent deliberately sleeping between retries is not service time.
+	backoffEvents uint64
+	backoffTotal  time.Duration
+
+	// epochMax is the highest server epoch any worker's hello observed.
+	epochMax uint64
 }
 
 func (s *counters) grant(mode string, d time.Duration) {
@@ -127,6 +154,14 @@ func (s *counters) bump(f func(*counters)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f(s)
+}
+
+func (s *counters) observeEpoch(e uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e > s.epochMax {
+		s.epochMax = e
+	}
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -149,6 +184,10 @@ func main() {
 	flag.DurationVar(&cfg.ttl, "ttl", time.Second, "session lease TTL")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload randomness seed")
 	flag.Float64Var(&cfg.crashRate, "crash-rate", 0, "probability a client abandons (kill -9) after a grant")
+	flag.DurationVar(&cfg.maxBackoff, "max-backoff", 250*time.Millisecond, "cap on the exponential retry/reconnect backoff")
+	flag.StringVar(&cfg.serverBin, "server-bin", "", "rwlockd binary to spawn and supervise (empty: connect to an external server)")
+	flag.StringVar(&cfg.serverFlags, "server-flags", "", "flags for the supervised server (space-separated; should pin -addr and -data-dir)")
+	flag.Float64Var(&cfg.serverCrashRate, "server-crash-rate", 0, "mean kill -9s per second against the supervised server while the load runs")
 	flag.Int64Var(&cfg.chaos.Seed, "chaos-seed", 0, "chaos transport seed")
 	flag.Float64Var(&cfg.chaos.Drop, "drop", 0, "chaos: per-message drop probability")
 	flag.Float64Var(&cfg.chaos.Dup, "dup", 0, "chaos: per-message duplicate probability")
@@ -176,10 +215,39 @@ func run(cfg config, out io.Writer) (int, error) {
 	if cfg.clients <= 0 || cfg.keys <= 0 {
 		return 2, fmt.Errorf("-clients and -keys must be positive")
 	}
+	if cfg.serverCrashRate > 0 && cfg.serverBin == "" {
+		return 2, fmt.Errorf("-server-crash-rate needs -server-bin (rwload must own the process it kills)")
+	}
 
 	led := &ledger{tokens: map[string]map[uint64]int{}}
 	cnt := &counters{}
 	deadline := time.Now().Add(cfg.dur)
+
+	var sup *supervisor
+	if cfg.serverBin != "" {
+		sup = newSupervisor(cfg.serverBin, strings.Fields(cfg.serverFlags), out)
+		if err := sup.start(); err != nil {
+			return 1, err
+		}
+		defer sup.shutdown()
+		if cfg.serverCrashRate > 0 {
+			go sup.crashLoop(cfg.serverCrashRate, deadline, rand.New(rand.NewSource(cfg.seed^0x5eed)))
+		}
+	}
+
+	// Baseline the server's grant counters before any load: a durable
+	// server restarted on a reused -data-dir carries cumulative totals
+	// from previous runs, and the ledger below must reconcile only the
+	// passages granted during this run.
+	var baseGrants, baseRevokedW uint64
+	if base := serverStats(cfg, 0); base != nil {
+		for _, sh := range base.Shards {
+			baseGrants += sh.WriteGrants
+			baseRevokedW += sh.RevokedWrite
+		}
+	} else {
+		return 1, fmt.Errorf("server unreachable for ledger baseline")
+	}
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -196,7 +264,10 @@ func run(cfg config, out io.Writer) (int, error) {
 	cnt.mu.Lock()
 	reads, writes := cnt.reads, cnt.writes
 	timeouts, sheds, revoked := cnt.timeouts, cnt.sheds, cnt.revoked
+	fenced, recovering := cnt.fenced, cnt.recovering
 	reconnects, crashes := cnt.reconnects, cnt.crashes
+	backoffEvents, backoffTotal := cnt.backoffEvents, cnt.backoffTotal
+	epochMax := cnt.epochMax
 	draining := cnt.draining
 	lats := append([]time.Duration(nil), cnt.latencies...)
 	cnt.mu.Unlock()
@@ -207,10 +278,23 @@ func run(cfg config, out io.Writer) (int, error) {
 		cfg.mix, cfg.clients, cfg.keys, cfg.dur, cfg.addr)
 	fmt.Fprintf(out, "rwload: ops=%d (reads=%d writes=%d) throughput=%.1f ops/s\n",
 		ops, reads, writes, float64(ops)/elapsed.Seconds())
-	fmt.Fprintf(out, "rwload: errors: timeouts=%d sheds=%d revoked=%d reconnects=%d crashes=%d draining=%v\n",
-		timeouts, sheds, revoked, reconnects, crashes, draining)
+	fmt.Fprintf(out, "rwload: errors: timeouts=%d sheds=%d revoked=%d fenced=%d recovering=%d reconnects=%d crashes=%d draining=%v\n",
+		timeouts, sheds, revoked, fenced, recovering, reconnects, crashes, draining)
 	fmt.Fprintf(out, "rwload: latency: p50=%v p90=%v p99=%v max=%v\n",
 		percentile(lats, 0.50), percentile(lats, 0.90), percentile(lats, 0.99), percentile(lats, 1.0))
+	fmt.Fprintf(out, "rwload: backoff: events=%d total=%v (%.1f%% of %d client-seconds)\n",
+		backoffEvents, backoffTotal.Round(time.Millisecond),
+		100*backoffTotal.Seconds()/(elapsed.Seconds()*float64(cfg.clients)), cfg.clients)
+
+	if sup != nil {
+		serverCrashes, epochs, monotonic := sup.summary()
+		fmt.Fprintf(out, "rwload: server: crashes=%d epochs=%v monotonic=%v client-epoch-max=%d\n",
+			serverCrashes, epochs, monotonic, epochMax)
+		if !monotonic {
+			fmt.Fprintf(out, "rwload: EPOCH VIOLATION: server epochs did not strictly increase across restarts\n")
+			return 1, nil
+		}
+	}
 
 	if led.dups > 0 {
 		fmt.Fprintf(out, "rwload: LEDGER VIOLATION: %d duplicated write passages\n", led.dups)
@@ -221,7 +305,7 @@ func run(cfg config, out io.Writer) (int, error) {
 	// connection. Give in-flight lease revocations time to settle first.
 	// If the server is already gone (drained away under us), the
 	// client-side dup check above is the best we can do.
-	st := finalStats(cfg)
+	st := serverStats(cfg, 2*cfg.ttl)
 	if st == nil {
 		if !draining {
 			return 1, fmt.Errorf("server unreachable for final ledger reconciliation")
@@ -241,6 +325,8 @@ func run(cfg config, out io.Writer) (int, error) {
 			maxWB = sh.MaxWriterBypass
 		}
 	}
+	grants -= baseGrants
+	revokedW -= baseRevokedW
 	observed := led.unique()
 	lost := int64(grants) - int64(observed) - int64(revokedW)
 	if lost < 0 {
@@ -285,7 +371,18 @@ func runWorker(id int, cfg config, mix mixSpec, deadline time.Time, led *ledger,
 		}
 	}()
 	backoff := 5 * time.Millisecond
-	const maxBackoff = 250 * time.Millisecond
+	maxBackoff := cfg.maxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 250 * time.Millisecond
+	}
+	// sleepBackoff sleeps one jittered backoff step and accounts the time
+	// separately from op latencies (the report's time-in-backoff line).
+	sleepBackoff := func() {
+		d := jitter(rng, backoff)
+		cnt.bump(func(s *counters) { s.backoffEvents++; s.backoffTotal += d })
+		time.Sleep(d)
+		backoff = nextBackoff(backoff, maxBackoff)
+	}
 
 	for time.Now().Before(deadline) {
 		if mix.bursty {
@@ -302,11 +399,14 @@ func runWorker(id int, cfg config, mix mixSpec, deadline time.Time, led *ledger,
 			nc, err := lockd.Dial(ctx, cfg.addr, opts)
 			cancel()
 			if err != nil {
-				time.Sleep(jitter(rng, backoff))
-				backoff = nextBackoff(backoff, maxBackoff)
+				if errors.Is(err, lockd.ErrRecovering) {
+					cnt.bump(func(s *counters) { s.recovering++ })
+				}
+				sleepBackoff()
 				continue
 			}
 			c = nc
+			cnt.observeEpoch(c.Epoch())
 			backoff = 5 * time.Millisecond
 		}
 
@@ -336,8 +436,11 @@ func runWorker(id int, cfg config, mix mixSpec, deadline time.Time, led *ledger,
 				c.Abandon()
 				c = nil
 				cnt.bump(func(s *counters) { s.crashes++ })
-			} else {
-				h.Release(ctx) //nolint:errcheck // a lost ack is cleaned up by lease expiry
+			} else if rerr := h.Release(ctx); rerr != nil && errors.Is(rerr, lockd.ErrEpochFenced) {
+				// The server restarted between grant and release: the hold
+				// was fenced out, so surrender it — nothing to release.
+				// (Other release failures are cleaned up by lease expiry.)
+				cnt.bump(func(s *counters) { s.fenced++ })
 			}
 			cancel()
 			backoff = 5 * time.Millisecond
@@ -349,20 +452,20 @@ func runWorker(id int, cfg config, mix mixSpec, deadline time.Time, led *ledger,
 		case errors.Is(err, lockd.ErrDraining):
 			cnt.bump(func(s *counters) { s.draining = true })
 			return
+		case errors.Is(err, lockd.ErrRecovering):
+			cnt.bump(func(s *counters) { s.recovering++ })
+			sleepBackoff()
 		case errors.Is(err, lockd.ErrDisconnected), errors.Is(err, lockd.ErrSessionExpired):
 			c.Abandon()
 			c = nil
 			cnt.bump(func(s *counters) { s.reconnects++ })
-			time.Sleep(jitter(rng, backoff))
-			backoff = nextBackoff(backoff, maxBackoff)
+			sleepBackoff()
 		case errors.Is(err, lockd.ErrTimeout):
 			cnt.bump(func(s *counters) { s.timeouts++ })
-			time.Sleep(jitter(rng, backoff))
-			backoff = nextBackoff(backoff, maxBackoff)
+			sleepBackoff()
 		case errors.Is(err, lockd.ErrShed):
 			cnt.bump(func(s *counters) { s.sheds++ })
-			time.Sleep(jitter(rng, backoff))
-			backoff = nextBackoff(backoff, maxBackoff)
+			sleepBackoff()
 		case errors.Is(err, lockd.ErrRevoked):
 			cnt.bump(func(s *counters) { s.revoked++ })
 		default:
@@ -370,8 +473,7 @@ func runWorker(id int, cfg config, mix mixSpec, deadline time.Time, led *ledger,
 			c.Abandon()
 			c = nil
 			cnt.bump(func(s *counters) { s.reconnects++ })
-			time.Sleep(jitter(rng, backoff))
-			backoff = nextBackoff(backoff, maxBackoff)
+			sleepBackoff()
 		}
 	}
 }
@@ -394,20 +496,29 @@ func jitter(rng *rand.Rand, d time.Duration) time.Duration {
 }
 
 // finalStats fetches a server snapshot over a clean (chaos-free)
-// connection, after letting in-flight lease revocations settle. Returns
-// nil when the server is unreachable.
-func finalStats(cfg config) *wire.Stats {
-	time.Sleep(2 * cfg.ttl)
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	c, err := lockd.Dial(ctx, cfg.addr, lockd.Options{})
-	if err != nil {
-		return nil
+// connection, after letting in-flight lease revocations settle. It
+// retries for a few seconds — a supervised server may still be replaying
+// its WAL from the last kill -9. Returns nil when the server stays
+// unreachable.
+func serverStats(cfg config, settle time.Duration) *wire.Stats {
+	time.Sleep(settle)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		c, err := lockd.Dial(ctx, cfg.addr, lockd.Options{})
+		if err == nil {
+			st, serr := c.Stats(ctx)
+			c.Close()
+			cancel()
+			if serr == nil {
+				return st
+			}
+		} else {
+			cancel()
+		}
+		if !time.Now().Before(deadline) {
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
 	}
-	defer c.Close()
-	st, err := c.Stats(ctx)
-	if err != nil {
-		return nil
-	}
-	return st
 }

@@ -1,0 +1,149 @@
+// Server supervision: with -server-bin, rwload owns the rwlockd process
+// under test — it spawns it, kill -9s it at -server-crash-rate while the
+// load runs, restarts it against the same -data-dir, and tears it down
+// with SIGTERM after the final ledger reconciliation. The supervisor
+// scrapes the server's "serving epoch N" lines, so the report can assert
+// that every restart strictly increased the epoch.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+)
+
+var epochRe = regexp.MustCompile(`serving epoch (\d+)`)
+
+type supervisor struct {
+	bin  string
+	args []string
+	out  io.Writer
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	scanDone chan struct{}
+	stopped  bool
+	crashes  int
+	epochs   []uint64 // every "serving epoch" value scraped, in order
+}
+
+func newSupervisor(bin string, args []string, out io.Writer) *supervisor {
+	return &supervisor{bin: bin, args: args, out: out}
+}
+
+// start launches one server instance, forwarding its output through the
+// epoch scraper.
+func (sv *supervisor) start() error {
+	cmd := exec.Command(sv.bin, sv.args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fmt.Errorf("server stdout: %w", err)
+	}
+	cmd.Stderr = cmd.Stdout // interleave; the scraper only needs stdout's epoch line
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", sv.bin, err)
+	}
+	done := make(chan struct{})
+	go sv.scan(stdout, done)
+	sv.mu.Lock()
+	sv.cmd, sv.scanDone = cmd, done
+	sv.mu.Unlock()
+	return nil
+}
+
+func (sv *supervisor) scan(r io.Reader, done chan struct{}) {
+	defer close(done)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := epochRe.FindStringSubmatch(line); m != nil {
+			if e, err := strconv.ParseUint(m[1], 10, 64); err == nil {
+				sv.mu.Lock()
+				sv.epochs = append(sv.epochs, e)
+				sv.mu.Unlock()
+			}
+		}
+		fmt.Fprintln(sv.out, line)
+	}
+}
+
+// crashLoop kill -9s and restarts the server at a mean of rate kills per
+// second (exponential inter-kill intervals) until the deadline.
+func (sv *supervisor) crashLoop(rate float64, deadline time.Time, rng *rand.Rand) {
+	for {
+		d := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if time.Now().Add(d).After(deadline) {
+			return
+		}
+		time.Sleep(d)
+		if !sv.kill9() {
+			return
+		}
+		if err := sv.start(); err != nil {
+			fmt.Fprintf(sv.out, "rwload: server restart failed: %v\n", err)
+			return
+		}
+	}
+}
+
+// kill9 SIGKILLs the current instance and reaps it; false once shutdown
+// began.
+func (sv *supervisor) kill9() bool {
+	sv.mu.Lock()
+	if sv.stopped || sv.cmd == nil {
+		sv.mu.Unlock()
+		return false
+	}
+	cmd, done := sv.cmd, sv.scanDone
+	sv.cmd = nil
+	sv.crashes++
+	sv.mu.Unlock()
+	cmd.Process.Kill() //nolint:errcheck // the Wait below reaps either way
+	cmd.Wait()         //nolint:errcheck // SIGKILL exit status is expected
+	<-done
+	return true
+}
+
+// shutdown SIGTERMs the last instance (clean drain) and reaps it.
+func (sv *supervisor) shutdown() {
+	sv.mu.Lock()
+	sv.stopped = true
+	cmd, done := sv.cmd, sv.scanDone
+	sv.cmd = nil
+	sv.mu.Unlock()
+	if cmd == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck // fall through to Kill on failure
+	waited := make(chan struct{})
+	go func() { cmd.Wait(); close(waited) }() //nolint:errcheck // exit status irrelevant here
+	select {
+	case <-waited:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck // last resort
+		<-waited
+	}
+	<-done
+}
+
+// summary returns the crash count, the scraped epochs in observation
+// order, and whether they were strictly increasing (every restart must
+// bump the epoch; a repeat would mean fencing tokens can collide).
+func (sv *supervisor) summary() (crashes int, epochs []uint64, monotonic bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	monotonic = true
+	for i := 1; i < len(sv.epochs); i++ {
+		if sv.epochs[i] <= sv.epochs[i-1] {
+			monotonic = false
+		}
+	}
+	return sv.crashes, append([]uint64(nil), sv.epochs...), monotonic
+}

@@ -11,11 +11,20 @@
 // any hold still outstanding at the deadline is reported as leaked with a
 // nonzero exit. A second signal aborts immediately.
 //
+// With -data-dir the server is durable: service state is written to a WAL
+// plus periodic snapshots under the directory, and a restart — including
+// after kill -9 — replays them, bumps the server epoch (fencing every
+// pre-crash hold: their tokens are strictly dominated by every token the
+// new epoch mints, so nothing is ever double-granted), re-arms lease
+// sweeping from the persisted deadlines, and answers "recovering" until
+// the replayed state is installed.
+//
 // Usage:
 //
 //	rwlockd [-addr 127.0.0.1:7911] [-shards 8] [-ttl 5s] [-min-ttl 50ms]
 //	        [-max-ttl 60s] [-max-queue 128] [-max-wait 30s]
 //	        [-sweep-interval 25ms] [-drain-timeout 10s] [-quiet]
+//	        [-data-dir DIR] [-fsync interval] [-snapshot-every 4096]
 package main
 
 import (
@@ -54,6 +63,9 @@ func run(args []string, sig <-chan os.Signal, onReady func(addr string), out, er
 	sweep := fs.Duration("sweep-interval", 25*time.Millisecond, "lease-expiry scan period")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for holders on SIGTERM before holds count as leaked")
 	quiet := fs.Bool("quiet", false, "suppress per-event logs (revocations)")
+	dataDir := fs.String("data-dir", "", "durability directory (WAL + snapshots); empty runs in-memory")
+	fsyncPolicy := fs.String("fsync", "interval", "WAL sync policy: always, interval, or never")
+	snapshotEvery := fs.Int("snapshot-every", 4096, "WAL records between snapshot rotations")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +83,9 @@ func run(args []string, sig <-chan os.Signal, onReady func(addr string), out, er
 		MaxQueue:      *maxQueue,
 		MaxWait:       *maxWait,
 		SweepInterval: *sweep,
+		DataDir:       *dataDir,
+		Fsync:         *fsyncPolicy,
+		SnapshotEvery: *snapshotEvery,
 	}
 	if !*quiet {
 		cfg.Logf = logf
@@ -82,12 +97,35 @@ func run(args []string, sig <-chan os.Signal, onReady func(addr string), out, er
 	}
 	fmt.Fprintf(out, "rwlockd: listening on %s (shards=%d default-ttl=%v max-queue=%d)\n",
 		srv.Addr(), *shards, *ttl, *maxQueue)
-	if onReady != nil {
-		onReady(srv.Addr().String())
+	if info := srv.RecoveryInfo(); info != nil {
+		fmt.Fprintf(out, "rwlockd: recovery: snapshot=%v replayed=%d records, %d sessions, %d holds, %d queued\n",
+			info.SnapshotLoaded, info.Replayed, info.Sessions, info.Holds, info.Queued)
+		if info.TornBytes > 0 {
+			fmt.Fprintf(errOut, "rwlockd: recovery: truncated %d torn WAL bytes (%v)\n",
+				info.TornBytes, info.TornReason)
+		}
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
+
+	// The ready gate closes once recovery install (epoch bump + state
+	// restore) finishes — immediately, for an in-memory server. Announce
+	// the serving epoch before reporting ready so supervisors that scrape
+	// the line see the post-bump value.
+	select {
+	case <-srv.Ready():
+		fmt.Fprintf(out, "rwlockd: serving epoch %d\n", srv.Epoch())
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(errOut, "rwlockd:", err)
+			return 1
+		}
+		return 0
+	}
+	if onReady != nil {
+		onReady(srv.Addr().String())
+	}
 
 	select {
 	case err := <-serveErr:

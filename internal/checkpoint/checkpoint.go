@@ -183,6 +183,36 @@ func (s *Store) Section(name, fingerprint string, total int) (*Section, error) {
 	return &Section{store: s, key: key, sec: sec}, nil
 }
 
+// WriteAtomic writes data to path atomically: marshal into a temp file in
+// the destination directory, fsync it, and rename it over the target, so a
+// crash mid-write leaves either the previous file or the new one, never a
+// torn hybrid. It is the write primitive under Store.Flush and is exported
+// for other crash-safe writers (the lockd durable snapshot store reuses
+// it).
+func WriteAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	return nil
+}
+
 // Flush atomically persists the whole store: marshal to a temp file in the
 // destination directory, fsync, rename over the target.
 func (s *Store) Flush() error {
@@ -196,25 +226,8 @@ func (s *Store) Flush() error {
 		return fmt.Errorf("checkpoint: marshal: %w", err)
 	}
 	buf = append(buf, '\n')
-	dir := filepath.Dir(s.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp*")
-	if err != nil {
+	if err := WriteAtomic(s.path, buf); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
-	}
-	if err := os.Rename(tmp.Name(), s.path); err != nil {
-		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
 	return nil
 }

@@ -47,6 +47,9 @@ func TestAlgorithmPackageScope(t *testing.T) {
 		// under a conventional mutex, not the simulated discipline.
 		"repro/internal/lockd",
 		"repro/internal/lockd/wire",
+		// Durability layer: WAL framing, snapshots, fsync goroutines — all
+		// host I/O and real sync, never simulated memory.
+		"repro/internal/lockd/durable",
 	}
 	for _, pkg := range harness {
 		if lint.DefaultScope(lint.MemDiscipline, pkg) {

@@ -2,7 +2,6 @@ package lockd
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -30,6 +29,12 @@ type Options struct {
 	// retransmitted with the same seq; it doubles per retry up to 8x
 	// (default 100ms).
 	RetransmitAfter time.Duration
+	// ResumeSession, when set, asks hello to re-attach to an existing
+	// session after a reconnect (its lease and response cache survive a
+	// server restart via the WAL). If the server no longer knows the
+	// session a fresh one is minted; Client.Resumed reports which
+	// happened.
+	ResumeSession string
 	// Dialer overrides the TCP dial — the chaos transport hooks in here.
 	Dialer func(addr string) (net.Conn, error)
 }
@@ -58,6 +63,8 @@ type Client struct {
 	closeOnce sync.Once
 	session   string
 	ttl       time.Duration
+	epoch     uint64 // server epoch reported by hello
+	resumed   bool   // hello re-attached to ResumeSession
 }
 
 // Dial connects, performs the hello handshake, and starts the heartbeat.
@@ -91,7 +98,8 @@ func Dial(ctx context.Context, addr string, opts Options) (*Client, error) {
 		hctx, cancel = context.WithTimeout(ctx, 5*time.Second)
 		defer cancel()
 	}
-	resp, err := c.call(hctx, &wire.Request{Op: wire.OpHello, TTLMS: opts.TTL.Milliseconds()})
+	resp, err := c.call(hctx, &wire.Request{Op: wire.OpHello,
+		TTLMS: opts.TTL.Milliseconds(), Session: opts.ResumeSession})
 	if err != nil {
 		c.Abandon()
 		return nil, fmt.Errorf("hello: %w", err)
@@ -102,6 +110,19 @@ func Dial(ctx context.Context, addr string, opts Options) (*Client, error) {
 	}
 	c.session = resp.Session
 	c.ttl = time.Duration(resp.TTLMS) * time.Millisecond
+	c.epoch = resp.Epoch
+	c.resumed = resp.Resumed
+	if resp.Resumed {
+		// Continue the seq numbering above everything the resumed session
+		// ever began, so a fresh request can never collide with a cached
+		// or in-flight seq from before the reconnect.
+		for {
+			cur := c.seq.Load()
+			if cur >= resp.MaxSeq || c.seq.CompareAndSwap(cur, resp.MaxSeq) {
+				break
+			}
+		}
+	}
 	hb := opts.HeartbeatEvery
 	if hb <= 0 {
 		hb = c.ttl / 3
@@ -118,6 +139,14 @@ func (c *Client) SessionID() string { return c.session }
 
 // TTL returns the granted lease TTL.
 func (c *Client) TTL() time.Duration { return c.ttl }
+
+// Epoch returns the server epoch reported by hello. It bumps on every
+// restart of a durable server; a jump between reconnects tells the client
+// its pre-crash holds were fenced.
+func (c *Client) Epoch() uint64 { return c.epoch }
+
+// Resumed reports whether hello re-attached to Options.ResumeSession.
+func (c *Client) Resumed() bool { return c.resumed }
 
 // markDead records the terminal error (first writer wins) and wakes every
 // in-flight call.
@@ -149,16 +178,16 @@ func (c *Client) deadError() error {
 func (c *Client) readLoop() {
 	sc := wire.NewScanner(c.conn)
 	for sc.Scan() {
-		var resp wire.Response
-		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
-			continue
+		resp, err := wire.DecodeResponse(sc.Bytes())
+		if err != nil {
+			continue // a malformed line is dropped; retransmit recovers
 		}
 		c.pmu.Lock()
 		ch := c.pending[resp.Seq]
 		c.pmu.Unlock()
 		if ch != nil {
 			select {
-			case ch <- &resp:
+			case ch <- resp:
 			default: // duplicate delivery of the same seq
 			}
 		}
@@ -305,14 +334,24 @@ func (c *Client) TryAcquire(ctx context.Context, key, mode string) (*Hold, error
 	return c.Acquire(ctx, key, mode, 0)
 }
 
-// Release gives the hold back. The zero-deadline default budget is 5s.
+// Release gives the hold back, quoting its fencing token so a server that
+// restarted since the grant answers ErrEpochFenced instead of silently
+// mismatching. The zero-deadline default budget is 5s.
 func (h *Hold) Release(ctx context.Context) error {
+	return h.c.Release(ctx, h.Key, h.Mode, h.Passage)
+}
+
+// Release releases key/mode, quoting the grant's fencing token (0 skips
+// the epoch check). A token minted before the server's current epoch
+// fails with ErrEpochFenced: the hold did not survive the restart and the
+// client must surrender it.
+func (c *Client) Release(ctx context.Context, key, mode string, passage uint64) error {
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, 5*time.Second)
 		defer cancel()
 	}
-	resp, err := h.c.call(ctx, &wire.Request{Op: wire.OpRelease, Key: h.Key, Mode: h.Mode})
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpRelease, Key: key, Mode: mode, Passage: passage})
 	if err != nil {
 		return err
 	}

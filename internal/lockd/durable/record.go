@@ -1,0 +1,202 @@
+// Package durable makes rwlockd's service state survive a server crash:
+// a length-prefixed, CRC-framed append-only write-ahead log plus periodic
+// snapshots of a shadow state, both under one data directory. On restart
+// the Store replays snapshot+WAL (truncating a torn tail), and the server
+// bumps a persisted epoch that is folded into every fencing token it
+// mints — so tokens granted before a crash are strictly dominated by
+// every post-restart token and a stale holder can be fenced out, never
+// double-granted, even if the WAL lost its final records.
+//
+// The durable state is the service's bookkeeping, not the lock algorithms:
+// session leases (with absolute expiry deadlines, so the lease sweeper
+// re-arms after a restart), held and queued lock entries, per-word
+// fencing counters, and the per-session at-most-once response caches.
+// Everything here is real concurrency (files, mutexes) by design and is
+// pinned outside the rwlint memdiscipline scope, like the rest of
+// internal/lockd.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// RecordType enumerates WAL record kinds.
+type RecordType string
+
+// WAL record kinds. Replay applies them in append order; apply is total —
+// a record referencing state that no longer exists (a grant racing a
+// lease expiry into the log, say) is accounted for but never panics.
+const (
+	// RecHello creates a session (id, slot, ttl, absolute expiry).
+	RecHello RecordType = "hello"
+	// RecRenew advances a session's absolute expiry deadline. Renewals
+	// are coalesced by the server (one record per TTL/4 of advance), so
+	// a replayed deadline is stale by at most a quarter lease.
+	RecRenew RecordType = "renew"
+	// RecBye removes a session cleanly (its holds were released first).
+	RecBye RecordType = "bye"
+	// RecExpire removes a session whose lease lapsed, revoking its holds
+	// and queued entries.
+	RecExpire RecordType = "expire"
+	// RecGrant installs a hold and, for writes, advances the shard word's
+	// fencing counter to the token's counter part.
+	RecGrant RecordType = "grant"
+	// RecRelease removes a hold.
+	RecRelease RecordType = "release"
+	// RecEnqueue / RecDequeue track queued waiters; replayed queue
+	// entries are cancelled by the next epoch bump (their connections
+	// did not survive the crash).
+	RecEnqueue RecordType = "enqueue"
+	RecDequeue RecordType = "dequeue"
+	// RecResp caches a completed request's response for at-most-once
+	// replay across a restart.
+	RecResp RecordType = "resp"
+	// RecEpoch persists an epoch bump. Applying it fences every held and
+	// queued entry (counted as revoked), which is exactly the restart
+	// semantics: holds never cross an epoch boundary.
+	RecEpoch RecordType = "epoch"
+)
+
+// Record is one WAL entry. Field usage depends on Type; unused fields
+// stay zero and are omitted from the encoding.
+type Record struct {
+	// LSN is the record's log sequence number, strictly increasing over
+	// the life of a data directory (it survives snapshot rotation).
+	// Replay skips records at or below the snapshot's LastLSN.
+	LSN  uint64     `json:"lsn"`
+	Type RecordType `json:"t"`
+
+	Session string `json:"sess,omitempty"`
+	Slot    int    `json:"slot,omitempty"`
+	TTLMS   int64  `json:"ttl_ms,omitempty"`
+	// Expiry is the session lease deadline in unix nanoseconds —
+	// absolute on purpose, so a restarted sweeper re-arms from it.
+	Expiry int64 `json:"exp,omitempty"`
+
+	Key   string `json:"key,omitempty"`
+	Mode  string `json:"mode,omitempty"`
+	Shard int    `json:"shard,omitempty"`
+	Word  int    `json:"word,omitempty"`
+	// Token is the epoch-qualified fencing token of a write grant.
+	Token uint64 `json:"tok,omitempty"`
+
+	Seq  uint64          `json:"seq,omitempty"`
+	Resp json.RawMessage `json:"resp,omitempty"`
+
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// CorruptError reports a WAL frame that could not be decoded: a CRC
+// mismatch (bit flip), an implausible length, or undecodable payload.
+// The frame codec returns it typed and never panics; Open's replay
+// applies the torn-tail truncation policy on top.
+type CorruptError struct {
+	// Offset is the byte offset of the bad frame within the log.
+	Offset int64
+	// Reason is "magic", "length", "crc" or "payload".
+	Reason string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	msg := fmt.Sprintf("durable: corrupt WAL frame at offset %d (%s)", e.Offset, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// ShortError reports a frame whose header or payload extends past the end
+// of the log — the signature of a torn final write, which replay truncates.
+type ShortError struct {
+	Offset     int64
+	Need, Have int
+}
+
+func (e *ShortError) Error() string {
+	return fmt.Sprintf("durable: torn WAL frame at offset %d: need %d bytes, have %d", e.Offset, e.Need, e.Have)
+}
+
+// Frame layout: 4-byte little-endian payload length, 4-byte CRC-32C of
+// the payload, then the JSON payload. MaxFrame bounds a single payload; a
+// length field beyond it is treated as corruption (a bit flip in the
+// length would otherwise send the reader chasing gigabytes).
+const (
+	frameHeader = 8
+	MaxFrame    = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame encodes rec and appends its frame to buf, returning the
+// extended buffer.
+func AppendFrame(buf []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, fmt.Errorf("durable: marshal record: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return buf, fmt.Errorf("durable: record exceeds %d bytes", MaxFrame)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// DecodeFrame decodes the frame starting at b[off:], returning the record
+// and the number of bytes consumed. It returns a *ShortError when the
+// frame runs past the end of b and a *CorruptError when the frame is
+// complete but unreadable; it never panics on any input.
+func DecodeFrame(b []byte, off int64) (*Record, int, error) {
+	rest := b[off:]
+	if len(rest) < frameHeader {
+		return nil, 0, &ShortError{Offset: off, Need: frameHeader, Have: len(rest)}
+	}
+	n := int(binary.LittleEndian.Uint32(rest[0:4]))
+	if n > MaxFrame {
+		return nil, 0, &CorruptError{Offset: off, Reason: "length",
+			Err: fmt.Errorf("payload length %d exceeds %d", n, MaxFrame)}
+	}
+	if len(rest) < frameHeader+n {
+		return nil, 0, &ShortError{Offset: off, Need: frameHeader + n, Have: len(rest)}
+	}
+	payload := rest[frameHeader : frameHeader+n]
+	want := binary.LittleEndian.Uint32(rest[4:8])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, 0, &CorruptError{Offset: off, Reason: "crc",
+			Err: fmt.Errorf("checksum %08x, frame claims %08x", got, want)}
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, 0, &CorruptError{Offset: off, Reason: "payload", Err: err}
+	}
+	return &rec, frameHeader + n, nil
+}
+
+// ReadLog decodes every frame in b (the log body, after the file magic).
+// It returns the decoded records, the byte length of the valid prefix,
+// and the error that ended the scan: nil for a clean end, a *ShortError
+// for a torn tail, or a *CorruptError for a bit flip / garbage frame.
+// Replay truncates the log to the valid prefix in either error case —
+// framing cannot resynchronize past a bad frame — but the typed error
+// lets the caller log a CRC failure louder than an ordinary torn write.
+func ReadLog(b []byte) ([]*Record, int64, error) {
+	var recs []*Record
+	var off int64
+	for off < int64(len(b)) {
+		rec, n, err := DecodeFrame(b, off)
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += int64(n)
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,314 @@
+package durable
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Fencing tokens fold the server epoch into their high bits: any token
+// minted in epoch e+1 is numerically greater than every token minted in
+// epoch e, regardless of the per-key counters. That dominance is what
+// makes replay safe even under a lossy fsync policy — if the WAL lost the
+// final pre-crash grants, the restored counters may lag tokens already
+// handed out, but the bumped epoch keeps every new token strictly above
+// every old one, so a replayed server can never re-mint a token a client
+// already observed.
+const (
+	// EpochBits is the width of the epoch field (high bits); the counter
+	// takes the rest. 16 bits of epoch is 65535 restarts per data
+	// directory; 48 bits of counter is ~2.8e14 write passages per key.
+	EpochBits   = 16
+	counterBits = 64 - EpochBits
+	counterMask = (uint64(1) << counterBits) - 1
+)
+
+// MakeToken folds an epoch and a per-key counter into one fencing token.
+func MakeToken(epoch, counter uint64) uint64 {
+	return epoch<<counterBits | counter&counterMask
+}
+
+// TokenEpoch extracts the epoch a token was minted under.
+func TokenEpoch(tok uint64) uint64 { return tok >> counterBits }
+
+// TokenCounter extracts a token's per-key counter part.
+func TokenCounter(tok uint64) uint64 { return tok & counterMask }
+
+// HoldState is one held or queued lock entry.
+type HoldState struct {
+	Key  string `json:"key"`
+	Mode string `json:"mode"`
+}
+
+// CachedResp is one entry of a session's at-most-once response cache, in
+// completion order.
+type CachedResp struct {
+	Seq  uint64          `json:"seq"`
+	Resp json.RawMessage `json:"resp"`
+}
+
+// SessionState is one session lease with everything needed to restore it:
+// the fairness slot, the lease geometry (TTL plus the absolute expiry the
+// sweeper re-arms from), holds, queued entries, and the response cache.
+type SessionState struct {
+	Slot   int          `json:"slot"`
+	TTLMS  int64        `json:"ttl_ms"`
+	Expiry int64        `json:"expiry"` // unix nanoseconds
+	Holds  []HoldState  `json:"holds,omitempty"`
+	Queued []HoldState  `json:"queued,omitempty"`
+	Resps  []CachedResp `json:"resps,omitempty"`
+	// MaxSeq is the highest request seq the session ever began; a
+	// resuming client continues its numbering above it so stale cache
+	// entries can never answer a fresh request.
+	MaxSeq uint64 `json:"max_seq,omitempty"`
+}
+
+// Counters are the ledger-relevant shard counters. They are durable
+// because rwload's zero-lost/zero-dup reconciliation compares them to
+// client observations across server crashes; volatile counters (sheds,
+// timeouts) stay in the server and reset on restart.
+type Counters struct {
+	ReadGrants   uint64 `json:"read_grants"`
+	WriteGrants  uint64 `json:"write_grants"`
+	Releases     uint64 `json:"releases"`
+	Revoked      uint64 `json:"revoked"`
+	RevokedWrite uint64 `json:"revoked_write"`
+	// Fenced / FencedWrite are the subset of Revoked torn down by epoch
+	// bumps (restart fencing) rather than lease expiry.
+	Fenced      uint64 `json:"fenced"`
+	FencedWrite uint64 `json:"fenced_write"`
+}
+
+// ShardState is one shard's durable state: the per-word write-passage
+// counters and the ledger counters.
+type ShardState struct {
+	Words    []uint64 `json:"words"`
+	Counters Counters `json:"counters"`
+}
+
+// State is the full durable service state. The Store maintains it as a
+// shadow (applying every appended record), snapshots marshal it, and
+// replay rebuilds it; sharing one apply function between the shadow and
+// replay guarantees they agree.
+type State struct {
+	Epoch    uint64                   `json:"epoch"`
+	NextSlot int                      `json:"next_slot"`
+	Sessions map[string]*SessionState `json:"sessions"`
+	Shards   []*ShardState            `json:"shards"`
+}
+
+// NewState returns an empty state with the given shard geometry.
+func NewState(shards, wordsPerShard int) *State {
+	st := &State{Sessions: map[string]*SessionState{}, Shards: make([]*ShardState, shards)}
+	for i := range st.Shards {
+		st.Shards[i] = &ShardState{Words: make([]uint64, wordsPerShard)}
+	}
+	return st
+}
+
+// Clone deep-copies the state (the server installs from a clone so the
+// shadow can keep mutating).
+func (st *State) Clone() *State {
+	out := &State{Epoch: st.Epoch, NextSlot: st.NextSlot, Sessions: map[string]*SessionState{}}
+	for id, s := range st.Sessions {
+		cp := *s
+		cp.Holds = append([]HoldState(nil), s.Holds...)
+		cp.Queued = append([]HoldState(nil), s.Queued...)
+		cp.Resps = make([]CachedResp, len(s.Resps))
+		for i, r := range s.Resps {
+			cp.Resps[i] = CachedResp{Seq: r.Seq, Resp: append(json.RawMessage(nil), r.Resp...)}
+		}
+		out.Sessions[id] = &cp
+	}
+	out.Shards = make([]*ShardState, len(st.Shards))
+	for i, sh := range st.Shards {
+		out.Shards[i] = &ShardState{Words: append([]uint64(nil), sh.Words...), Counters: sh.Counters}
+	}
+	return out
+}
+
+// HoldCount totals held entries across sessions.
+func (st *State) HoldCount() (holds, queued int) {
+	for _, s := range st.Sessions {
+		holds += len(s.Holds)
+		queued += len(s.Queued)
+	}
+	return holds, queued
+}
+
+// SessionIDs returns the session ids in sorted order (deterministic
+// restore and logging).
+func (st *State) SessionIDs() []string {
+	ids := make([]string, 0, len(st.Sessions))
+	for id := range st.Sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// shard returns the shard state for idx, growing the slice defensively so
+// apply is total even on a log written under a different geometry (Open
+// rejects those via the fingerprint; this guard keeps raw replay — and
+// the fuzz targets — panic-free regardless).
+func (st *State) shard(idx int) *ShardState {
+	if idx < 0 {
+		idx = 0
+	}
+	for idx >= len(st.Shards) {
+		st.Shards = append(st.Shards, &ShardState{})
+	}
+	return st.Shards[idx]
+}
+
+func (sh *ShardState) bumpWord(word int, counter uint64) {
+	if word < 0 {
+		return
+	}
+	for word >= len(sh.Words) {
+		sh.Words = append(sh.Words, 0)
+	}
+	if counter > sh.Words[word] {
+		sh.Words[word] = counter
+	}
+}
+
+func removeHold(list []HoldState, key, mode string) ([]HoldState, bool) {
+	for i, h := range list {
+		if h.Key == key && h.Mode == mode {
+			return append(list[:i], list[i+1:]...), true
+		}
+	}
+	return list, false
+}
+
+func (c *Counters) countRevoked(mode string, fenced bool) {
+	c.Revoked++
+	if mode == "w" {
+		c.RevokedWrite++
+	}
+	if fenced {
+		c.Fenced++
+		if mode == "w" {
+			c.FencedWrite++
+		}
+	}
+}
+
+// Apply folds one record into the state. It is shared by replay and the
+// Store's shadow, is total (any record sequence yields some state, never
+// a panic), and is idempotent where replay needs it to be: word counters
+// advance by max, duplicate holds are not double-inserted, and records
+// referencing missing sessions are accounted as revocations rather than
+// dropped — a grant that raced a lease expiry into the log must still
+// show up in the ledger counters.
+func (st *State) Apply(rec *Record) {
+	if rec == nil {
+		return
+	}
+	respCap := respCacheCapDefault
+	switch rec.Type {
+	case RecHello:
+		st.Sessions[rec.Session] = &SessionState{Slot: rec.Slot, TTLMS: rec.TTLMS, Expiry: rec.Expiry}
+		if rec.Slot+1 > st.NextSlot {
+			st.NextSlot = rec.Slot + 1
+		}
+	case RecRenew:
+		if s := st.Sessions[rec.Session]; s != nil && rec.Expiry > s.Expiry {
+			s.Expiry = rec.Expiry
+		}
+	case RecBye:
+		// A clean goodbye released its holds first (each with its own
+		// record); leftovers mean the bye raced teardown — count them as
+		// releases, the clean-path accounting.
+		if s := st.Sessions[rec.Session]; s != nil {
+			st.shard(rec.Shard).Counters.Releases += uint64(len(s.Holds))
+		}
+		delete(st.Sessions, rec.Session)
+	case RecExpire:
+		if s := st.Sessions[rec.Session]; s != nil {
+			for _, h := range s.Holds {
+				st.shard(shardOf(rec, h)).Counters.countRevoked(h.Mode, false)
+			}
+		}
+		delete(st.Sessions, rec.Session)
+	case RecGrant:
+		sh := st.shard(rec.Shard)
+		if rec.Mode == "w" {
+			sh.Counters.WriteGrants++
+			sh.bumpWord(rec.Word, TokenCounter(rec.Token))
+		} else {
+			sh.Counters.ReadGrants++
+		}
+		s := st.Sessions[rec.Session]
+		if s == nil {
+			// Ghost grant: the session's expiry record won the append
+			// race. The grant still happened — ledger-wise it is an
+			// immediately revoked passage.
+			sh.Counters.countRevoked(rec.Mode, false)
+			return
+		}
+		if _, dup := findHold(s.Holds, rec.Key, rec.Mode); !dup {
+			s.Holds = append(s.Holds, HoldState{Key: rec.Key, Mode: rec.Mode})
+		}
+	case RecRelease:
+		if s := st.Sessions[rec.Session]; s != nil {
+			var ok bool
+			if s.Holds, ok = removeHold(s.Holds, rec.Key, rec.Mode); ok {
+				st.shard(rec.Shard).Counters.Releases++
+			}
+		}
+	case RecEnqueue:
+		if s := st.Sessions[rec.Session]; s != nil {
+			s.Queued = append(s.Queued, HoldState{Key: rec.Key, Mode: rec.Mode})
+		}
+	case RecDequeue:
+		if s := st.Sessions[rec.Session]; s != nil {
+			s.Queued, _ = removeHold(s.Queued, rec.Key, rec.Mode)
+		}
+	case RecResp:
+		if s := st.Sessions[rec.Session]; s != nil {
+			s.Resps = append(s.Resps, CachedResp{Seq: rec.Seq, Resp: rec.Resp})
+			for len(s.Resps) > respCap {
+				s.Resps = s.Resps[1:]
+			}
+			if rec.Seq > s.MaxSeq {
+				s.MaxSeq = rec.Seq
+			}
+		}
+	case RecEpoch:
+		if rec.Epoch > st.Epoch {
+			st.Epoch = rec.Epoch
+		}
+		// An epoch bump fences every held and queued entry: holds never
+		// cross an epoch boundary (this is the no-double-grant argument —
+		// a pre-crash hold is revoked here, and its token's epoch is
+		// strictly dominated by every token the new epoch mints).
+		for _, id := range st.SessionIDs() {
+			s := st.Sessions[id]
+			for _, h := range s.Holds {
+				st.shard(0).Counters.countRevoked(h.Mode, true)
+			}
+			s.Holds = nil
+			s.Queued = nil
+		}
+	}
+}
+
+// shardOf resolves the shard index for a hold inside a session-level
+// record. Expire records carry no per-hold shard index; the counters are
+// aggregated across shards by every consumer, so attributing them to the
+// record's (zero) shard index keeps totals exact.
+func shardOf(rec *Record, _ HoldState) int { return rec.Shard }
+
+func findHold(list []HoldState, key, mode string) (int, bool) {
+	for i, h := range list {
+		if h.Key == key && h.Mode == mode {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// respCacheCapDefault mirrors lockd's per-session response cache bound; the
+// shadow enforces it so a snapshot cannot grow without bound.
+const respCacheCapDefault = 512

@@ -1,0 +1,204 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every append: no committed grant can be
+	// lost to a power failure, at one fsync per operation.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a background timer (the default): a power
+	// failure can lose the last interval of records, which is safe — the
+	// epoch bump keeps lost grants' tokens dominated — but costs one
+	// fsync per interval instead of per operation. A plain kill -9 loses
+	// nothing under any policy: appends are unbuffered write syscalls,
+	// and the page cache survives process death.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever leaves syncing to the OS entirely.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy validates a policy string (flag plumbing).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// walMagic opens every WAL file; a file that does not start with it is
+// rejected as corrupt rather than misparsed as frames.
+const walMagic = "rwlockd-wal\x01\n"
+
+// wal is the append side of the log: one file, direct (unbuffered)
+// writes, fsync per policy.
+type wal struct {
+	mu       sync.Mutex
+	f        *os.File
+	policy   FsyncPolicy
+	buf      []byte
+	stop     chan struct{}
+	syncDone chan struct{}
+	syncErr  error // sticky first background-sync failure
+}
+
+// openWAL opens (creating if needed) the log at path for appending. A
+// fresh or truncated-to-empty file gets the magic header. interval is the
+// background sync period for FsyncInterval.
+func openWAL(path string, policy FsyncPolicy, interval time.Duration) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open WAL: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: stat WAL: %w", err)
+	}
+	w := &wal{f: f, policy: policy, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	if fi.Size() == 0 {
+		if _, err := f.WriteString(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: write WAL header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: sync WAL header: %w", err)
+		}
+	}
+	if policy == FsyncInterval {
+		if interval <= 0 {
+			interval = 5 * time.Millisecond
+		}
+		go w.syncLoop(interval)
+	} else {
+		close(w.syncDone)
+	}
+	return w, nil
+}
+
+func (w *wal) syncLoop(interval time.Duration) {
+	defer close(w.syncDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.syncErr == nil {
+				w.syncErr = w.f.Sync()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// append frames rec and writes it in one write call, syncing per policy.
+// sync forces a sync regardless of policy (epoch bumps use it: the epoch
+// record is the safety linchpin and is never allowed to be lost).
+func (w *wal) append(rec *Record, sync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.syncErr != nil {
+		return fmt.Errorf("durable: WAL sync failed earlier: %w", w.syncErr)
+	}
+	buf, err := AppendFrame(w.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	w.buf = buf[:0]
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("durable: WAL append: %w", err)
+	}
+	if sync || w.policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: WAL sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// reset truncates the log to empty (post-snapshot rotation) and rewrites
+// the magic header.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: WAL truncate: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("durable: WAL seek: %w", err)
+	}
+	if _, err := w.f.WriteString(walMagic); err != nil {
+		return fmt.Errorf("durable: WAL header: %w", err)
+	}
+	return w.f.Sync()
+}
+
+// close stops the sync loop; final is true for a tidy shutdown (one last
+// sync) and false for a simulated crash (no flush beyond what already
+// reached the file).
+func (w *wal) close(final bool) error {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.syncDone
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if final {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// replayWAL reads the log at path, applying torn-tail truncation: the
+// file is cut back to its longest valid prefix. It returns the decoded
+// records, the truncated byte count, and the typed reason when bytes were
+// dropped. A missing file is an empty log. A file too short to hold the
+// magic is a torn first write (truncated to empty); a file with the wrong
+// magic is corrupt — refusing to serve beats silently ignoring a log that
+// was probably damaged wholesale.
+func replayWAL(path string) (recs []*Record, torn int64, tornReason error, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil, nil
+		}
+		return nil, 0, nil, fmt.Errorf("durable: read WAL: %w", err)
+	}
+	if len(buf) < len(walMagic) {
+		if err := os.Truncate(path, 0); err != nil {
+			return nil, 0, nil, fmt.Errorf("durable: truncate torn WAL header: %w", err)
+		}
+		return nil, int64(len(buf)), &ShortError{Offset: 0, Need: len(walMagic), Have: len(buf)}, nil
+	}
+	if string(buf[:len(walMagic)]) != walMagic {
+		return nil, 0, nil, &CorruptError{Offset: 0, Reason: "magic",
+			Err: fmt.Errorf("%s is not an rwlockd WAL", path)}
+	}
+	body := buf[len(walMagic):]
+	recs, valid, scanErr := ReadLog(body)
+	if scanErr != nil {
+		torn = int64(len(body)) - valid
+		if err := os.Truncate(path, int64(len(walMagic))+valid); err != nil {
+			return nil, 0, nil, fmt.Errorf("durable: truncate torn WAL tail: %w", err)
+		}
+	}
+	return recs, torn, scanErr, nil
+}

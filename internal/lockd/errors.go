@@ -32,6 +32,14 @@ var (
 	// arrived; the outcome of the in-flight request is unknown (a granted
 	// hold will be reclaimed by lease expiry).
 	ErrDisconnected = errors.New("lockd: connection lost")
+	// ErrRecovering: the server is replaying its WAL after a restart and
+	// not yet serving requests; retry after a reconnect backoff.
+	ErrRecovering = errors.New("lockd: server recovering")
+	// ErrEpochFenced: the request used a fencing token minted under an
+	// earlier server epoch. The hold did not survive the server restart —
+	// it was fenced out during recovery — so the client must surrender it
+	// and reacquire.
+	ErrEpochFenced = errors.New("lockd: fencing token from an earlier server epoch")
 )
 
 // errCode maps a server-side error to its wire code.
@@ -47,6 +55,10 @@ func errCode(err error) string {
 		return wire.CodeDraining
 	case errors.Is(err, ErrSessionExpired):
 		return wire.CodeExpired
+	case errors.Is(err, ErrRecovering):
+		return wire.CodeRecovering
+	case errors.Is(err, ErrEpochFenced):
+		return wire.CodeEpochFenced
 	default:
 		return wire.CodeBadRequest
 	}
@@ -67,6 +79,10 @@ func codeErr(code, detail string) error {
 		base = ErrDraining
 	case wire.CodeExpired:
 		base = ErrSessionExpired
+	case wire.CodeRecovering:
+		base = ErrRecovering
+	case wire.CodeEpochFenced:
+		base = ErrEpochFenced
 	default:
 		base = ErrBadRequest
 	}

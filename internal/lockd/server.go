@@ -14,11 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/lockd/durable"
 	"repro/internal/lockd/wire"
 )
 
@@ -43,6 +45,20 @@ type Config struct {
 	MaxQueue int
 	// MaxWait clamps the server-side acquire deadline (default 30s).
 	MaxWait time.Duration
+	// DataDir, when set, makes the server durable: service state (leases,
+	// holds, fencing counters, response caches) is logged to a WAL plus
+	// periodic snapshots under this directory, and a restart replays them,
+	// bumps the server epoch, and fences every pre-crash hold. Empty means
+	// in-memory only (epoch pinned at 1).
+	DataDir string
+	// Fsync selects the WAL sync policy for a durable server: "always",
+	// "interval" (default), or "never"; FsyncInterval is the background
+	// sync period under "interval" (default 5ms).
+	Fsync         string
+	FsyncInterval time.Duration
+	// SnapshotEvery is the number of WAL records between snapshot
+	// rotations (default 4096).
+	SnapshotEvery int
 	// Logf, when set, receives server event logs.
 	Logf func(format string, args ...any)
 }
@@ -89,6 +105,21 @@ type Server struct {
 	draining atomic.Bool
 	closed   atomic.Bool
 
+	// Durability. store is nil for an in-memory server. epoch is the
+	// server epoch folded into every fencing token; it is 1 in-memory and
+	// bumped-on-every-restart for a durable server. ready gates request
+	// service: until recovery install completes, every request is answered
+	// CodeRecovering. readyCh closes when ready flips. installGate, when
+	// non-nil, stalls the install goroutine until it is closed (test hook
+	// for observing the recovering state).
+	store       *durable.Store
+	recovery    *durable.RecoveryInfo
+	epoch       atomic.Uint64
+	ready       atomic.Bool
+	readyCh     chan struct{}
+	installGate chan struct{}
+	installErr  atomic.Pointer[error]
+
 	wg        sync.WaitGroup // conn handlers + sweeper
 	sweepStop chan struct{}
 
@@ -96,26 +127,111 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 }
 
-// New binds the listener and builds the shard tables; call Serve to start
-// accepting.
+// New opens the data directory (when durable), binds the listener, and
+// builds the shard tables; call Serve to start accepting. For a durable
+// server, the WAL replay already ran when New returns (RecoveryInfo has
+// the summary) but the recovered state is installed — and the epoch
+// bumped — by Serve; until then requests are answered CodeRecovering.
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("lockd: listen %s: %w", cfg.Addr, err)
-	}
 	s := &Server{
 		cfg:       cfg,
-		ln:        ln,
 		sessions:  newSessionTable(),
 		sweepStop: make(chan struct{}),
+		readyCh:   make(chan struct{}),
 		conns:     map[net.Conn]struct{}{},
 	}
+	if cfg.DataDir != "" {
+		pol := durable.FsyncPolicy("")
+		if cfg.Fsync != "" {
+			var err error
+			if pol, err = durable.ParseFsyncPolicy(cfg.Fsync); err != nil {
+				return nil, err
+			}
+		}
+		store, info, err := durable.Open(cfg.DataDir, durable.Options{
+			Fsync:         pol,
+			FsyncInterval: cfg.FsyncInterval,
+			SnapshotEvery: cfg.SnapshotEvery,
+			Shards:        cfg.Shards,
+			WordsPerShard: cfg.KeysPerShard,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.recovery = store, info
+	} else {
+		s.epoch.Store(1)
+		s.ready.Store(true)
+		close(s.readyCh)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		if s.store != nil {
+			s.store.Close() //nolint:errcheck // listener failure is the error that matters
+		}
+		return nil, fmt.Errorf("lockd: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = newShard(s, i, cfg.KeysPerShard)
 	}
 	return s, nil
+}
+
+// RecoveryInfo returns the durable-recovery summary (nil for an in-memory
+// server).
+func (s *Server) RecoveryInfo() *durable.RecoveryInfo { return s.recovery }
+
+// Epoch returns the server epoch. It is meaningful once Ready() closed
+// (always, for an in-memory server).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// Ready returns a channel that closes once the server is serving: for a
+// durable server, after recovery install (epoch bump + state restore).
+func (s *Server) Ready() <-chan struct{} { return s.readyCh }
+
+// logAppend records one WAL record when the server is durable. An append
+// failure (disk full, I/O error) is logged loudly and serving continues:
+// availability wins, and safety survives the degradation — the next
+// restart's epoch bump dominates any token whose grant record was lost.
+func (s *Server) logAppend(rec *durable.Record) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Append(rec); err != nil {
+		s.cfg.Logf("WAL append failed (durability degraded): %v", err)
+	}
+}
+
+// install finishes durable recovery: it durably bumps the epoch (fencing
+// every replayed hold — the shadow apply clears them and counts them
+// revoked+fenced), installs the post-bump state into the session table and
+// shards, and flips ready. It runs once, from Serve.
+func (s *Server) install() {
+	if gate := s.installGate; gate != nil {
+		<-gate
+	}
+	epoch, err := s.store.BumpEpoch()
+	if err != nil {
+		err = fmt.Errorf("lockd: recovery epoch bump: %w", err)
+		s.installErr.Store(&err)
+		s.cfg.Logf("%v", err)
+		s.Close() //nolint:errcheck // the install error is the one reported
+		return
+	}
+	st := s.store.State()
+	s.sessions.restore(st)
+	for i, sh := range s.shards {
+		if i < len(st.Shards) {
+			sh.restore(st.Shards[i])
+		}
+	}
+	s.epoch.Store(epoch)
+	s.ready.Store(true)
+	close(s.readyCh)
+	s.cfg.Logf("recovery complete: %d sessions restored, serving epoch %d", len(st.Sessions), epoch)
 }
 
 // Addr returns the bound listen address.
@@ -128,15 +244,25 @@ func (s *Server) shardFor(key string) *shard {
 	return s.shards[int(h.Sum32())%len(s.shards)]
 }
 
-// Serve runs the lease sweeper and the accept loop until Close. It
-// returns nil on a clean shutdown.
+// Serve runs the lease sweeper and the accept loop until Close. For a
+// durable server it also kicks off recovery install; until that finishes,
+// connections are accepted but every request is answered CodeRecovering.
+// It returns nil on a clean shutdown, or the install error if recovery
+// failed.
 func (s *Server) Serve() error {
+	if s.store != nil && !s.ready.Load() {
+		// Outside the WaitGroup: a gated install must not deadlock Close.
+		go s.install()
+	}
 	s.wg.Add(1)
 	go s.sweepLoop()
 	for {
 		c, err := s.ln.Accept()
 		if err != nil {
 			if s.closed.Load() {
+				if ep := s.installErr.Load(); ep != nil {
+					return *ep
+				}
 				return nil
 			}
 			return fmt.Errorf("lockd: accept: %w", err)
@@ -150,16 +276,28 @@ func (s *Server) Serve() error {
 }
 
 // sweepLoop periodically expires sessions whose lease lapsed, revoking
-// their holds and cancelling their queued waiters.
+// their holds and cancelling their queued waiters. The interval is
+// jittered ±25% per tick: after a restart every restored lease shares
+// roughly the same deadline, and a fixed-phase sweeper would revoke them
+// all in one burst — the jitter (and the per-session deadlines themselves)
+// smears that revocation storm across sweeps.
 func (s *Server) sweepLoop() {
 	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.SweepInterval)
-	defer t.Stop()
+	select {
+	case <-s.sweepStop:
+		return
+	case <-s.readyCh:
+		// No sweeping before recovery install: the table is empty until
+		// restore, and restored leases must get their full remaining TTL.
+	}
 	for {
+		d := time.Duration((0.75 + 0.5*rand.Float64()) * float64(s.cfg.SweepInterval))
+		timer := time.NewTimer(d)
 		select {
 		case <-s.sweepStop:
+			timer.Stop()
 			return
-		case now := <-t.C:
+		case now := <-timer.C:
 			for _, sess := range s.sessions.expire(now) {
 				s.revokeSession(sess, "lease expired")
 			}
@@ -168,8 +306,11 @@ func (s *Server) sweepLoop() {
 }
 
 // revokeSession tears down an expired session: queued waiters get
-// ErrRevoked, holds are released and their queues promoted.
+// ErrRevoked, holds are released and their queues promoted. The expire
+// record is logged first, so a crash mid-revocation replays as a
+// completed expiry rather than a half-revoked session.
 func (s *Server) revokeSession(sess *session, why string) {
+	s.logAppend(&durable.Record{Type: durable.RecExpire, Session: sess.id})
 	holds, waiters := sess.snapshotForRevoke()
 	for _, w := range waiters {
 		s.shardFor(w.ls.key).cancelWaiter(w, ErrRevoked)
@@ -240,10 +381,16 @@ func (s *Server) handleConn(c net.Conn) {
 	sc := wire.NewScanner(c)
 	var sess *session
 	for sc.Scan() {
-		var req wire.Request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			w.send(&wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: "malformed request"})
+		req, err := wire.DecodeRequest(sc.Bytes())
+		if err != nil {
+			w.send(&wire.Response{Code: wire.CodeBadRequest, Err: err.Error()})
 			return
+		}
+		if !s.ready.Load() {
+			// Recovery install still running: answer rather than hang, so
+			// the client backs off and retries instead of timing out.
+			w.send(&wire.Response{Seq: req.Seq, Code: wire.CodeRecovering, Err: "server recovering"})
+			continue
 		}
 		now := time.Now()
 		if sess == nil {
@@ -251,16 +398,42 @@ func (s *Server) handleConn(c net.Conn) {
 				w.send(&wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: "first request must be hello"})
 				return
 			}
+			if req.Session != "" {
+				if prev := s.sessions.lookup(req.Session); prev != nil {
+					if ok, logRenew := prev.renew(now); ok {
+						sess = prev
+						if logRenew {
+							s.logAppend(&durable.Record{Type: durable.RecRenew,
+								Session: sess.id, Expiry: sess.expiryUnixNano()})
+						}
+						w.send(&wire.Response{Seq: req.Seq, OK: true, Session: sess.id,
+							TTLMS: sess.ttl.Milliseconds(), Resumed: true,
+							MaxSeq: sess.seqHighWater(), Epoch: s.epoch.Load()})
+						continue
+					}
+				}
+				// Unknown or expired session: fall through to a fresh one;
+				// Resumed stays false so the client knows its old state
+				// (and seq numbering) is gone.
+			}
 			ttl := s.clampTTL(req.TTLMS)
 			sess = s.sessions.create(ttl, now)
-			w.send(&wire.Response{Seq: req.Seq, OK: true, Session: sess.id, TTLMS: ttl.Milliseconds()})
+			s.logAppend(&durable.Record{Type: durable.RecHello, Session: sess.id,
+				Slot: sess.slot, TTLMS: ttl.Milliseconds(), Expiry: sess.expiryUnixNano()})
+			w.send(&wire.Response{Seq: req.Seq, OK: true, Session: sess.id,
+				TTLMS: ttl.Milliseconds(), Epoch: s.epoch.Load()})
 			continue
 		}
-		if !sess.renew(now) {
+		ok, logRenew := sess.renew(now)
+		if !ok {
 			// The lease lapsed: every hold is gone; the client must
 			// reconnect under a fresh session and reacquire.
 			w.send(&wire.Response{Seq: req.Seq, Code: wire.CodeExpired, Err: "session lease expired"})
 			continue
+		}
+		if logRenew {
+			s.logAppend(&durable.Record{Type: durable.RecRenew,
+				Session: sess.id, Expiry: sess.expiryUnixNano()})
 		}
 		cached, drop, process := sess.begin(req.Seq)
 		if cached != nil {
@@ -279,10 +452,10 @@ func (s *Server) handleConn(c net.Conn) {
 			go func(req wire.Request) {
 				defer s.wg.Done()
 				s.dispatch(sess, &req, w)
-			}(req)
+			}(*req)
 			continue
 		}
-		s.dispatch(sess, &req, w)
+		s.dispatch(sess, req, w)
 	}
 	// Connection gone without bye: the session (and its holds) lives on
 	// until the lease expires — a killed client never wedges a lock, and
@@ -309,6 +482,16 @@ func (s *Server) dispatch(sess *session, req *wire.Request, w *connWriter) {
 		resp = &wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 	sess.finish(req.Seq, resp)
+	// Only acquire/release responses are made durable: they carry effects
+	// (grants, fencing tokens) that at-most-once must preserve across a
+	// restart. Heartbeats and stats are idempotent, and logging them would
+	// swamp the WAL.
+	if req.Op == wire.OpAcquire || req.Op == wire.OpRelease {
+		if b, err := json.Marshal(resp); err == nil {
+			s.logAppend(&durable.Record{Type: durable.RecResp,
+				Session: sess.id, Seq: req.Seq, Resp: b})
+		}
+	}
 	w.send(resp)
 }
 
@@ -341,6 +524,15 @@ func (s *Server) doRelease(sess *session, req *wire.Request) *wire.Response {
 	if err := validKeyMode(req); err != nil {
 		return &wire.Response{Seq: req.Seq, Code: wire.CodeBadRequest, Err: err.Error()}
 	}
+	// Fencing check: a release quoting a token from an earlier epoch refers
+	// to a hold that did not survive the restart — it was fenced during
+	// recovery. Tell the client so, in a typed way, so it surrenders the
+	// hold instead of treating the release as an ordinary failure.
+	if req.Passage != 0 && durable.TokenEpoch(req.Passage) < s.epoch.Load() {
+		err := fmt.Errorf("%w: token epoch %d, server epoch %d",
+			ErrEpochFenced, durable.TokenEpoch(req.Passage), s.epoch.Load())
+		return &wire.Response{Seq: req.Seq, Code: errCode(err), Err: err.Error()}
+	}
 	if err := s.shardFor(req.Key).release(sess, req.Key, req.Mode); err != nil {
 		return &wire.Response{Seq: req.Seq, Code: errCode(err), Err: err.Error()}
 	}
@@ -361,6 +553,7 @@ func (s *Server) finishBye(sess *session, seq uint64, w *connWriter) {
 		}
 	}
 	s.sessions.remove(sess)
+	s.logAppend(&durable.Record{Type: durable.RecBye, Session: sess.id})
 	w.send(&wire.Response{Seq: seq, OK: true})
 }
 
@@ -369,6 +562,7 @@ func (s *Server) Stats() wire.Stats {
 	st := wire.Stats{
 		Draining: s.draining.Load(),
 		Sessions: s.sessions.count(),
+		Epoch:    s.epoch.Load(),
 	}
 	for _, sh := range s.shards {
 		st.Shards = append(st.Shards, sh.snapshotStats())
@@ -414,7 +608,9 @@ func (s *Server) Drain(timeout time.Duration) []HoldInfo {
 }
 
 // Close stops the accept loop and the sweeper, closes every connection,
-// and waits for all handler goroutines.
+// and waits for all handler goroutines. A durable store gets a tidy
+// shutdown: final WAL sync plus a snapshot, so the next open replays from
+// a compact state.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
@@ -427,5 +623,40 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// Crash simulates kill -9 for recovery tests: the listener, connections,
+// and sweeper stop immediately — no drain, no final WAL sync, no
+// snapshot. Whatever the WAL already absorbed (every acknowledged
+// operation: appends happen before responses are sent) is what the next
+// open replays, which is exactly what a real SIGKILL leaves behind.
+func (s *Server) Crash() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.ln.Close() //nolint:errcheck // crash semantics
+	close(s.sweepStop)
+	if s.store != nil {
+		// Stop the store first so in-flight handlers cannot slip appends
+		// in after the "crash" instant.
+		s.store.Crash()
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	// Unblock queued acquires so their handler goroutines exit without
+	// waiting out their deadlines; the store is already down, so none of
+	// this teardown reaches the WAL (as with a real kill -9).
+	for _, sh := range s.shards {
+		sh.cancelAllWaiters(ErrDisconnected)
+	}
+	s.wg.Wait()
 }

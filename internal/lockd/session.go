@@ -3,9 +3,11 @@ package lockd
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"sync"
 	"time"
 
+	"repro/internal/lockd/durable"
 	"repro/internal/lockd/wire"
 )
 
@@ -47,20 +49,44 @@ type session struct {
 	// At-most-once bookkeeping: responses caches completed requests by
 	// seq so a retransmit is answered without re-executing; inflight
 	// tracks seqs still being processed so their retransmits are dropped.
+	// maxSeq is the highest seq ever begun — a resuming client continues
+	// its numbering above it, so a fresh request can never collide with a
+	// cached or in-flight seq from before the reconnect.
 	inflight  map[uint64]struct{}
 	responses map[uint64]*wire.Response
 	order     []uint64 // FIFO of cached seqs, for eviction
+	maxSeq    uint64
+
+	// durableExpiry is the lease deadline last written to the WAL; renew
+	// records are coalesced to one per TTL/4 of advance, so a replayed
+	// deadline is stale by at most a quarter lease.
+	durableExpiry time.Time
 }
 
 // renew extends the lease by its TTL; it fails once the session expired.
-func (s *session) renew(now time.Time) bool {
+// The second result asks the caller to append a durable renew record: it
+// fires when the deadline advanced at least TTL/4 past the last one
+// logged, bounding WAL traffic to four renew records per lease period no
+// matter how chatty the client is.
+func (s *session) renew(now time.Time) (ok, logRenew bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.expired {
-		return false
+		return false, false
 	}
 	s.expiry = now.Add(s.ttl)
-	return true
+	if s.expiry.Sub(s.durableExpiry) >= s.ttl/4 {
+		s.durableExpiry = s.expiry
+		return true, true
+	}
+	return true, false
+}
+
+// expiryUnixNano returns the current lease deadline for durable records.
+func (s *session) expiryUnixNano() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expiry.UnixNano()
 }
 
 // addHold records a hold; it fails if the session already expired (the
@@ -114,6 +140,9 @@ func (s *session) removeWaiter(w *waiter) {
 func (s *session) begin(seq uint64) (cached *wire.Response, drop, process bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if seq > s.maxSeq {
+		s.maxSeq = seq
+	}
 	if resp, ok := s.responses[seq]; ok {
 		return resp, false, false
 	}
@@ -122,6 +151,14 @@ func (s *session) begin(seq uint64) (cached *wire.Response, drop, process bool) 
 	}
 	s.inflight[seq] = struct{}{}
 	return nil, false, true
+}
+
+// seqHighWater returns the highest seq the session ever began (resume
+// handshake).
+func (s *session) seqHighWater() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSeq
 }
 
 // finish completes seq with resp, entering it into the bounded response
@@ -190,9 +227,55 @@ func (t *sessionTable) create(ttl time.Duration, now time.Time) *session {
 		inflight:  map[uint64]struct{}{},
 		responses: map[uint64]*wire.Response{},
 	}
+	s.durableExpiry = s.expiry
 	t.nextSlot++
 	t.byID[s.id] = s
 	return s
+}
+
+// lookup returns the live session with the given id, if any (hello
+// resume).
+func (t *sessionTable) lookup(id string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+// restore rebuilds the table from recovered durable state. Holds and
+// queued entries were already fenced by the epoch bump; what survives a
+// restart is the lease itself (with its persisted absolute expiry, so the
+// sweeper re-arms exactly where it left off), the fairness slot, and the
+// at-most-once response cache.
+func (t *sessionTable) restore(st *durable.State) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st.NextSlot > t.nextSlot {
+		t.nextSlot = st.NextSlot
+	}
+	for _, id := range st.SessionIDs() {
+		ss := st.Sessions[id]
+		s := &session{
+			id:        id,
+			slot:      ss.Slot,
+			ttl:       time.Duration(ss.TTLMS) * time.Millisecond,
+			expiry:    time.Unix(0, ss.Expiry),
+			holds:     map[holdKey]struct{}{},
+			waiters:   map[*waiter]struct{}{},
+			inflight:  map[uint64]struct{}{},
+			responses: map[uint64]*wire.Response{},
+			maxSeq:    ss.MaxSeq,
+		}
+		s.durableExpiry = s.expiry
+		for _, cr := range ss.Resps {
+			var resp wire.Response
+			if err := json.Unmarshal(cr.Resp, &resp); err != nil {
+				continue // an unreadable cached response degrades to re-execution
+			}
+			s.responses[cr.Seq] = &resp
+			s.order = append(s.order, cr.Seq)
+		}
+		t.byID[id] = s
+	}
 }
 
 // remove deletes a session (clean bye).

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fairness"
+	"repro/internal/lockd/durable"
 	"repro/internal/lockd/wire"
 	"repro/internal/memmodel"
 	"repro/internal/native"
@@ -62,8 +63,11 @@ type lockState struct {
 	// word is the lock's passage counter on the shard's native backend;
 	// write grants FetchAdd it, so every write passage carries a fencing
 	// token unique for the key (words are assigned by key hash and may be
-	// shared between keys, which preserves per-key uniqueness).
+	// shared between keys, which preserves per-key uniqueness). wordIdx
+	// is the word's index in the shard arena, recorded in WAL grant
+	// records so replay can restore the counter.
 	word    memmodel.Var
+	wordIdx int
 	readers map[*session]struct{}
 	writer  *session
 	queue   []*waiter
@@ -79,12 +83,18 @@ func (ls *lockState) holders() int {
 }
 
 // shardCounters aggregates a shard's lifetime statistics (under shard.mu).
+// The ledger-relevant subset (grants, releases, revocations, fencing) is
+// restored from durable state on recovery, so it is cumulative over the
+// life of a data directory; sheds and timeouts are volatile and reset on
+// restart.
 type shardCounters struct {
 	readGrants   uint64
 	writeGrants  uint64
 	releases     uint64
 	revoked      uint64
 	revokedWrite uint64
+	fenced       uint64
+	fencedWrite  uint64
 	sheds        uint64
 	timeouts     uint64
 }
@@ -95,6 +105,7 @@ type shardCounters struct {
 // interface the algorithm packages use.
 type shard struct {
 	srv *Server
+	idx int
 
 	mu    sync.Mutex
 	locks map[string]*lockState
@@ -109,11 +120,36 @@ func newShard(srv *Server, idx, nWords int) *shard {
 	b.Seal()
 	return &shard{
 		srv:   srv,
+		idx:   idx,
 		locks: map[string]*lockState{},
 		proc:  b.Proc(0),
 		words: words,
 	}
 }
+
+// restore installs recovered durable state: the per-word passage counters
+// (so post-restart counters continue above every replayed grant) and the
+// cumulative ledger counters.
+func (sh *shard) restore(ss *durable.ShardState) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, v := range ss.Words {
+		if i < len(sh.words) && v > 0 {
+			sh.proc.Write(sh.words[i], v)
+		}
+	}
+	c := ss.Counters
+	sh.stats.readGrants = c.ReadGrants
+	sh.stats.writeGrants = c.WriteGrants
+	sh.stats.releases = c.Releases
+	sh.stats.revoked = c.Revoked
+	sh.stats.revokedWrite = c.RevokedWrite
+	sh.stats.fenced = c.Fenced
+	sh.stats.fencedWrite = c.FencedWrite
+}
+
+// logAppend forwards one WAL record to the server's durable store.
+func (sh *shard) logAppend(rec *durable.Record) { sh.srv.logAppend(rec) }
 
 // lockStateLocked returns (creating if needed) the grant table for key.
 func (sh *shard) lockStateLocked(key string) *lockState {
@@ -121,9 +157,11 @@ func (sh *shard) lockStateLocked(key string) *lockState {
 	if ls == nil {
 		h := fnv.New32a()
 		h.Write([]byte(key))
+		wordIdx := int(h.Sum32()) % len(sh.words)
 		ls = &lockState{
 			key:     key,
-			word:    sh.words[int(h.Sum32())%len(sh.words)],
+			word:    sh.words[wordIdx],
+			wordIdx: wordIdx,
 			readers: map[*session]struct{}{},
 			mon:     fairness.NewLockedBypassMonitor(monReaderSlots+monWriterSlots, monReaderSlots),
 		}
@@ -145,17 +183,25 @@ func grantableLocked(ls *lockState, mode string) bool {
 	return ls.writer == nil
 }
 
-// grantLocked installs sess as a holder and returns the passage token.
-// The caller has already recorded the hold on the session.
+// grantLocked installs sess as a holder and returns the passage token,
+// folded with the server epoch (tokens from before a restart are strictly
+// dominated). Write grants advance the key's fencing counter and are
+// WAL-logged before the caller can send the response, so a token a client
+// observed always corresponds to a logged grant (per the fsync policy).
 func (sh *shard) grantLocked(ls *lockState, sess *session, mode string) uint64 {
+	var tok uint64
 	if mode == wire.ModeWrite {
 		ls.writer = sess
 		sh.stats.writeGrants++
-		return sh.proc.FetchAdd(ls.word, 1) + 1
+		tok = durable.MakeToken(sh.srv.epoch.Load(), sh.proc.FetchAdd(ls.word, 1)+1)
+	} else {
+		ls.readers[sess] = struct{}{}
+		sh.stats.readGrants++
+		tok = durable.MakeToken(sh.srv.epoch.Load(), sh.proc.Read(ls.word))
 	}
-	ls.readers[sess] = struct{}{}
-	sh.stats.readGrants++
-	return sh.proc.Read(ls.word)
+	sh.logAppend(&durable.Record{Type: durable.RecGrant, Session: sess.id,
+		Key: ls.key, Mode: mode, Shard: sh.idx, Word: ls.wordIdx, Token: tok})
+	return tok
 }
 
 // acquire is the full acquire path: instant grant, tryacquire failure,
@@ -202,6 +248,8 @@ func (sh *shard) acquire(sess *session, key, mode string, wait time.Duration) (u
 		return 0, ErrSessionExpired
 	}
 	ls.queue = append(ls.queue, w)
+	sh.logAppend(&durable.Record{Type: durable.RecEnqueue, Session: sess.id,
+		Key: ls.key, Mode: mode, Shard: sh.idx})
 	ls.mon.Observe(sectionEvent(monProc(mode, sess.slot), memmodel.SecEntry))
 	sh.mu.Unlock()
 
@@ -244,6 +292,8 @@ func (sh *shard) cancelWaiter(w *waiter, err error) bool {
 		}
 	}
 	w.sess.removeWaiter(w)
+	sh.logAppend(&durable.Record{Type: durable.RecDequeue, Session: w.sess.id,
+		Key: w.ls.key, Mode: w.mode, Shard: sh.idx})
 	// Close the monitor's open entry wait: the waiter leaves without
 	// entering the CS.
 	w.ls.mon.Observe(sectionEvent(monProc(w.mode, w.sess.slot), memmodel.SecRemainder))
@@ -271,6 +321,8 @@ func (sh *shard) promoteLocked(ls *lockState) {
 		ls.queue = ls.queue[1:]
 		w.delivered = true
 		w.sess.removeWaiter(w)
+		sh.logAppend(&durable.Record{Type: durable.RecDequeue, Session: w.sess.id,
+			Key: ls.key, Mode: w.mode, Shard: sh.idx})
 		if !w.sess.addHold(holdKey{ls.key, w.mode}) {
 			// The session expired (or double-holds) while queued: it can
 			// no longer receive the grant.
@@ -305,6 +357,8 @@ func (sh *shard) release(sess *session, key, mode string) error {
 	}
 	sess.removeHold(holdKey{key, mode})
 	sh.stats.releases++
+	sh.logAppend(&durable.Record{Type: durable.RecRelease, Session: sess.id,
+		Key: key, Mode: mode, Shard: sh.idx})
 	sh.promoteLocked(ls)
 	return nil
 }
@@ -393,6 +447,8 @@ func (sh *shard) snapshotStats() wire.ShardStats {
 		Releases:     sh.stats.releases,
 		Revoked:      sh.stats.revoked,
 		RevokedWrite: sh.stats.revokedWrite,
+		Fenced:       sh.stats.fenced,
+		FencedWrite:  sh.stats.fencedWrite,
 		Sheds:        sh.stats.sheds,
 		Timeouts:     sh.stats.timeouts,
 	}

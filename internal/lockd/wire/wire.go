@@ -48,6 +48,13 @@ const (
 	CodeDraining   = "draining"    // server is draining, no new acquires
 	CodeExpired    = "expired"     // session lease already expired
 	CodeBadRequest = "bad-request" // malformed or semantically invalid request
+	// CodeRecovering: the server is replaying its WAL after a restart and
+	// not yet serving; retry after a reconnect backoff.
+	CodeRecovering = "recovering"
+	// CodeEpochFenced: the request carried a fencing token minted under
+	// an earlier server epoch. The hold it refers to did not survive the
+	// restart — the client must surrender it and reacquire.
+	CodeEpochFenced = "epoch-fenced"
 )
 
 // Request is one client->server message.
@@ -68,6 +75,16 @@ type Request struct {
 	// TTLMS is the requested session lease TTL (hello only); the server
 	// clamps it to its configured bounds and returns the granted value.
 	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Session, on hello, asks to resume an existing session after a
+	// reconnect (its lease, holds, and response cache survive a server
+	// restart via the WAL). If the session is unknown or expired the
+	// server mints a fresh one; Response.Resumed says which happened.
+	Session string `json:"session,omitempty"`
+	// Passage, on release, is the hold's fencing token. A token minted
+	// under an earlier server epoch is answered with CodeEpochFenced:
+	// the hold was fenced out during restart recovery and the client
+	// must surrender it. Zero skips the check (legacy clients).
+	Passage uint64 `json:"passage,omitempty"`
 }
 
 // Response is one server->client message, matched to its request by Seq.
@@ -78,9 +95,18 @@ type Response struct {
 	// detail.
 	Code string `json:"code,omitempty"`
 	Err  string `json:"err,omitempty"`
-	// Session and TTLMS answer a hello.
+	// Session and TTLMS answer a hello. Resumed reports that the hello
+	// re-attached to the requested existing session; MaxSeq is then the
+	// highest request seq that session has ever begun — the client must
+	// continue its numbering above it so a stale cached response can
+	// never answer a fresh request.
 	Session string `json:"session,omitempty"`
 	TTLMS   int64  `json:"ttl_ms,omitempty"`
+	Resumed bool   `json:"resumed,omitempty"`
+	MaxSeq  uint64 `json:"max_seq,omitempty"`
+	// Epoch is the server epoch (hello and stats responses). It bumps on
+	// every restart; fencing tokens fold it into their high bits.
+	Epoch uint64 `json:"server_epoch,omitempty"`
 	// Passage is the fencing token of a granted acquire: for write grants
 	// it is unique and strictly increasing per key, so duplicated or
 	// replayed grants are detectable; for read grants it is the key's
@@ -92,9 +118,12 @@ type Response struct {
 
 // Stats is the server-state snapshot returned by OpStats.
 type Stats struct {
-	Draining bool         `json:"draining"`
-	Sessions int          `json:"sessions"`
-	Shards   []ShardStats `json:"shards"`
+	Draining bool `json:"draining"`
+	Sessions int  `json:"sessions"`
+	// Epoch is the server epoch (bumped on every restart of a durable
+	// server; always 1 for an in-memory server).
+	Epoch  uint64       `json:"epoch"`
+	Shards []ShardStats `json:"shards"`
 }
 
 // ShardStats aggregates one shard's counters and fairness readings.
@@ -106,10 +135,14 @@ type ShardStats struct {
 	ReadGrants  uint64 `json:"read_grants"`
 	WriteGrants uint64 `json:"write_grants"`
 	Releases    uint64 `json:"releases"`
-	// Revoked counts holds torn down by lease expiry; RevokedWrite is the
-	// write-mode subset (the passage-ledger term in rwload).
+	// Revoked counts holds torn down by lease expiry or restart fencing;
+	// RevokedWrite is the write-mode subset (the passage-ledger term in
+	// rwload). Fenced/FencedWrite are the restart-fencing subset of
+	// those: holds cleared because an epoch bump invalidated them.
 	Revoked      uint64 `json:"revoked"`
 	RevokedWrite uint64 `json:"revoked_write"`
+	Fenced       uint64 `json:"fenced"`
+	FencedWrite  uint64 `json:"fenced_write"`
 	Sheds        uint64 `json:"sheds"`
 	Timeouts     uint64 `json:"timeouts"`
 
@@ -144,4 +177,47 @@ func NewScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 4096), MaxLine)
 	return sc
+}
+
+// DecodeError reports a message that could not be parsed: truncated,
+// bit-flipped, or not JSON at all. Both protocol ends return it typed —
+// a malformed message is a protocol verdict, never a panic or a silent
+// zero-value misparse.
+type DecodeError struct {
+	// What is "request" or "response".
+	What string
+	Err  error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("wire: malformed %s: %v", e.What, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// DecodeRequest parses one request line. A request without an op is
+// rejected: it cannot be dispatched, and treating it as a zero-value
+// request would silently misparse garbage that happens to be valid JSON.
+func DecodeRequest(b []byte) (*Request, error) {
+	var req Request
+	if err := json.Unmarshal(b, &req); err != nil {
+		return nil, &DecodeError{What: "request", Err: err}
+	}
+	if req.Op == "" {
+		return nil, &DecodeError{What: "request", Err: fmt.Errorf("missing op")}
+	}
+	return &req, nil
+}
+
+// DecodeResponse parses one response line. A response with neither OK nor
+// a failure code is rejected for the same reason.
+func DecodeResponse(b []byte) (*Response, error) {
+	var resp Response
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, &DecodeError{What: "response", Err: err}
+	}
+	if !resp.OK && resp.Code == "" {
+		return nil, &DecodeError{What: "response", Err: fmt.Errorf("failure without code")}
+	}
+	return &resp, nil
 }
