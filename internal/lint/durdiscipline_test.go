@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestDurDiscipline(t *testing.T) {
+	findings := analysistest.Run(t, lint.DurDiscipline, "testdata/src/durdiscipline/a")
+	if want := 6; len(findings) != want {
+		t.Fatalf("findings = %d, want %d: %v", len(findings), want, findings)
+	}
+
+	// The holey Apply switch carries the panicking-default suggested fix.
+	sawFix := false
+	for _, f := range findings {
+		if strings.Contains(f.Diagnostic.Message, "drops record kinds") {
+			if len(f.Diagnostic.SuggestedFixes) != 1 {
+				t.Errorf("%s: no suggested fix", f)
+				continue
+			}
+			sawFix = true
+			text := string(f.Diagnostic.SuggestedFixes[0].TextEdits[0].NewText)
+			if !strings.Contains(text, "default:") || !strings.Contains(text, "panic(") {
+				t.Errorf("suggested fix is not a panicking default: %q", text)
+			}
+		}
+	}
+	if !sawFix {
+		t.Fatalf("no exhaustiveness finding with a fix in %v", findings)
+	}
+}
+
+func TestDurDisciplineIgnoreHatch(t *testing.T) {
+	sup := analysistest.Suppressed(t, lint.DurDiscipline, "testdata/src/durdiscipline/a")
+	if len(sup) != 1 {
+		t.Fatalf("suppressed = %d, want 1: %v", len(sup), sup)
+	}
+}

@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrDiscipline enforces the module's error-handling contract. The
+// service layer signals every protocol condition with a typed sentinel
+// (ErrTimeout, ErrEpochFenced, ErrRecovering, …) that crosses the wire
+// as a code and is rehydrated client-side; that round trip — and any
+// future wrapping with fmt.Errorf("%w") — only works if callers match
+// errors with errors.Is/errors.As, never identity or string forms:
+//
+//   - no == or != against a package-level error sentinel (any
+//     package's, including stdlib ones like io.EOF);
+//   - no switch over an error value with sentinel cases;
+//   - no matching on err.Error() text (comparison or strings.Contains
+//     and friends) — messages are documentation, not API;
+//   - every exported Err* variable and *Error type carries a doc
+//     comment, because a sentinel's meaning is its contract.
+//
+// The one legitimate home for identity comparison is inside an
+// `Is(error) bool` method — that is the hook errors.Is itself calls —
+// so those bodies are exempt.
+var ErrDiscipline = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc:  "sentinel errors are matched with errors.Is/As and documented, never compared by identity or message text",
+	Run:  runErrDiscipline,
+}
+
+func runErrDiscipline(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkErrDocs(pass, d)
+			case *ast.FuncDecl:
+				if d.Body == nil || isErrorsIsMethod(pass, d) {
+					continue
+				}
+				checkErrBody(pass, d.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isErrorsIsMethod reports whether fn is the errors.Is protocol hook:
+// a method named Is with signature func(error) bool.
+func isErrorsIsMethod(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Name.Name != "Is" || fn.Recv == nil {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isErrorType(sig.Params().At(0).Type()) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// checkErrBody walks one function body for identity comparisons,
+// error-valued switches, and message-text matching.
+func checkErrBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for i, side := range []ast.Expr{n.X, n.Y} {
+				v := sentinelVar(pass, side)
+				if v == nil {
+					continue
+				}
+				// Only error-against-error comparison is error *matching*;
+				// comparing a recover()'d any to a sentinel is panic-value
+				// identity, a different (and legitimate) protocol.
+				other := n.Y
+				if i == 1 {
+					other = n.X
+				}
+				if tv, ok := pass.TypesInfo.Types[other]; !ok || !(isErrorType(tv.Type) || implementsError(tv.Type)) {
+					continue
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(),
+					Message: fmt.Sprintf("error compared to sentinel %s with %s: use errors.Is(err, %s) so wrapped errors still match",
+						v.Name(), n.Op, v.Name()),
+				})
+				return true
+			}
+			if errorCallExpr(pass, n.X) || errorCallExpr(pass, n.Y) {
+				pass.Report(analysis.Diagnostic{
+					Pos:     n.Pos(),
+					Message: "error message text compared with " + n.Op.String() + ": messages are not API — match the typed sentinel with errors.Is/errors.As",
+				})
+			}
+		case *ast.SwitchStmt:
+			checkErrSwitch(pass, n)
+		case *ast.CallExpr:
+			checkStringsMatch(pass, n)
+		}
+		return true
+	})
+}
+
+// checkErrSwitch flags `switch err { case ErrFoo: }` — identity
+// matching in switch clothing.
+func checkErrSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range clause.List {
+			if v := sentinelVar(pass, expr); v != nil {
+				pass.Report(analysis.Diagnostic{
+					Pos: expr.Pos(),
+					Message: fmt.Sprintf("switch over an error matches sentinel %s by identity: rewrite as if/else with errors.Is so wrapped errors still match",
+						v.Name()),
+				})
+			}
+		}
+	}
+}
+
+// checkStringsMatch flags strings.Contains/HasPrefix/... fed from
+// err.Error().
+func checkStringsMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgID, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "strings" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && errorCallExpr(pass, e) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			pass.Report(analysis.Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf("strings.%s over err.Error() text: messages are not API — match the typed sentinel with errors.Is/errors.As",
+					sel.Sel.Name),
+			})
+			return
+		}
+	}
+}
+
+// sentinelVar resolves an expression to a package-level error variable
+// (a sentinel), or nil.
+func sentinelVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if isErrorType(v.Type()) || (implementsError(v.Type()) && strings.HasPrefix(v.Name(), "Err")) {
+		return v
+	}
+	return nil
+}
+
+// errorCallExpr reports whether e is a call of an Error() string method
+// (the error interface's method, on any implementing type).
+func errorCallExpr(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && sig.Params().Len() == 0 &&
+		sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), types.Typ[types.String])
+}
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// implementsError reports whether t (or *t) satisfies the error
+// interface.
+func implementsError(t types.Type) bool {
+	iface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), iface)
+}
+
+// checkErrDocs enforces the doc-comment rule on exported sentinels and
+// error types.
+func checkErrDocs(pass *analysis.Pass, decl *ast.GenDecl) {
+	switch decl.Tok {
+	case token.VAR:
+		for _, spec := range decl.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			// Only a preceding doc comment counts (the godoc convention);
+			// a trailing remark is not where a contract lives.
+			if vs.Doc != nil || (len(decl.Specs) == 1 && decl.Doc != nil) {
+				continue
+			}
+			for _, name := range vs.Names {
+				if !name.IsExported() || !strings.HasPrefix(name.Name, "Err") {
+					continue
+				}
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && (isErrorType(v.Type()) || implementsError(v.Type())) {
+					pass.Report(analysis.Diagnostic{
+						Pos:     name.Pos(),
+						Message: fmt.Sprintf("exported sentinel %s has no doc comment: a sentinel's meaning is its contract — say when callers will see it", name.Name),
+					})
+				}
+			}
+		}
+	case token.TYPE:
+		for _, spec := range decl.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if !ts.Name.IsExported() || !strings.HasSuffix(ts.Name.Name, "Error") {
+				continue
+			}
+			if ts.Doc == nil && (len(decl.Specs) != 1 || decl.Doc == nil) {
+				pass.Report(analysis.Diagnostic{
+					Pos:     ts.Name.Pos(),
+					Message: fmt.Sprintf("exported error type %s has no doc comment: say what condition it reports and what fields carry", ts.Name.Name),
+				})
+			}
+		}
+	}
+}

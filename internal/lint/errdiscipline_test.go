@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestErrDiscipline(t *testing.T) {
+	findings := analysistest.Run(t, lint.ErrDiscipline, "testdata/src/errdiscipline/a")
+	if want := 8; len(findings) != want {
+		t.Fatalf("findings = %d, want %d: %v", len(findings), want, findings)
+	}
+}
+
+func TestErrDisciplineIgnoreHatch(t *testing.T) {
+	sup := analysistest.Suppressed(t, lint.ErrDiscipline, "testdata/src/errdiscipline/a")
+	if len(sup) != 1 {
+		t.Fatalf("suppressed = %d, want 1: %v", len(sup), sup)
+	}
+}

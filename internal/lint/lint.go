@@ -6,7 +6,7 @@
 // write-through/write-back coherence model, and the crash/stall fault
 // sweeps, without failing a single functional test.
 //
-// Four analyzers guard the invariant:
+// Seven analyzers guard the invariants. Four cover the simulator side:
 //
 //   - memdiscipline: algorithm packages may not mutate Go-heap state
 //     shared across simulated processes (struct fields, field-held
@@ -18,6 +18,20 @@
 //     Proc.Await, or local-spin vs RMR classification is distorted.
 //   - verdictswitch: switches over memmodel.Recovery and
 //     memmodel.Section must be exhaustive.
+//
+// Three cover the lock service (internal/lockd and its durability
+// layer), whose crash-recovery guarantees are exactly as strong as the
+// discipline of its mutex-guarded state transitions and WAL protocol:
+//
+//   - lockguard: struct fields annotated //rwguard:<mu> may only be
+//     read or written while their mutex is held (or under a declared
+//     //rwguard:holds caller-holds contract).
+//   - durdiscipline: every WAL record kind is handled by State.Apply,
+//     durable shadow state mutates only under Apply, and the
+//     snapshot/truncate ordering helpers stay inside the Store.
+//   - errdiscipline: typed sentinel errors are compared with
+//     errors.Is/As (never == or string matching), and every exported
+//     Err*/​*Error declaration carries a doc comment.
 //
 // Deliberate exceptions are annotated in the source:
 //
@@ -58,7 +72,10 @@ var AlgorithmPackages = map[string]bool{
 
 // Analyzers returns the full rwlint suite.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MemDiscipline, PurePred, SpinLoop, VerdictSwitch}
+	return []*analysis.Analyzer{
+		MemDiscipline, PurePred, SpinLoop, VerdictSwitch,
+		LockGuard, DurDiscipline, ErrDiscipline,
+	}
 }
 
 // DefaultScope reports whether analyzer a applies to the package at
@@ -95,24 +112,44 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Diagnostic.Message)
 }
 
+// Options configures a Run beyond the analyzer list and scope.
+type Options struct {
+	// Scope decides which analyzers apply to which package path; nil runs
+	// everything everywhere (what fixture tests want).
+	Scope func(*analysis.Analyzer, string) bool
+	// StrictIgnores reports every well-formed rwlint:ignore directive
+	// that suppressed nothing, provided at least one analyzer it names
+	// actually ran on the package — a dead suppression is a latent
+	// review bypass waiting for the code around it to change.
+	StrictIgnores bool
+}
+
 // Run applies the analyzers to every package, using scope to decide
 // which analyzers apply where (nil runs everything everywhere, which is
 // what fixture tests want). Suppressed findings are returned too, marked,
 // so callers can count them; directive syntax errors surface as findings
 // attributed to the pseudo-analyzer "rwlint".
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, scope func(*analysis.Analyzer, string) bool) ([]Finding, error) {
+	return RunOpts(pkgs, analyzers, Options{Scope: scope})
+}
+
+// RunOpts is Run with full Options.
+func RunOpts(pkgs []*load.Package, analyzers []*analysis.Analyzer, opts Options) ([]Finding, error) {
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	scope := opts.Scope
 	var findings []Finding
 	for _, pkg := range pkgs {
 		dirs, bad := collectDirectives(pkg, known)
 		findings = append(findings, bad...)
+		ran := make(map[string]bool)
 		for _, a := range analyzers {
 			if scope != nil && !scope(a, pkg.PkgPath) {
 				continue
 			}
+			ran[a.Name] = true
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -133,6 +170,9 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, scope func(*analy
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
+		if opts.StrictIgnores {
+			findings = append(findings, dirs.unused(ran)...)
+		}
 	}
 	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -151,21 +191,58 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, scope func(*analy
 type directive struct {
 	analyzers map[string]bool
 	reason    string
+	pos       token.Position
+	used      bool
 }
 
 // directiveIndex locates directives by file and line.
-type directiveIndex map[string]map[int]directive
+type directiveIndex map[string]map[int]*directive
 
 // match reports whether a directive for analyzer covers a diagnostic at
-// pos: same line, or the line immediately above.
-func (idx directiveIndex) match(analyzer string, pos token.Position) (directive, bool) {
+// pos: same line, or the line immediately above. Matching marks the
+// directive used for -strict-ignores accounting.
+func (idx directiveIndex) match(analyzer string, pos token.Position) (*directive, bool) {
 	lines := idx[pos.Filename]
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		if d, ok := lines[line]; ok && d.analyzers[analyzer] {
+			d.used = true
 			return d, true
 		}
 	}
-	return directive{}, false
+	return nil, false
+}
+
+// unused returns a finding for every directive that suppressed nothing,
+// restricted to directives naming at least one analyzer that actually
+// ran on the package (ran is the set of in-scope analyzer names) — a
+// directive for an out-of-scope analyzer is not evidence of staleness.
+func (idx directiveIndex) unused(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, lines := range idx {
+		for _, d := range lines {
+			if d.used {
+				continue
+			}
+			relevant := false
+			for n := range d.analyzers {
+				if ran[n] {
+					relevant = true
+					break
+				}
+			}
+			if !relevant {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "rwlint",
+				Pos:      d.pos,
+				Diagnostic: analysis.Diagnostic{Message: fmt.Sprintf(
+					"rwlint:ignore directive suppresses nothing (analyzers %s reported no finding here): delete it or re-justify it",
+					strings.Join(sortedNames(d.analyzers), ", "))},
+			})
+		}
+	}
+	return out
 }
 
 // collectDirectives scans a package's comments for rwlint:ignore
@@ -194,7 +271,7 @@ func collectDirectives(pkg *load.Package, known map[string]bool) (directiveIndex
 					continue
 				}
 				names := strings.Split(fields[0], ",")
-				d := directive{analyzers: make(map[string]bool), reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))}
+				d := &directive{analyzers: make(map[string]bool), reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))}
 				valid := true
 				for _, n := range names {
 					if !known[n] {
@@ -212,8 +289,9 @@ func collectDirectives(pkg *load.Package, known map[string]bool) (directiveIndex
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				d.pos = pos
 				if idx[pos.Filename] == nil {
-					idx[pos.Filename] = make(map[int]directive)
+					idx[pos.Filename] = make(map[int]*directive)
 				}
 				idx[pos.Filename][pos.Line] = d
 			}
@@ -224,8 +302,13 @@ func collectDirectives(pkg *load.Package, known map[string]bool) (directiveIndex
 
 // knownNames returns the sorted analyzer names for error messages.
 func knownNames(known map[string]bool) []string {
-	names := make([]string, 0, len(known))
-	for n := range known {
+	return sortedNames(known)
+}
+
+// sortedNames returns a set's keys in sorted order.
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -48,6 +48,55 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
+// TestStrictIgnores drives RunOpts over the strictignores fixture: the
+// live directive keeps suppressing, the dead one becomes a driver
+// finding — but only when StrictIgnores is on, and only because spinloop
+// (the analyzer it names) actually ran there.
+func TestStrictIgnores(t *testing.T) {
+	loader, err := load.NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("testdata/src/strictignores/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	findings, err := lint.RunOpts(pkgs, []*analysis.Analyzer{lint.SpinLoop},
+		lint.Options{StrictIgnores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dead, suppressed int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "rwlint" && strings.Contains(f.Diagnostic.Message, "suppresses nothing"):
+			dead++
+			if !strings.Contains(f.Diagnostic.Message, "spinloop") {
+				t.Errorf("dead-directive finding does not name its analyzer: %v", f)
+			}
+		case f.Suppressed:
+			suppressed++
+		}
+	}
+	if dead != 1 || suppressed != 1 {
+		t.Errorf("dead=%d suppressed=%d, want 1/1\nall: %v", dead, suppressed, findings)
+	}
+
+	// A directive is only dead relative to analyzers that ran: scope the
+	// run so spinloop is excluded and both directives must go unflagged.
+	findings, err = lint.RunOpts(pkgs, []*analysis.Analyzer{lint.PurePred},
+		lint.Options{StrictIgnores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "rwlint" {
+			t.Errorf("directive flagged although spinloop never ran: %v", f)
+		}
+	}
+}
+
 // TestDefaultScope pins which analyzers run where.
 func TestDefaultScope(t *testing.T) {
 	cases := []struct {
@@ -62,6 +111,15 @@ func TestDefaultScope(t *testing.T) {
 		{lint.SpinLoop, "repro/internal/spec", false},
 		{lint.PurePred, "repro/internal/sim", true},
 		{lint.VerdictSwitch, "repro/internal/experiments", true},
+		// The service-layer analyzers are module-wide: the annotations and
+		// durable state types localize them naturally, and helper misuse
+		// from ANY package must be visible.
+		{lint.LockGuard, "repro/internal/lockd", true},
+		{lint.LockGuard, "repro/internal/lockd/durable", true},
+		{lint.DurDiscipline, "repro/internal/lockd/durable", true},
+		{lint.DurDiscipline, "repro/internal/lockd", true},
+		{lint.ErrDiscipline, "repro/internal/lockd", true},
+		{lint.ErrDiscipline, "repro/internal/sim", true},
 	}
 	for _, c := range cases {
 		if got := lint.DefaultScope(c.a, c.path); got != c.want {
@@ -77,7 +135,10 @@ func TestSuiteRegistry(t *testing.T) {
 	for _, a := range lint.Analyzers() {
 		names = append(names, a.Name)
 	}
-	want := []string{"memdiscipline", "purepred", "spinloop", "verdictswitch"}
+	want := []string{
+		"memdiscipline", "purepred", "spinloop", "verdictswitch",
+		"lockguard", "durdiscipline", "errdiscipline",
+	}
 	if strings.Join(names, " ") != strings.Join(want, " ") {
 		t.Errorf("suite = %v, want %v", names, want)
 	}

@@ -1,0 +1,823 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockGuard enforces annotation-declared mutex guarding: a struct field
+// carrying a //rwguard:<mu> directive may only be read or written while
+// <mu> is held. The directive names either a sibling sync.Mutex or
+// sync.RWMutex field of the same struct (`//rwguard:mu`) or, for state
+// owned by another struct in the same package, a type-qualified guard
+// (`//rwguard:shard.mu` — the mu field of type shard). Functions whose
+// contract is "caller must hold the lock" declare it with
+// `//rwguard:holds <mu>` on the declaration; the analyzer then seeds
+// the function body with the lock held and checks every call site.
+//
+// The checker is a per-function abstract interpreter over the held-lock
+// set: Lock/RLock add a hold (exclusive/shared), Unlock/RUnlock remove
+// it, and `defer mu.Unlock()` leaves the hold in place to the end of
+// the function. Branches that terminate (return/panic) do not merge
+// back; surviving branches merge by intersection, so a guard counts as
+// held after a conditional only if every live path holds it. Writes
+// require the exclusive lock; reads accept a shared (RLock) hold.
+//
+// Holds are matched per mutex *field* (type-based), not per instance:
+// locking a.mu satisfies accesses through b when a and b are the same
+// struct type. That imprecision is deliberate — instance aliasing is
+// undecidable statically, and in practice a method touches the one
+// instance it locked. Two escapes exist for the honest exceptions:
+// locals freshly built from a composite literal (construction before
+// publication needs no lock), and //rwlint:ignore lockguard with a
+// reason.
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "reads/writes of //rwguard-annotated fields must hold the declared mutex",
+	Run:  runLockGuard,
+}
+
+// holdShared and holdExclusive grade a held guard: RLock grants shared
+// (reads only), Lock grants exclusive.
+const (
+	holdShared    = 1
+	holdExclusive = 2
+)
+
+// guardInfo is the annotation table collected from one package's syntax.
+type guardInfo struct {
+	// guards maps a guarded struct field to the mutex field protecting it.
+	guards map[*types.Var]*types.Var
+	// holds maps a function to the mutexes its callers must hold.
+	holds map[*types.Func][]*types.Var
+	// names renders a mutex field for diagnostics ("shard.mu").
+	names map[*types.Var]string
+}
+
+func (gi *guardInfo) name(mu *types.Var) string {
+	if n, ok := gi.names[mu]; ok {
+		return n
+	}
+	return mu.Name()
+}
+
+func runLockGuard(pass *analysis.Pass) (any, error) {
+	gi := collectGuards(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &lgChecker{pass: pass, gi: gi, reported: make(map[token.Pos]bool)}
+			st := holdSet{}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				for _, mu := range gi.holds[obj] {
+					st[mu] = holdExclusive
+				}
+			}
+			c.checkFunc(fn.Body, st)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards parses every //rwguard directive in the package:
+// field guards, function holds-contracts, and (reported as diagnostics)
+// malformed or misplaced ones.
+func collectGuards(pass *analysis.Pass) *guardInfo {
+	gi := &guardInfo{
+		guards: make(map[*types.Var]*types.Var),
+		holds:  make(map[*types.Func][]*types.Var),
+		names:  make(map[*types.Var]string),
+	}
+	consumed := make(map[*ast.Comment]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectFieldGuards(pass, gi, ts, st, consumed)
+				}
+			case *ast.FuncDecl:
+				collectHolds(pass, gi, d, consumed)
+			}
+		}
+		// Any rwguard comment not consumed above is attached to nothing
+		// the analyzer understands — likely a typo in placement.
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if strings.HasPrefix(c.Text, "//rwguard:") && !consumed[c] {
+					pass.Report(analysis.Diagnostic{Pos: c.Pos(), Message: "misplaced //rwguard directive: attach //rwguard:<mu> to a struct field and //rwguard:holds <mu> to a func declaration"})
+				}
+			}
+		}
+	}
+	return gi
+}
+
+// collectFieldGuards records //rwguard:<mu> directives on the fields of
+// one struct type.
+func collectFieldGuards(pass *analysis.Pass, gi *guardInfo, ts *ast.TypeSpec, st *ast.StructType, consumed map[*ast.Comment]bool) {
+	structType := structOf(pass, ts)
+	for _, field := range st.Fields.List {
+		for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if group == nil {
+				continue
+			}
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//rwguard:")
+				if !ok {
+					continue
+				}
+				consumed[c] = true
+				// The reference is the first token; anything after it is
+				// prose ("//rwguard:mu also covers the queue links").
+				parts := strings.Fields(rest)
+				if len(parts) == 0 {
+					pass.Report(analysis.Diagnostic{Pos: c.Pos(), Message: "empty //rwguard directive: name the guarding mutex field, //rwguard:<mu>"})
+					continue
+				}
+				ref := parts[0]
+				if ref == "holds" {
+					pass.Report(analysis.Diagnostic{Pos: c.Pos(), Message: "//rwguard:holds belongs on a func declaration, not a struct field; a field takes //rwguard:<mu>"})
+					continue
+				}
+				mu, display, err := resolveGuardRef(pass, ref, structType, ts.Name.Name)
+				if err != "" {
+					pass.Report(analysis.Diagnostic{Pos: c.Pos(), Message: err})
+					continue
+				}
+				gi.names[mu] = display
+				if len(field.Names) == 0 {
+					pass.Report(analysis.Diagnostic{Pos: c.Pos(), Message: "//rwguard on an embedded field is not supported; name the field"})
+					continue
+				}
+				for _, name := range field.Names {
+					if fv, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						gi.guards[fv] = mu
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectHolds records a //rwguard:holds <mu> contract from a func
+// declaration's doc comment.
+func collectHolds(pass *analysis.Pass, gi *guardInfo, fn *ast.FuncDecl, consumed map[*ast.Comment]bool) {
+	if fn.Doc == nil {
+		return
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//rwguard:")
+		if !ok {
+			continue
+		}
+		consumed[c] = true
+		fields := strings.Fields(rest)
+		if len(fields) < 2 || fields[0] != "holds" {
+			pass.Report(analysis.Diagnostic{Pos: c.Pos(), Message: "malformed //rwguard directive on a func: use //rwguard:holds <mu> (one guard per directive line)"})
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		var recvStruct *types.Struct
+		var recvName string
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := derefNamed(sig.Recv().Type()); ok {
+				recvName = named.Obj().Name()
+				recvStruct, _ = named.Underlying().(*types.Struct)
+			}
+		}
+		mu, display, err := resolveGuardRef(pass, fields[1], recvStruct, recvName)
+		if err != "" {
+			pass.Report(analysis.Diagnostic{Pos: c.Pos(), Message: err})
+			continue
+		}
+		gi.names[mu] = display
+		gi.holds[obj] = append(gi.holds[obj], mu)
+	}
+}
+
+// resolveGuardRef resolves a guard reference — "mu" against the
+// enclosing struct, or "Type.mu" against a struct type in the package
+// scope — to the mutex field it names plus a display name. The third
+// result is a non-empty diagnostic message on failure.
+func resolveGuardRef(pass *analysis.Pass, ref string, enclosing *types.Struct, enclosingName string) (*types.Var, string, string) {
+	typeName, fieldName, qualified := strings.Cut(ref, ".")
+	if !qualified {
+		fieldName = ref
+		if enclosing == nil {
+			return nil, "", fmt.Sprintf("//rwguard:%s cannot resolve a bare guard name here; qualify it as Type.%s", ref, ref)
+		}
+		if mu := mutexField(enclosing, fieldName); mu != nil {
+			return mu, enclosingName + "." + fieldName, ""
+		}
+		return nil, "", fmt.Sprintf("//rwguard:%s: struct %s has no sync.Mutex/sync.RWMutex field named %q", ref, enclosingName, fieldName)
+	}
+	obj := pass.Pkg.Scope().Lookup(typeName)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, "", fmt.Sprintf("//rwguard:%s: no type %q in package %s", ref, typeName, pass.Pkg.Name())
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, "", fmt.Sprintf("//rwguard:%s: %s is not a struct type", ref, typeName)
+	}
+	if mu := mutexField(st, fieldName); mu != nil {
+		return mu, ref, ""
+	}
+	return nil, "", fmt.Sprintf("//rwguard:%s: struct %s has no sync.Mutex/sync.RWMutex field named %q", ref, typeName, fieldName)
+}
+
+// mutexField returns the named field of st if it exists and has mutex
+// type.
+func mutexField(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name && mutexKind(f.Type()) != 0 {
+			return f
+		}
+	}
+	return nil
+}
+
+// mutexKind classifies t: 0 not a mutex, holdShared-capable RWMutex, or
+// plain Mutex (exclusive-only). Both map to "lockable"; the distinction
+// only matters for which methods exist.
+func mutexKind(t types.Type) int {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return 0
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return 1
+	case "RWMutex":
+		return 2
+	}
+	return 0
+}
+
+// structOf resolves a TypeSpec to its *types.Struct, also registering
+// display names for its mutex fields.
+func structOf(pass *analysis.Pass, ts *ast.TypeSpec) *types.Struct {
+	tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, _ := tn.Type().Underlying().(*types.Struct)
+	return st
+}
+
+// derefNamed unwraps pointers to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// holdSet maps held mutex fields to the strength of the hold.
+type holdSet map[*types.Var]int
+
+func (h holdSet) clone() holdSet {
+	out := make(holdSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectHolds keeps a guard only if both paths hold it, at the
+// weaker of the two strengths.
+func intersectHolds(a, b holdSet) holdSet {
+	out := holdSet{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				out[k] = vb
+			} else {
+				out[k] = va
+			}
+		}
+	}
+	return out
+}
+
+// lgChecker runs the abstract interpretation for one function body.
+type lgChecker struct {
+	pass     *analysis.Pass
+	gi       *guardInfo
+	fresh    map[types.Object]bool
+	silent   bool
+	reported map[token.Pos]bool
+}
+
+// checkFunc interprets one function (or function literal) body with the
+// given entry hold set. Each body gets its own fresh-local table:
+// a local that escaped into a closure is no longer provably private.
+func (c *lgChecker) checkFunc(body *ast.BlockStmt, st holdSet) {
+	savedFresh := c.fresh
+	c.fresh = make(map[types.Object]bool)
+	c.stmts(body.List, st)
+	c.fresh = savedFresh
+}
+
+func (c *lgChecker) report(pos token.Pos, format string, args ...any) {
+	if c.silent || c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// stmts interprets a statement list, returning the exit hold set and
+// whether every path through the list terminates (return/panic).
+func (c *lgChecker) stmts(list []ast.Stmt, st holdSet) (holdSet, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = c.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *lgChecker) stmt(s ast.Stmt, st holdSet) (holdSet, bool) {
+	switch s := s.(type) {
+	case nil:
+		return st, false
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, st, false)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return st, true
+			}
+		}
+		return st, false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.scanExpr(rhs, st, false)
+		}
+		if s.Tok == token.DEFINE && len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && isFreshInit(s.Rhs[i]) {
+					if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+						c.fresh[obj] = true
+					}
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); ok && s.Tok == token.DEFINE {
+				continue
+			}
+			c.scanExpr(lhs, st, true)
+		}
+		return st, false
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st, true)
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					c.scanExpr(v, st, false)
+				}
+				// `var x T` (zero value) and `var x = T{...}` both
+				// construct privately.
+				for i, name := range vs.Names {
+					freshDecl := len(vs.Values) == 0 || (i < len(vs.Values) && isFreshInit(vs.Values[i]))
+					if freshDecl {
+						if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+							c.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, st, false)
+		c.scanExpr(s.Value, st, false)
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanExpr(r, st, false)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; treating them as
+		// terminating keeps their (possibly lock-holding) state out of
+		// the merge. Conservative: a break-carried hold is dropped.
+		return st, true
+	case *ast.DeferStmt:
+		c.deferOrGo(s.Call, st, true)
+		return st, false
+	case *ast.GoStmt:
+		c.deferOrGo(s.Call, st, false)
+		return st, false
+	case *ast.BlockStmt:
+		return c.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.scanExpr(s.Cond, st, false)
+		thenSt, thenTerm := c.stmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = c.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return intersectHolds(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		merged := c.loopFixpoint(st, func(entry holdSet) holdSet {
+			if s.Cond != nil {
+				c.scanExpr(s.Cond, entry, false)
+			}
+			out, _ := c.stmts(s.Body.List, entry)
+			if s.Post != nil {
+				out, _ = c.stmt(s.Post, out)
+			}
+			return out
+		})
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, merged, false)
+		}
+		exit, _ := c.stmts(s.Body.List, merged.clone())
+		if s.Post != nil {
+			exit, _ = c.stmt(s.Post, exit)
+		}
+		return intersectHolds(merged, exit), false
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st, false)
+		if s.Tok == token.ASSIGN {
+			if s.Key != nil {
+				c.scanExpr(s.Key, st, true)
+			}
+			if s.Value != nil {
+				c.scanExpr(s.Value, st, true)
+			}
+		}
+		merged := c.loopFixpoint(st, func(entry holdSet) holdSet {
+			out, _ := c.stmts(s.Body.List, entry)
+			return out
+		})
+		exit, _ := c.stmts(s.Body.List, merged.clone())
+		return intersectHolds(merged, exit), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, st, false)
+		}
+		return c.clauses(s.Body.List, st, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		st, _ = c.stmt(s.Assign, st)
+		return c.clauses(s.Body.List, st, false)
+	case *ast.SelectStmt:
+		return c.clauses(s.Body.List, st, true)
+	default:
+		return st, false
+	}
+}
+
+// loopFixpoint computes a hold set valid at the top of every loop
+// iteration: the intersection of the entry state with the body's exit
+// state, iterated (silently) to a fixed point. Holds only shrink, so
+// this converges in at most len(entry) rounds; three passes cover every
+// real body in this module with margin.
+func (c *lgChecker) loopFixpoint(entry holdSet, body func(holdSet) holdSet) holdSet {
+	saved := c.silent
+	c.silent = true
+	merged := entry.clone()
+	for i := 0; i < 3; i++ {
+		exit := body(merged.clone())
+		next := intersectHolds(merged, exit)
+		if len(next) == len(merged) {
+			merged = next
+			break
+		}
+		merged = next
+	}
+	c.silent = saved
+	return merged
+}
+
+// clauses interprets switch/select clause bodies from a common entry
+// state and merges the survivors. isSelect: every select clause is a
+// CommClause whose comm statement runs before its body; a switch with
+// no default can fall through untouched.
+func (c *lgChecker) clauses(list []ast.Stmt, st holdSet, isSelect bool) (holdSet, bool) {
+	var exits []holdSet
+	hasDefault := false
+	anyClause := false
+	for _, cl := range list {
+		anyClause = true
+		var body []ast.Stmt
+		entry := st.clone()
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.scanExpr(e, entry, false)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				entry, _ = c.stmt(cl.Comm, entry)
+			}
+			body = cl.Body
+		}
+		exit, term := c.stmts(body, entry)
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	exhaustive := isSelect || hasDefault
+	if !exhaustive {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		// Every clause terminated and the statement always takes one.
+		return st, anyClause && exhaustive
+	}
+	merged := exits[0]
+	for _, e := range exits[1:] {
+		merged = intersectHolds(merged, e)
+	}
+	return merged, false
+}
+
+// deferOrGo handles `defer call` / `go call`. A deferred Unlock keeps
+// the hold live to function end (the dominant idiom), so it is a
+// no-op on the state; a function literal runs later in an unknown lock
+// context, so its body is checked from an empty hold set.
+func (c *lgChecker) deferOrGo(call *ast.CallExpr, st holdSet, isDefer bool) {
+	if mu, _, ok := c.mutexEvent(call); ok && mu != nil {
+		return // defer mu.Unlock() — hold persists; defer mu.Lock() is nonsense we leave alone
+	}
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		c.checkFunc(lit.Body, holdSet{})
+		for _, a := range call.Args {
+			c.scanExpr(a, st, false)
+		}
+		return
+	}
+	for _, a := range call.Args {
+		c.scanExpr(a, st, false)
+	}
+	c.scanExpr(call.Fun, st, false)
+}
+
+// mutexEvent recognizes base.mu.Lock()/Unlock()/RLock()/RUnlock()
+// where mu is a struct mutex field, returning the field and the method
+// name.
+func (c *lgChecker) mutexEvent(call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	inner, ok := unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fs, ok := c.pass.TypesInfo.Selections[inner]
+	if !ok || fs.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	fv, ok := fs.Obj().(*types.Var)
+	if !ok || mutexKind(fv.Type()) == 0 {
+		return nil, "", false
+	}
+	return fv, sel.Sel.Name, true
+}
+
+// scanExpr walks an expression, applying lock events, checking guarded
+// field accesses (wr marks a write context that propagates down
+// selector/index/star chains), enforcing holds-contracts at call
+// sites, and descending into function literals with a fresh context.
+func (c *lgChecker) scanExpr(e ast.Expr, st holdSet, wr bool) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.ParenExpr:
+		c.scanExpr(e.X, st, wr)
+	case *ast.Ident:
+		return
+	case *ast.SelectorExpr:
+		c.checkAccess(e, st, wr)
+		c.scanExpr(e.X, st, wr)
+	case *ast.IndexExpr:
+		c.scanExpr(e.X, st, wr)
+		c.scanExpr(e.Index, st, false)
+	case *ast.SliceExpr:
+		c.scanExpr(e.X, st, wr)
+		c.scanExpr(e.Low, st, false)
+		c.scanExpr(e.High, st, false)
+		c.scanExpr(e.Max, st, false)
+	case *ast.StarExpr:
+		c.scanExpr(e.X, st, wr)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// Taking the address lets the value escape the lock's
+			// protection; require the write-grade hold.
+			c.scanExpr(e.X, st, true)
+			return
+		}
+		c.scanExpr(e.X, st, false)
+	case *ast.BinaryExpr:
+		c.scanExpr(e.X, st, false)
+		c.scanExpr(e.Y, st, false)
+	case *ast.KeyValueExpr:
+		c.scanExpr(e.Key, st, false)
+		c.scanExpr(e.Value, st, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.scanExpr(el, st, false)
+		}
+	case *ast.TypeAssertExpr:
+		c.scanExpr(e.X, st, false)
+	case *ast.FuncLit:
+		c.checkFunc(e.Body, holdSet{})
+	case *ast.CallExpr:
+		if mu, method, ok := c.mutexEvent(e); ok {
+			switch method {
+			case "Lock":
+				st[mu] = holdExclusive
+			case "RLock":
+				st[mu] = holdShared
+			case "Unlock", "RUnlock":
+				delete(st, mu)
+			}
+			return
+		}
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "delete" {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) == 2 {
+				c.scanExpr(e.Args[0], st, true)
+				c.scanExpr(e.Args[1], st, false)
+				return
+			}
+		}
+		c.checkHoldsCall(e, st)
+		c.scanExpr(e.Fun, st, false)
+		for _, a := range e.Args {
+			c.scanExpr(a, st, false)
+		}
+	default:
+		return
+	}
+}
+
+// checkHoldsCall enforces //rwguard:holds contracts: the caller must
+// hold the declared mutexes exclusively at the call site.
+func (c *lgChecker) checkHoldsCall(call *ast.CallExpr, st holdSet) {
+	var obj *types.Func
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ = c.pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		obj, _ = c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if obj == nil {
+		return
+	}
+	for _, mu := range c.gi.holds[obj] {
+		switch st[mu] {
+		case holdExclusive:
+		case holdShared:
+			c.report(call.Pos(), "call to %s requires %s held exclusively (//rwguard:holds), but the caller holds only the read lock", obj.Name(), c.gi.name(mu))
+		default:
+			c.report(call.Pos(), "call to %s requires %s held (//rwguard:holds), but the caller does not hold it", obj.Name(), c.gi.name(mu))
+		}
+	}
+}
+
+// checkAccess reports guarded-field accesses made without the declared
+// mutex held.
+func (c *lgChecker) checkAccess(sel *ast.SelectorExpr, st holdSet, wr bool) {
+	fs, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || fs.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := fs.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mu, guarded := c.gi.guards[fv]
+	if !guarded || c.rootIsFresh(sel) {
+		return
+	}
+	switch {
+	case st[mu] == holdExclusive:
+	case st[mu] == holdShared && !wr:
+	case st[mu] == holdShared && wr:
+		c.report(sel.Sel.Pos(), "write to %s (guarded by %s) holding only the read lock; writes need %s.Lock()", fv.Name(), c.gi.name(mu), c.gi.name(mu))
+	default:
+		verb := "read of"
+		if wr {
+			verb = "write to"
+		}
+		c.report(sel.Sel.Pos(), "%s %s without holding %s (declared //rwguard:%s); lock it, add a //rwguard:holds contract, or //rwlint:ignore with a reason", verb, fv.Name(), c.gi.name(mu), c.gi.name(mu))
+	}
+}
+
+// rootIsFresh reports whether the selector chain is rooted at a local
+// this function built from a composite literal (or zero-value var):
+// state under construction is private until published, so it needs no
+// lock.
+func (c *lgChecker) rootIsFresh(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[x]
+			return obj != nil && c.fresh[obj]
+		default:
+			return false
+		}
+	}
+}
+
+// isFreshInit reports whether an initializer expression builds a brand
+// new value: T{...}, &T{...}, or new(T).
+func isFreshInit(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestLockGuard(t *testing.T) {
+	findings := analysistest.Run(t, lint.LockGuard, "testdata/src/lockguard/a")
+	if want := 12; len(findings) != want {
+		t.Fatalf("findings = %d, want %d: %v", len(findings), want, findings)
+	}
+}
+
+func TestLockGuardIgnoreHatch(t *testing.T) {
+	sup := analysistest.Suppressed(t, lint.LockGuard, "testdata/src/lockguard/a")
+	if len(sup) != 1 {
+		t.Fatalf("suppressed = %d, want 1: %v", len(sup), sup)
+	}
+	if sup[0].Reason == "" {
+		t.Fatalf("suppressed finding lost its reason: %+v", sup[0])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 )
 
 // TestAlgorithmPackageScope pins the memdiscipline/spinloop boundary: the
@@ -67,5 +68,16 @@ func TestAlgorithmPackageScope(t *testing.T) {
 	// The repo-wide analyzers still see everything, parwork included.
 	if !lint.DefaultScope(lint.PurePred, "repro/internal/parwork") {
 		t.Error("purepred must remain repo-wide")
+	}
+	// The service-layer analyzers DO cover lockd and the durability
+	// layer — that is their reason to exist — while memdiscipline stays
+	// out (asserted above). They are module-wide, so a rogue durable
+	// state write or sentinel == in any package is visible.
+	for _, a := range []*analysis.Analyzer{lint.LockGuard, lint.DurDiscipline, lint.ErrDiscipline} {
+		for _, pkg := range []string{"repro/internal/lockd", "repro/internal/lockd/durable", "repro/internal/lockd/wire"} {
+			if !lint.DefaultScope(a, pkg) {
+				t.Errorf("%s does not cover service package %s", a.Name, pkg)
+			}
+		}
 	}
 }

@@ -1,0 +1,113 @@
+// Package a is the durdiscipline fixture: a miniature of the durable
+// layer — RecordType, shadow state, Store, wal — with protocol
+// violations seeded for each rule, plus a cross-package write into the
+// real durable state types.
+package a
+
+import "repro/internal/lockd/durable"
+
+type RecordType string
+
+const (
+	RecAlpha RecordType = "alpha"
+	RecBeta  RecordType = "beta"
+	RecGamma RecordType = "gamma"
+)
+
+type Record struct {
+	Type RecordType
+	N    uint64
+}
+
+type Counters struct {
+	Grants uint64
+}
+
+type ShardState struct {
+	Words    []uint64
+	Counters Counters
+}
+
+type State struct {
+	Epoch  uint64
+	Shards []*ShardState
+}
+
+// NewState builds an empty state (constructor exemption).
+func NewState() *State {
+	st := &State{}
+	st.Epoch = 0 // ok: construction before publication
+	return st
+}
+
+func (st *State) Apply(rec *Record) {
+	switch rec.Type { // want `switch over RecordType drops record kinds RecGamma`
+	case RecAlpha:
+		st.Epoch = rec.N // ok: the apply path
+	case RecBeta:
+		st.bump(rec.N)
+	}
+}
+
+func (st *State) bump(n uint64) {
+	st.Epoch += n // ok: helper reachable only from Apply
+}
+
+func Defaulted(rec *Record) int {
+	switch rec.Type { // ok: explicit default catches future kinds
+	case RecAlpha:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func Rogue(st *State) {
+	st.Epoch++ // want `Rogue mutates durable state field Epoch outside the apply path`
+}
+
+func RogueDeep(st *State) {
+	st.Shards[0].Counters.Grants = 9 // want `RogueDeep mutates durable state field Grants outside the apply path`
+}
+
+func CrossPackage(st *durable.State) {
+	st.Epoch = 99 // want `CrossPackage mutates durable state field Epoch outside the apply path`
+}
+
+func FreshOK() *State {
+	var st State
+	st.Epoch = 7 // ok: freshly built local
+	return &st
+}
+
+func Hatch(st *State) {
+	//rwlint:ignore durdiscipline test harness rewinds epochs deliberately
+	st.Epoch = 0
+}
+
+type wal struct{ n int }
+
+func (w *wal) reset() {}
+
+func writeSnapshot(st *State) error {
+	_ = st
+	return nil
+}
+
+type Store struct {
+	w  *wal
+	st *State
+}
+
+func (s *Store) rotate() error {
+	if err := writeSnapshot(s.st); err != nil { // ok: Store method sequences the pair
+		return err
+	}
+	s.w.reset() // ok
+	return nil
+}
+
+func Sneaky(w *wal, st *State) {
+	writeSnapshot(st) // want `Sneaky calls writeSnapshot directly`
+	w.reset()         // want `Sneaky calls reset directly`
+}

@@ -1,0 +1,81 @@
+// Package a is the errdiscipline fixture: identity comparisons against
+// sentinels (own and stdlib), error switches, message-text matching,
+// the Is-method exemption, the ignore hatch, and doc-comment rules.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrStall is the documented sentinel (doc-rule negative case).
+var ErrStall = errors.New("stall")
+
+var ErrNaked = errors.New("naked") // want `exported sentinel ErrNaked has no doc comment`
+
+var errLocal = errors.New("local")
+
+// DecodeError is documented (doc-rule negative case).
+type DecodeError struct{ Offset int }
+
+func (e *DecodeError) Error() string { return fmt.Sprintf("decode at %d", e.Offset) }
+
+type FrameError struct{} // want `exported error type FrameError has no doc comment`
+
+func (e *FrameError) Error() string { return "frame" }
+
+func Compare(err error) bool {
+	if err == ErrStall { // want `error compared to sentinel ErrStall with ==`
+		return true
+	}
+	if err != errLocal { // want `error compared to sentinel errLocal with !=`
+		return false
+	}
+	if err == io.EOF { // want `error compared to sentinel EOF with ==`
+		return true
+	}
+	return errors.Is(err, ErrStall) // ok
+}
+
+func Switches(err error) int {
+	switch err {
+	case ErrStall: // want `switch over an error matches sentinel ErrStall by identity`
+		return 1
+	case nil:
+		return 0
+	}
+	switch {
+	case errors.Is(err, ErrStall): // ok
+		return 2
+	}
+	return 3
+}
+
+func Texts(err error) bool {
+	if err.Error() == "stall" { // want `error message text compared with ==`
+		return true
+	}
+	return strings.Contains(err.Error(), "stall") // want `strings\.Contains over err\.Error\(\) text`
+}
+
+type probe struct{ sealed bool }
+
+// Is is the errors.Is hook: identity comparison is exactly its job.
+func (p *probe) Is(target error) bool {
+	return target == ErrStall || target == errLocal // ok: inside Is(error) bool
+}
+
+func PanicIdentity() {
+	defer func() {
+		if v := recover(); v != nil && v != ErrStall { // ok: panic-value identity, not error matching
+			panic(v)
+		}
+	}()
+}
+
+func Hatch(err error) bool {
+	//rwlint:ignore errdiscipline sealed singleton; wrapping is impossible on this path
+	return err == ErrStall
+}

@@ -1,0 +1,122 @@
+// Package a is the lockguard fixture: annotated guarded fields accessed
+// with and without their mutex, RLock/Lock grading, holds-contracts,
+// construction exemptions, closure leaks, the ignore hatch, and
+// malformed directives.
+package a
+
+import "sync"
+
+type counterStore struct {
+	mu    sync.Mutex
+	count int //rwguard:mu
+	gauge int //rwguard:mu
+	name  string
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int //rwguard:mu
+}
+
+// entry rides in a table; its dirty bit is guarded by the owning
+// table's lock (type-qualified guard).
+type entry struct {
+	dirty bool //rwguard:table.mu
+}
+
+func (c *counterStore) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++ // ok: exclusive hold via defer
+	return c.count
+}
+
+func (c *counterStore) bad() int {
+	c.count++      // want `write to count without holding counterStore\.mu`
+	return c.gauge // want `read of gauge without holding counterStore\.mu`
+}
+
+func (c *counterStore) earlyReturn(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		n := c.count // ok: still held on this path
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+	return c.count // want `read of count without holding counterStore\.mu`
+}
+
+func (t *table) reads(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k] // ok: shared hold covers reads
+}
+
+func (t *table) writeUnderRLock(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows[k] = 1 // want `write to rows \(guarded by table\.mu\) holding only the read lock`
+}
+
+func (t *table) del(k string) {
+	t.mu.Lock()
+	delete(t.rows, k) // ok: exclusive
+	t.mu.Unlock()
+	delete(t.rows, k) // want `write to rows without holding table\.mu`
+}
+
+// sizeLocked's contract is that the caller already holds the lock.
+//
+//rwguard:holds mu
+func (t *table) sizeLocked() int {
+	return len(t.rows) // ok: seeded by the holds contract
+}
+
+func (t *table) callSites() int {
+	t.mu.Lock()
+	n := t.sizeLocked() // ok: held at the call
+	t.mu.Unlock()
+	n += t.sizeLocked() // want `call to sizeLocked requires table\.mu held \(//rwguard:holds\)`
+	t.mu.RLock()
+	n += t.sizeLocked() // want `call to sizeLocked requires table\.mu held exclusively`
+	t.mu.RUnlock()
+	return n
+}
+
+// scanLocked is a plain function with a type-qualified holds contract.
+//
+//rwguard:holds table.mu
+func scanLocked(e *entry) bool {
+	return e.dirty // ok
+}
+
+func fresh() *counterStore {
+	c := &counterStore{name: "x"}
+	c.count = 1 // ok: local under construction, not yet published
+	return c
+}
+
+func closureLeak(c *counterStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.count++ // want `write to count without holding counterStore\.mu`
+	}()
+}
+
+func ignored(c *counterStore) int {
+	//rwlint:ignore lockguard monitoring snapshot; staleness is acceptable here
+	return c.count
+}
+
+type badAnnotations struct {
+	mu sync.Mutex
+	a  int //rwguard:nope // want `no sync\.Mutex/sync\.RWMutex field named "nope"`
+	b  int //rwguard:holds mu // want `//rwguard:holds belongs on a func declaration`
+}
+
+func misplaced(e *entry) bool {
+	//rwguard:table.mu // want `misplaced //rwguard directive`
+	return e.dirty // want `read of dirty without holding table\.mu`
+}

@@ -1,0 +1,20 @@
+// Package a is the strict-ignores fixture: one live suppression (it
+// covers a real spinloop finding) and one dead one (nothing to suppress
+// on its line), so -strict-ignores can be tested to keep the first and
+// flag the second.
+package a
+
+import "repro/internal/memmodel"
+
+type probe struct{ flag memmodel.Var }
+
+func (p *probe) spinLive(pr memmodel.Proc) {
+	//rwlint:ignore spinloop calibration probe needs the raw poll
+	for pr.Read(p.flag) == 0 {
+	}
+}
+
+//rwlint:ignore spinloop this guarded a loop that was rewritten away
+func (p *probe) settled(pr memmodel.Proc) uint64 {
+	return pr.Read(p.flag)
+}
