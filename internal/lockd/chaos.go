@@ -41,7 +41,7 @@ func (c ChaosConfig) Enabled() bool {
 // chaosRand is the shared, locked fault source for one dialer.
 type chaosRand struct {
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand //rwguard:mu
 }
 
 func (r *chaosRand) roll() float64 {

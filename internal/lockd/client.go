@@ -49,13 +49,13 @@ type Client struct {
 	conn net.Conn
 
 	wmu  sync.Mutex
-	wbuf []byte
+	wbuf []byte //rwguard:wmu
 
 	seq atomic.Uint64
 
 	pmu     sync.Mutex
-	pending map[uint64]chan *wire.Response
-	deadErr error // set once, before deadCh closes
+	pending map[uint64]chan *wire.Response //rwguard:pmu
+	deadErr error                          //rwguard:pmu set once, before deadCh closes
 
 	deadCh chan struct{}
 	hbStop chan struct{}

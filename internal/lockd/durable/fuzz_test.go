@@ -14,8 +14,8 @@ import (
 func FuzzDecodeFrame(f *testing.F) {
 	good, _ := AppendFrame(nil, &Record{LSN: 1, Type: RecGrant, Session: "s", Key: "k", Mode: "w", Token: MakeToken(1, 7)})
 	f.Add(good)
-	f.Add(good[:len(good)-1])         // torn tail
-	f.Add([]byte{})                   // empty
+	f.Add(good[:len(good)-1])                         // torn tail
+	f.Add([]byte{})                                   // empty
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // absurd length
 	flipped := append([]byte(nil), good...)
 	flipped[frameHeader+1] ^= 0x01
@@ -129,4 +129,3 @@ func FuzzWALFileReplay(f *testing.F) {
 		}
 	})
 }
-

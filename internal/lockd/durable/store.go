@@ -70,11 +70,11 @@ type Store struct {
 	fp   string
 
 	mu        sync.Mutex
-	wal       *wal
-	st        *State
-	lsn       uint64
-	sinceSnap int
-	closed    bool
+	wal       *wal   //rwguard:mu
+	st        *State //rwguard:mu
+	lsn       uint64 //rwguard:mu
+	sinceSnap int    //rwguard:mu
+	closed    bool   //rwguard:mu
 }
 
 func (s *Store) snapPath() string { return filepath.Join(s.dir, "snapshot.json") }
@@ -207,6 +207,8 @@ func (s *Store) Snapshot() error {
 // old snapshot + full WAL replay to the same state; after the rename but
 // before the truncate, replay skips the WAL records the snapshot already
 // folded in (LSN <= LastLSN).
+//
+//rwguard:holds mu
 func (s *Store) snapshotLocked() error {
 	if err := writeSnapshot(s.snapPath(), s.fp, s.lsn, s.st); err != nil {
 		return err

@@ -42,12 +42,12 @@ const walMagic = "rwlockd-wal\x01\n"
 // writes, fsync per policy.
 type wal struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        *os.File //rwguard:mu
 	policy   FsyncPolicy
-	buf      []byte
+	buf      []byte //rwguard:mu
 	stop     chan struct{}
 	syncDone chan struct{}
-	syncErr  error // sticky first background-sync failure
+	syncErr  error //rwguard:mu sticky first background-sync failure
 }
 
 // openWAL opens (creating if needed) the log at path for appending. A

@@ -124,7 +124,7 @@ type Server struct {
 	sweepStop chan struct{}
 
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]struct{} //rwguard:connMu
 }
 
 // New opens the data directory (when durable), binds the listener, and
@@ -346,7 +346,7 @@ func (s *Server) clampTTL(ms int64) time.Duration {
 type connWriter struct {
 	mu  sync.Mutex
 	c   net.Conn
-	buf []byte
+	buf []byte //rwguard:mu
 }
 
 func (w *connWriter) send(resp *wire.Response) {

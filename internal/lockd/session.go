@@ -40,11 +40,11 @@ type session struct {
 	slot int // stable small index used by the shard fairness monitors
 
 	mu      sync.Mutex
-	ttl     time.Duration
-	expiry  time.Time
-	expired bool
-	holds   map[holdKey]struct{}
-	waiters map[*waiter]struct{}
+	ttl     time.Duration        // immutable after create/restore
+	expiry  time.Time            //rwguard:mu
+	expired bool                 //rwguard:mu
+	holds   map[holdKey]struct{} //rwguard:mu
+	waiters map[*waiter]struct{} //rwguard:mu
 
 	// At-most-once bookkeeping: responses caches completed requests by
 	// seq so a retransmit is answered without re-executing; inflight
@@ -52,15 +52,15 @@ type session struct {
 	// maxSeq is the highest seq ever begun — a resuming client continues
 	// its numbering above it, so a fresh request can never collide with a
 	// cached or in-flight seq from before the reconnect.
-	inflight  map[uint64]struct{}
-	responses map[uint64]*wire.Response
-	order     []uint64 // FIFO of cached seqs, for eviction
-	maxSeq    uint64
+	inflight  map[uint64]struct{}       //rwguard:mu
+	responses map[uint64]*wire.Response //rwguard:mu
+	order     []uint64                  //rwguard:mu FIFO of cached seqs, for eviction
+	maxSeq    uint64                    //rwguard:mu
 
 	// durableExpiry is the lease deadline last written to the WAL; renew
 	// records are coalesced to one per TTL/4 of advance, so a replayed
 	// deadline is stale by at most a quarter lease.
-	durableExpiry time.Time
+	durableExpiry time.Time //rwguard:mu
 }
 
 // renew extends the lease by its TTL; it fails once the session expired.
@@ -201,8 +201,8 @@ func (s *session) isExpired() bool {
 // sessionTable holds every live session and drives lease expiry.
 type sessionTable struct {
 	mu       sync.Mutex
-	byID     map[string]*session
-	nextSlot int
+	byID     map[string]*session //rwguard:mu
+	nextSlot int                 //rwguard:mu
 }
 
 func newSessionTable() *sessionTable {

@@ -48,8 +48,8 @@ type waiter struct {
 	// ch delivers the grant (or a typed cancellation error); buffered so
 	// the shard never blocks delivering under its mutex.
 	ch chan grantResult
-	// delivered flips once a result was sent; guarded by shard.mu.
-	delivered bool
+	// delivered flips once a result was sent.
+	delivered bool //rwguard:shard.mu
 }
 
 type grantResult struct {
@@ -68,12 +68,13 @@ type lockState struct {
 	// records so replay can restore the counter.
 	word    memmodel.Var
 	wordIdx int
-	readers map[*session]struct{}
-	writer  *session
-	queue   []*waiter
+	readers map[*session]struct{} //rwguard:shard.mu
+	writer  *session              //rwguard:shard.mu
+	queue   []*waiter             //rwguard:shard.mu
 	mon     *fairness.LockedBypassMonitor
 }
 
+//rwguard:holds shard.mu
 func (ls *lockState) holders() int {
 	n := len(ls.readers)
 	if ls.writer != nil {
@@ -108,9 +109,9 @@ type shard struct {
 	idx int
 
 	mu    sync.Mutex
-	locks map[string]*lockState
-	stats shardCounters
-	proc  memmodel.Proc // used only under mu
+	locks map[string]*lockState //rwguard:mu
+	stats shardCounters         //rwguard:mu
+	proc  memmodel.Proc         //rwguard:mu single proc, serialized by the shard lock
 	words []memmodel.Var
 }
 
@@ -152,6 +153,8 @@ func (sh *shard) restore(ss *durable.ShardState) {
 func (sh *shard) logAppend(rec *durable.Record) { sh.srv.logAppend(rec) }
 
 // lockStateLocked returns (creating if needed) the grant table for key.
+//
+//rwguard:holds mu
 func (sh *shard) lockStateLocked(key string) *lockState {
 	ls := sh.locks[key]
 	if ls == nil {
@@ -173,6 +176,8 @@ func (sh *shard) lockStateLocked(key string) *lockState {
 // grantableLocked reports whether a fresh request could be granted now.
 // Strict FIFO: any queued waiter blocks newcomers, so a stream of readers
 // cannot starve a queued writer.
+//
+//rwguard:holds shard.mu
 func grantableLocked(ls *lockState, mode string) bool {
 	if len(ls.queue) > 0 {
 		return false
@@ -188,6 +193,8 @@ func grantableLocked(ls *lockState, mode string) bool {
 // dominated). Write grants advance the key's fencing counter and are
 // WAL-logged before the caller can send the response, so a token a client
 // observed always corresponds to a logged grant (per the fsync policy).
+//
+//rwguard:holds mu
 func (sh *shard) grantLocked(ls *lockState, sess *session, mode string) uint64 {
 	var tok uint64
 	if mode == wire.ModeWrite {
@@ -308,6 +315,8 @@ func (sh *shard) cancelWaiter(w *waiter, err error) bool {
 
 // promoteLocked grants queued waiters in FIFO order as far as the lock
 // state admits.
+//
+//rwguard:holds mu
 func (sh *shard) promoteLocked(ls *lockState) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
