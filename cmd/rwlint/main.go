@@ -1,31 +1,43 @@
-// Command rwlint is the multichecker for the repo's simulated
-// shared-memory discipline: it runs the internal/lint analyzer suite
-// (memdiscipline, purepred, spinloop, verdictswitch) over the module and
-// exits non-zero on any unsuppressed diagnostic. It is the CI gate that
-// keeps algorithm code honest against memmodel.Proc — the invariant all
-// RMR measurements, coherence sweeps and fault-model verdicts rest on.
+// Command rwlint is the multichecker for the repo's static disciplines:
+// it runs the internal/lint analyzer suite over the module and exits
+// non-zero on any unsuppressed diagnostic. Four analyzers (memdiscipline,
+// purepred, spinloop, verdictswitch) keep algorithm code honest against
+// memmodel.Proc — the invariant all RMR measurements, coherence sweeps
+// and fault-model verdicts rest on. Three more (lockguard, durdiscipline,
+// errdiscipline) guard the lock service: //rwguard-annotated fields only
+// touched under their mutex, durable state only mutated through the WAL
+// apply path, and sentinel errors only matched with errors.Is/As.
 //
 // Packages are loaded and type-checked from source with the standard
 // library only, so rwlint works in the offline build container. The
 // pattern "./..." denotes the whole module regardless of the working
 // directory; explicit directories (including testdata fixtures) are
 // linted as given. Algorithm-only analyzers (memdiscipline, spinloop)
-// apply to the packages listed in lint.AlgorithmPackages; purepred and
-// verdictswitch apply everywhere.
+// apply to the packages listed in lint.AlgorithmPackages; the rest apply
+// everywhere.
 //
 // Deliberate violations are suppressed in source with a justified
 //
 //	//rwlint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // on the offending line or the line above; rwlint -v prints what was
-// suppressed and why.
+// suppressed and why. -strict-ignores (on in CI) additionally fails the
+// run when a directive suppresses nothing — a dead suppression is a
+// latent review bypass.
+//
+// -json replaces the text report with a single JSON object on stdout
+// (findings plus counts), for CI artifact upload and tooling; the exit
+// code contract is unchanged.
 //
 // Usage:
 //
-//	rwlint [-v] [packages]
+//	rwlint [-v] [-json] [-strict-ignores] [packages]
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 load or run error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,12 +49,14 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "also print suppressed findings with their justifications")
+	jsonOut := flag.Bool("json", false, "emit one JSON report object instead of text")
+	strict := flag.Bool("strict-ignores", false, "fail on rwlint:ignore directives that suppress nothing")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	code, err := run(patterns, *verbose, os.Stdout)
+	code, err := run(patterns, options{verbose: *verbose, jsonOut: *jsonOut, strict: *strict}, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rwlint:", err)
 		os.Exit(2)
@@ -50,9 +64,38 @@ func main() {
 	os.Exit(code)
 }
 
+// options carries the CLI flags into run.
+type options struct {
+	verbose bool
+	jsonOut bool
+	strict  bool
+}
+
+// jsonFinding is one finding in -json output. Positions are 1-based;
+// suppressed findings appear with Suppressed=true and their justification
+// so the artifact records the full suppression inventory, not only the
+// failures.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonReport is the single object -json writes to stdout.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Unresolved int           `json:"unresolved"`
+	Suppressed int           `json:"suppressed"`
+	Packages   int           `json:"packages"`
+}
+
 // run loads the patterns, applies the suite, prints findings and returns
 // the exit code: 0 clean, 1 unsuppressed findings.
-func run(patterns []string, verbose bool, w io.Writer) (int, error) {
+func run(patterns []string, opts options, w io.Writer) (int, error) {
 	loader, err := load.NewLoader("")
 	if err != nil {
 		return 0, err
@@ -64,16 +107,23 @@ func run(patterns []string, verbose bool, w io.Writer) (int, error) {
 	if len(pkgs) == 0 {
 		return 0, fmt.Errorf("no packages matched %v", patterns)
 	}
-	findings, err := lint.Run(pkgs, lint.Analyzers(), lint.DefaultScope)
+	findings, err := lint.RunOpts(pkgs, lint.Analyzers(), lint.Options{
+		Scope:         lint.DefaultScope,
+		StrictIgnores: opts.strict,
+	})
 	if err != nil {
 		return 0, err
+	}
+
+	if opts.jsonOut {
+		return reportJSON(findings, len(pkgs), w)
 	}
 
 	bad, suppressed := 0, 0
 	for _, f := range findings {
 		if f.Suppressed {
 			suppressed++
-			if verbose {
+			if opts.verbose {
 				fmt.Fprintf(w, "%s\n\tsuppressed: %s\n", f, f.Reason)
 			}
 			continue
@@ -87,11 +137,42 @@ func run(patterns []string, verbose bool, w io.Writer) (int, error) {
 			}
 		}
 	}
-	if verbose && suppressed > 0 {
+	if opts.verbose && suppressed > 0 {
 		fmt.Fprintf(w, "rwlint: %d suppressed finding(s)\n", suppressed)
 	}
 	if bad > 0 {
 		fmt.Fprintf(w, "rwlint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// reportJSON writes the machine-readable report and returns the same exit
+// code the text path would.
+func reportJSON(findings []lint.Finding, packages int, w io.Writer) (int, error) {
+	rep := jsonReport{Findings: []jsonFinding{}, Packages: packages}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Diagnostic.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
+		if f.Suppressed {
+			rep.Suppressed++
+		} else {
+			rep.Unresolved++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return 0, err
+	}
+	if rep.Unresolved > 0 {
 		return 1, nil
 	}
 	return 0, nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,15 +14,24 @@ import (
 // applies to algorithm code.
 const badFixture = "../../internal/lint/testdata/src/spinloop/a"
 
-// TestRunModuleClean is the merge gate: the whole module must lint clean.
+// lockguardFixture has known violations of the service-layer lockguard
+// analyzer.
+const lockguardFixture = "../../internal/lint/testdata/src/lockguard/a"
+
+// strictFixture has one live and one dead rwlint:ignore directive.
+const strictFixture = "../../internal/lint/testdata/src/strictignores/a"
+
+// TestRunModuleClean is the merge gate: the whole module must lint clean,
+// including under -strict-ignores (every suppression in real code must
+// still be earning its keep).
 func TestRunModuleClean(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run([]string{"./..."}, false, &out)
+	code, err := run([]string{"./..."}, options{strict: true}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != 0 {
-		t.Fatalf("rwlint ./... exit %d:\n%s", code, out.String())
+		t.Fatalf("rwlint -strict-ignores ./... exit %d:\n%s", code, out.String())
 	}
 }
 
@@ -29,7 +39,7 @@ func TestRunModuleClean(t *testing.T) {
 // known-bad package.
 func TestRunBadFixture(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run([]string{badFixture}, false, &out)
+	code, err := run([]string{badFixture}, options{}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +57,7 @@ func TestRunBadFixture(t *testing.T) {
 // justifications.
 func TestRunVerboseShowsSuppressions(t *testing.T) {
 	var out bytes.Buffer
-	code, err := run([]string{badFixture}, true, &out)
+	code, err := run([]string{badFixture}, options{verbose: true}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,16 +69,106 @@ func TestRunVerboseShowsSuppressions(t *testing.T) {
 	}
 }
 
+// TestRunStrictIgnores pins both halves of the dead-suppression gate: the
+// fixture passes a plain run (the dead directive is legal) and fails a
+// strict one, attributing the finding to the driver itself.
+func TestRunStrictIgnores(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{strictFixture}, options{}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("plain run exit %d, want 0:\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code, err = run([]string{strictFixture}, options{strict: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("strict run exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[rwlint]") || !strings.Contains(out.String(), "suppresses nothing") {
+		t.Errorf("strict output missing dead-directive finding:\n%s", out.String())
+	}
+	// Exactly one: the live directive must not be flagged.
+	if n := strings.Count(out.String(), "suppresses nothing"); n != 1 {
+		t.Errorf("strict run flagged %d directives, want 1:\n%s", n, out.String())
+	}
+}
+
+// TestRunJSON checks the machine-readable report: structure, counts, and
+// the unchanged exit-code contract.
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{badFixture}, options{jsonOut: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Unresolved == 0 || rep.Packages != 1 {
+		t.Fatalf("report counts unresolved=%d packages=%d, want >0 and 1", rep.Unresolved, rep.Packages)
+	}
+	if rep.Suppressed == 0 {
+		t.Error("report lost the suppressed finding the fixture carries")
+	}
+	sawSpin, sawReason := false, false
+	for _, f := range rep.Findings {
+		if f.Analyzer == "spinloop" && f.File != "" && f.Line > 0 && f.Col > 0 {
+			sawSpin = true
+		}
+		if f.Suppressed && f.Reason != "" {
+			sawReason = true
+		}
+	}
+	if !sawSpin {
+		t.Errorf("no positioned spinloop finding in JSON report:\n%s", out.String())
+	}
+	if !sawReason {
+		t.Errorf("suppressed finding lacks its justification in JSON report:\n%s", out.String())
+	}
+}
+
+// TestRunJSONClean checks a clean run emits a well-formed empty report
+// and exit 0 (CI uploads this artifact from passing runs too).
+func TestRunJSONClean(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{strictFixture}, options{jsonOut: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Unresolved != 0 || rep.Findings == nil {
+		t.Fatalf("clean report unresolved=%d findings=%v, want 0 and non-nil", rep.Unresolved, rep.Findings)
+	}
+}
+
 // TestRunUnknownPattern checks load failures exit through the error path.
 func TestRunUnknownPattern(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := run([]string{"./no/such/dir"}, false, &out); err == nil {
+	if _, err := run([]string{"./no/such/dir"}, options{}, &out); err == nil {
 		t.Fatal("expected an error for a nonexistent package")
 	}
 }
 
-// TestBinarySmoke builds the real binary and runs it over the known-bad
-// fixture: exit code 1 and diagnostics on stdout.
+// TestBinarySmoke builds the real binary and drives the full flag surface
+// against fixtures and the real module: exit 1 with diagnostics on the
+// known-bad packages (simulator-side and service-side), exit 0 on the
+// module itself in CI's exact configuration.
 func TestBinarySmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping go build subprocess")
@@ -79,13 +179,33 @@ func TestBinarySmoke(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
-	cmd := exec.Command(bin, badFixture)
-	out, err := cmd.CombinedOutput()
-	ee, ok := err.(*exec.ExitError)
-	if !ok || ee.ExitCode() != 1 {
-		t.Fatalf("rwlint exit = %v, want exit status 1\n%s", err, out)
+
+	wantExit1 := func(args []string, needle string) {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("rwlint %v exit = %v, want exit status 1\n%s", args, err, out)
+		}
+		if !strings.Contains(string(out), needle) {
+			t.Errorf("rwlint %v output missing %q:\n%s", args, needle, out)
+		}
 	}
-	if !strings.Contains(string(out), "[spinloop]") {
-		t.Errorf("binary output missing diagnostics:\n%s", out)
+	wantExit1([]string{badFixture}, "[spinloop]")
+	wantExit1([]string{lockguardFixture}, "[lockguard]")
+	wantExit1([]string{"-json", lockguardFixture}, `"analyzer": "lockguard"`)
+	wantExit1([]string{"-strict-ignores", strictFixture}, "suppresses nothing")
+
+	// CI's exact invocation over the real module must pass.
+	out, err := exec.Command(bin, "-strict-ignores", "-json", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rwlint -strict-ignores -json ./... : %v\n%s", err, out)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("module report is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Unresolved != 0 {
+		t.Fatalf("module has %d unresolved findings:\n%s", rep.Unresolved, out)
 	}
 }
