@@ -66,6 +66,19 @@ func runCompare(oldPath, newPath string, maxNsRatio, maxAllocRatio float64, requ
 	if err != nil {
 		return 1, err
 	}
+	// Provenance up front: speedup and scaling claims in an artifact are
+	// only as good as the host that recorded it, so the core counts are
+	// printed on every compare, not just on mismatch.
+	fmt.Printf("baseline %s: %s/%s num_cpu=%d gomaxprocs=%d parallel_workers=%d\n",
+		oldPath, oldRep.Host.GOOS, oldRep.Host.GOARCH,
+		oldRep.Host.NumCPU, oldRep.Host.GOMAXPROCS, oldRep.ParallelWorkers)
+	fmt.Printf("new      %s: %s/%s num_cpu=%d gomaxprocs=%d parallel_workers=%d\n",
+		newPath, newRep.Host.GOOS, newRep.Host.GOARCH,
+		newRep.Host.NumCPU, newRep.Host.GOMAXPROCS, newRep.ParallelWorkers)
+	if oldRep.Host.NumCPU == 1 {
+		fmt.Println("WARNING: baseline was recorded on a single-CPU host (num_cpu=1) — its parallel numbers and speedups " +
+			"measure scheduler overhead, not scaling; re-baseline on a multicore host before trusting them")
+	}
 	hostDiffs := hostMismatch(oldRep, newRep)
 	for _, d := range hostDiffs {
 		fmt.Printf("WARNING: artifacts come from different hosts: %s — ns/op ratios are not comparable\n", d)

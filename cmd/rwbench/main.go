@@ -8,7 +8,10 @@
 // With -sweeps it instead benchmarks the simulator-side sweep workloads
 // serially and at -parallel workers, checks the two produce byte-identical
 // results, and writes machine-readable numbers (ns/op, allocs/op, speedup)
-// to a JSON file.
+// to a JSON file. Adding -scaling extends the artifact with a worker-count
+// scaling curve (1, 2, 4, NumCPU; ns/op, speedup, parallel efficiency and
+// the work-stealing scheduler counters per point); -min-speedup2 turns the
+// 2-worker speedup into a pass/fail gate on multicore hosts.
 //
 // With -compare it instead diffs two -sweeps JSON artifacts and enforces
 // regression budgets on the serial measurements: the run fails if new
@@ -18,7 +21,7 @@
 // Usage:
 //
 //	rwbench [-readers 8] [-writers 2] [-dur 200ms] [-parallel N]
-//	rwbench -sweeps [-out BENCH_sweeps.json] [-benchtime 1s]
+//	rwbench -sweeps [-scaling [-min-speedup2 1.2]] [-out BENCH_sweeps.json] [-benchtime 1s]
 //	rwbench -compare [-max-ns-ratio 1.25] [-max-alloc-ratio 1.10] old.json new.json
 package main
 
@@ -51,12 +54,15 @@ func main() {
 	sweeps := flag.Bool("sweeps", false, "benchmark the simulator sweep workloads (serial vs parallel) and write JSON")
 	out := flag.String("out", "BENCH_sweeps.json", "output path for -sweeps")
 	benchtime := flag.Duration("benchtime", time.Second, "measurement time per sweep configuration in -sweeps mode")
+	scaling := flag.Bool("scaling", false, "-sweeps: also measure the worker-count scaling curve (1/2/4/NumCPU) with scheduler counters")
+	minSpeedup2 := flag.Float64("min-speedup2", 0, "-scaling: fail unless every workload reaches this speedup at 2 workers (0 disables; skipped when NumCPU < 2)")
 	compare := flag.Bool("compare", false, "compare two -sweeps JSON files (old new) and fail on perf regressions")
 	maxNsRatio := flag.Float64("max-ns-ratio", 1.25, "-compare: max allowed new/old serial ns/op ratio (0 disables the axis)")
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.10, "-compare: max allowed new/old serial allocs/op ratio (0 disables the axis)")
 	requireSameHost := flag.Bool("require-same-host", false, "-compare: fail when the two artifacts' Host blocks differ instead of just warning")
 	applyParallel := cliutil.ParallelFlag()
 	applyRobust := cliutil.RobustFlags()
+	applyProfile := cliutil.ProfileFlags()
 	flag.Parse()
 	if !*compare {
 		cliutil.NoArgs(flag.CommandLine)
@@ -64,32 +70,38 @@ func main() {
 	applyParallel()
 	if err := applyRobust(); err != nil {
 		fmt.Fprintln(os.Stderr, "rwbench:", err)
-		os.Exit(1)
+		cliutil.Exit(1)
 	}
-
+	if err := applyProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "rwbench:", err)
+		cliutil.Exit(1)
+	}
+	// Profiles flush only through cliutil.Exit (os.Exit would drop them);
+	// every exit below, including the fall-through success path, uses it.
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "rwbench: -compare takes exactly two arguments: old.json new.json")
-			os.Exit(2)
+			cliutil.Exit(2)
 		}
 		code, err := runCompare(flag.Arg(0), flag.Arg(1), *maxNsRatio, *maxAllocRatio, *requireSameHost)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rwbench:", err)
-			os.Exit(1)
+			cliutil.Exit(1)
 		}
-		os.Exit(code)
+		cliutil.Exit(code)
 	}
 	if *sweeps {
-		if err := runSweeps(*out, *benchtime); err != nil {
+		if err := runSweeps(*out, *benchtime, *scaling, *minSpeedup2); err != nil {
 			fmt.Fprintln(os.Stderr, "rwbench:", err)
-			os.Exit(1)
+			cliutil.Exit(1)
 		}
-		return
+		cliutil.Exit(0)
 	}
 	if err := run(*readers, *writers, *dur); err != nil {
 		fmt.Fprintln(os.Stderr, "rwbench:", err)
-		os.Exit(1)
+		cliutil.Exit(1)
 	}
+	cliutil.Exit(0)
 }
 
 func run(nReaders, nWriters int, dur time.Duration) error {

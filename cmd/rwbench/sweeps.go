@@ -4,6 +4,9 @@
 // results, and writes the numbers as machine-readable JSON
 // (BENCH_sweeps.json). The file also embeds the recorded pre-overhaul
 // serial baseline so speedups against the old hot path stay reviewable.
+// With -scaling each workload is additionally measured across the
+// 1/2/4/NumCPU worker axis, recording speedup, parallel efficiency and
+// the work-stealing scheduler counters per point.
 package main
 
 import (
@@ -30,6 +33,25 @@ type SweepCost struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 }
 
+// ScalingPoint is one worker count on a workload's scaling curve
+// (-scaling mode).
+type ScalingPoint struct {
+	Workers     int   `json:"workers"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Speedup is serial (1-worker) ns/op over this point's ns/op;
+	// Efficiency is Speedup/Workers (1.0 = perfect linear scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	// Identical records the determinism check against the serial run.
+	Identical bool `json:"identical"`
+	// Sched is the parwork scheduler-counter delta (chunks built, local
+	// claims, steals, failed steal probes) over one run of the workload at
+	// this worker count — the work-stealing story behind the ns/op.
+	Sched parwork.Stats `json:"sched"`
+}
+
 // SweepResult is one sweep workload measured serially and in parallel.
 type SweepResult struct {
 	Name     string    `json:"name"`
@@ -40,6 +62,8 @@ type SweepResult struct {
 	// Identical records the determinism check: the parallel run's rendered
 	// results were byte-identical to the serial run's.
 	Identical bool `json:"identical"`
+	// Scaling is the worker-count scaling curve (-scaling mode only).
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
 }
 
 // SweepReport is the schema of BENCH_sweeps.json.
@@ -102,9 +126,36 @@ func sweepWorkloads() []struct {
 	}
 }
 
+// scalingWorkerCounts is the -scaling worker-count axis: 1, 2, 4 and
+// NumCPU, deduplicated and capped at NumCPU (measuring 4 workers on a
+// 2-core host would only report scheduler overhead as if it were the
+// algorithm's fault).
+func scalingWorkerCounts() []int {
+	ncpu := runtime.NumCPU()
+	var out []int
+	for _, w := range []int{1, 2, 4, ncpu} {
+		if w > ncpu {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			dup = dup || seen == w
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 // runSweeps measures every sweep workload at 1 worker and at GOMAXPROCS
-// workers for benchtime each and writes the JSON report to outPath.
-func runSweeps(outPath string, benchtime time.Duration) error {
+// workers for benchtime each and writes the JSON report to outPath. With
+// scaling it additionally measures each workload across the
+// scalingWorkerCounts axis — ns/op, speedup, parallel efficiency and the
+// parwork steal/claim counters per point — and minSpeedup2 > 0 turns the
+// 2-worker speedup into a gate (skipped on single-CPU hosts, where there
+// is no 2-worker point to measure).
+func runSweeps(outPath string, benchtime time.Duration, scaling bool, minSpeedup2 float64) error {
 	// Checkpointing cannot coexist with measurement: the loops re-run the
 	// same sweep many times, and restored rows would turn later iterations
 	// into no-ops. Any robust default installed by the shared flags is
@@ -160,6 +211,14 @@ func runSweeps(outPath string, benchtime time.Duration) error {
 		fmt.Printf("%-16s serial %12d ns/op %8d allocs/op | parallel(%d) %12d ns/op | speedup %.2fx identical=%v\n",
 			w.Name, res.Serial.NsPerOp, res.Serial.AllocsPerOp, workers,
 			res.Parallel.NsPerOp, res.Speedup, res.Identical)
+
+		if scaling {
+			pts, err := measureScaling(w.Name, w.Run, serialFP)
+			if err != nil {
+				return err
+			}
+			res.Scaling = pts
+		}
 		rep.Experiments = append(rep.Experiments, res)
 	}
 
@@ -172,7 +231,88 @@ func runSweeps(outPath string, benchtime time.Duration) error {
 		return err
 	}
 	fmt.Println("wrote", outPath)
+
+	// The gate runs after the artifact is written so a failing run still
+	// leaves the numbers behind for inspection.
+	if scaling && minSpeedup2 > 0 {
+		if code := checkSpeedup2(rep.Experiments, minSpeedup2); code != 0 {
+			return fmt.Errorf("scaling gate failed: 2-worker speedup below %.2fx", minSpeedup2)
+		}
+	}
 	return nil
+}
+
+// measureScaling measures one workload across the scaling worker-count
+// axis. Per point it runs the workload once outside the timing loop to
+// (a) re-verify byte-identity against the serial fingerprint under this
+// worker count and (b) capture the parwork scheduler-counter delta for
+// exactly one run, then times it with the benchmark harness. Speedups are
+// relative to the curve's own 1-worker point so the curve is internally
+// consistent whatever the harness's iteration choices.
+func measureScaling(name string, run func() (string, error), serialFP string) ([]ScalingPoint, error) {
+	counts := scalingWorkerCounts()
+	pts := make([]ScalingPoint, 0, len(counts))
+	var baseNs int64
+	for _, wkr := range counts {
+		parwork.SetDefault(wkr)
+		before := parwork.ReadStats()
+		fp, err := run()
+		if err != nil {
+			parwork.SetDefault(0)
+			return nil, fmt.Errorf("%s (scaling, %d workers): %w", name, wkr, err)
+		}
+		pt := ScalingPoint{
+			Workers:   wkr,
+			Identical: fp == serialFP,
+			Sched:     parwork.ReadStats().Sub(before),
+		}
+		if !pt.Identical {
+			parwork.SetDefault(0)
+			return nil, fmt.Errorf("%s: results at %d workers diverged from serial", name, wkr)
+		}
+		c := measureSweep(run)
+		parwork.SetDefault(0)
+		pt.NsPerOp, pt.BytesPerOp, pt.AllocsPerOp = c.NsPerOp, c.BytesPerOp, c.AllocsPerOp
+		if wkr == 1 {
+			baseNs = c.NsPerOp
+		}
+		if baseNs > 0 && c.NsPerOp > 0 {
+			pt.Speedup = float64(baseNs) / float64(c.NsPerOp)
+			pt.Efficiency = pt.Speedup / float64(wkr)
+		}
+		fmt.Printf("%-16s workers=%-2d %12d ns/op %8d allocs/op | speedup %.2fx efficiency %.2f | steals=%d local=%d chunks=%d\n",
+			name, wkr, pt.NsPerOp, pt.AllocsPerOp, pt.Speedup, pt.Efficiency,
+			pt.Sched.Steals, pt.Sched.LocalClaims, pt.Sched.Chunks)
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// checkSpeedup2 enforces the CI scaling gate: every workload's 2-worker
+// point must reach minSpeedup. Returns 0 when the gate passes or is
+// skipped (single-CPU host: no 2-worker point exists), 1 otherwise.
+func checkSpeedup2(results []SweepResult, minSpeedup float64) int {
+	if runtime.NumCPU() < 2 {
+		fmt.Printf("scaling gate: skipped (NumCPU=%d, no 2-worker point)\n", runtime.NumCPU())
+		return 0
+	}
+	code := 0
+	for _, res := range results {
+		for _, pt := range res.Scaling {
+			if pt.Workers != 2 {
+				continue
+			}
+			if pt.Speedup < minSpeedup {
+				fmt.Printf("scaling gate: FAIL %s speedup at 2 workers %.2fx < %.2fx\n",
+					res.Name, pt.Speedup, minSpeedup)
+				code = 1
+			} else {
+				fmt.Printf("scaling gate: ok %s speedup at 2 workers %.2fx >= %.2fx\n",
+					res.Name, pt.Speedup, minSpeedup)
+			}
+		}
+	}
+	return code
 }
 
 // measureSweep times fn with the testing harness (-benchtime per

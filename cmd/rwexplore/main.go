@@ -13,6 +13,7 @@
 //
 //	rwexplore [-alg af-log] [-n 1] [-m 1] [-rp 1] [-wp 1] [-max 1000000] [-parallel N]
 //	          [-checkpoint FILE [-resume]] [-row-timeout D]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //	rwexplore -list
 package main
 
@@ -39,23 +40,29 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "on violation, replay and print the schedule as a timeline")
 	applyParallel := cliutil.ParallelFlag()
 	applyRobust := cliutil.RobustFlags()
+	applyProfile := cliutil.ProfileFlags()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
 	applyParallel()
 	if err := applyRobust(); err != nil {
 		fmt.Fprintln(os.Stderr, "rwexplore:", err)
-		os.Exit(1)
+		cliutil.Exit(1)
+	}
+	if err := applyProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "rwexplore:", err)
+		cliutil.Exit(1)
 	}
 
 	if *list {
 		for _, fac := range experiments.ExtendedFactories() {
 			fmt.Println(fac.Name)
 		}
-		return
+		cliutil.Exit(0)
 	}
 	if err := run(*algFlag, *n, *m, *rp, *wp, *maxRuns, *traceFlag); err != nil {
 		cliutil.Fail("rwexplore", err)
 	}
+	cliutil.Exit(0)
 }
 
 func run(alg string, n, m, rp, wp, maxRuns int, dumpTrace bool) error {
@@ -84,7 +91,7 @@ func run(alg string, n, m, rp, wp, maxRuns int, dumpTrace bool) error {
 			_, events := explore.Replay(fac.New, sc, res.ViolationPath)
 			fmt.Println(tracefmt.Render(events, tracefmt.Options{MaxEvents: 120}))
 		}
-		os.Exit(1)
+		cliutil.Exit(1)
 	}
 	if res.Complete {
 		fmt.Printf("exhausted the schedule tree: %d schedules, max depth %d, no violations\n",

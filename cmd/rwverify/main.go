@@ -35,6 +35,7 @@
 //
 //	rwverify [-seeds 1,2,3,4,5] [-crash] [-recover] [-stall] [-parallel N]
 //	         [-checkpoint FILE [-resume]] [-keep-going] [-row-timeout D]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -53,19 +54,24 @@ func main() {
 	stallFlag := flag.Bool("stall", false, "also run the E15 fail-slow (stall) sweeps")
 	applyParallel := cliutil.ParallelFlag()
 	applyRobust := cliutil.RobustFlags()
+	applyProfile := cliutil.ProfileFlags()
 	flag.Parse()
 	cliutil.NoArgs(flag.CommandLine)
 	applyParallel()
 	if err := applyRobust(); err != nil {
 		fmt.Fprintln(os.Stderr, "rwverify:", err)
-		os.Exit(1)
+		cliutil.Exit(1)
+	}
+	if err := applyProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "rwverify:", err)
+		cliutil.Exit(1)
 	}
 
 	code, err := run(*seedsFlag, *crashFlag, *recoverFlag, *stallFlag)
 	if err != nil {
 		cliutil.Fail("rwverify", err)
 	}
-	os.Exit(code)
+	cliutil.Exit(code)
 }
 
 func run(seedList string, crash, recovery, stall bool) (int, error) {

@@ -38,7 +38,7 @@ func NoArgs(fs *flag.FlagSet) {
 	}
 	fmt.Fprintf(fs.Output(), "%s: unexpected argument %q (flags only)\n", fs.Name(), fs.Arg(0))
 	fs.Usage()
-	exit(2)
+	Exit(2)
 }
 
 // ParseInts parses a comma-separated list of positive integers ("8,64,512").

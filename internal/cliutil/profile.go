@@ -1,0 +1,77 @@
+// Profiling flags: the -cpuprofile/-memprofile surface shared by the cmd/
+// binaries, for digging into where a sweep or benchmark actually spends
+// its time (pprof format, `go tool pprof FILE`). Profiles must be flushed
+// before the process exits — os.Exit skips defers — so every exit path in
+// a binary that registers these flags must go through Exit (or Fail/
+// NoArgs, which route through it).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlushes holds the flush actions of the active profiles, run
+// (LIFO) by StopProfiles.
+var profileFlushes []func()
+
+// ProfileFlags registers the shared -cpuprofile and -memprofile flags.
+// The returned apply function must be called after flag.Parse: it starts
+// CPU profiling immediately (so the whole run is covered) and arranges
+// for the heap profile to be written at exit. Both are flushed by
+// StopProfiles, which Exit invokes on every path.
+func ProfileFlags() (apply func() error) {
+	cpu := flag.String("cpuprofile", "", "write a CPU profile to FILE (pprof format)")
+	mem := flag.String("memprofile", "", "write a heap profile to FILE at exit (pprof format)")
+	return func() error {
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+			profileFlushes = append(profileFlushes, func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			})
+		}
+		if path := *mem; path != "" {
+			profileFlushes = append(profileFlushes, func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "-memprofile:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // report live objects, not garbage awaiting collection
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "-memprofile:", err)
+				}
+			})
+		}
+		return nil
+	}
+}
+
+// StopProfiles flushes and closes any active profiles. Idempotent; safe
+// when ProfileFlags was never registered or no profile flag was set.
+func StopProfiles() {
+	for i := len(profileFlushes) - 1; i >= 0; i-- {
+		profileFlushes[i]()
+	}
+	profileFlushes = nil
+}
+
+// Exit flushes any active profiles and terminates with code. Binaries
+// registering ProfileFlags must use this (or Fail) instead of os.Exit,
+// which would drop the profile buffers on the floor.
+func Exit(code int) {
+	StopProfiles()
+	exit(code)
+}

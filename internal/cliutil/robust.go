@@ -91,7 +91,7 @@ func handleSignals(ch <-chan os.Signal, stop *parwork.Stopper) {
 	stop.Stop()
 	fmt.Fprintln(os.Stderr, "interrupt: finishing in-flight rows and flushing the checkpoint (interrupt again to abort)")
 	<-ch
-	exit(130)
+	Exit(130)
 }
 
 // Fail reports a fatal sweep error and exits: status 3 for a cooperative
@@ -105,9 +105,9 @@ func Fail(tool string, err error) {
 			hint = " (resumable, rerun with -resume)"
 		}
 		fmt.Fprintf(os.Stderr, "%s: %v%s\n", tool, err, hint)
-		exit(3)
+		Exit(3)
 		return
 	}
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
-	exit(1)
+	Exit(1)
 }

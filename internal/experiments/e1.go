@@ -31,7 +31,7 @@ type E1Row struct {
 // counts under low-contention scheduling (which isolates the algorithmic
 // RMR cost the theorem bounds). Grid cells run in parallel (gridRows).
 func E1Tradeoff(ns []int, protocol sim.Protocol) ([]E1Row, *tablefmt.Table, error) {
-	rows, err := gridRows(AFFactories(), ns, func(fac Factory, n int) (E1Row, error) {
+	rows, err := gridRows(AFFactories(), ns, nSquaredCost, func(fac Factory, n int) (E1Row, error) {
 		rep := spec.Run(fac.New(), spec.Scenario{
 			NReaders: n, NWriters: 1,
 			ReaderPassages: 2, WriterPassages: 2,

@@ -38,7 +38,7 @@ var e10Kinds = []struct {
 // E10MutexSubstrates measures A_f writer costs across WL substrates and
 // writer counts.
 func E10MutexSubstrates(ms []int) ([]E10Row, *tablefmt.Table, error) {
-	rows, err := gridRows(e10Kinds, ms, func(k struct {
+	rows, err := gridRows(e10Kinds, ms, nSquaredCost, func(k struct {
 		name string
 		kind core.MutexKind
 	}, m int) (E10Row, error) {

@@ -43,7 +43,10 @@ func E11AdversaryValue(ns []int, seeds []int64) ([]E11Row, *tablefmt.Table, erro
 		}
 	}
 
-	rows, err := gridRows(facs, ns, func(fac Factory, n int) (E11Row, error) {
+	// Same known step-budget shape as E2's grid: the adversary cell over n
+	// processes is budgeted 200_000 + 4n^2 steps.
+	cellCost := func(_ Factory, n int) int64 { return 200_000 + 4*int64(n)*int64(n) }
+	rows, err := gridRows(facs, ns, cellCost, func(fac Factory, n int) (E11Row, error) {
 		adv, err := lowerbound.Run(fac.New(), n, lowerbound.Config{
 			IterationCap: 4*n + 64,
 			StepBudget:   200_000 + 4*n*n,

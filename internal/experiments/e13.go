@@ -141,7 +141,7 @@ func e13TryAlgs() []Factory {
 // (constant at f(n)=1), and the centralized lock is constant on both
 // sides.
 func E13AbortCost(ns []int) ([]E13AbortRow, *tablefmt.Table, error) {
-	rows, err := gridRows(e13TryAlgs(), ns, func(fac Factory, n int) (E13AbortRow, error) {
+	rows, err := gridRows(e13TryAlgs(), ns, nSquaredCost, func(fac Factory, n int) (E13AbortRow, error) {
 		c, err := spec.MeasureAbortCost(fac.New, n)
 		if err != nil {
 			return E13AbortRow{}, fmt.Errorf("E13 abort %s n=%d: %w", fac.Name, n, err)

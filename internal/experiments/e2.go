@@ -45,7 +45,10 @@ func E2LowerBound(ns []int, protocol sim.Protocol) ([]E2Row, *tablefmt.Table, er
 		}
 		facs = append(facs, b)
 	}
-	rows, err := gridRows(facs, ns, func(fac Factory, n int) (E2Row, error) {
+	// The cell's step budget below is its known worst-case shape; use it
+	// verbatim as the scheduling hint so n=243 adversary runs seed first.
+	cellCost := func(_ Factory, n int) int64 { return 200_000 + 4*int64(n)*int64(n) }
+	rows, err := gridRows(facs, ns, cellCost, func(fac Factory, n int) (E2Row, error) {
 		// The cap is runaway protection only; the centralized
 		// baseline legitimately needs Theta(n) iterations (its exit
 		// is a CAS retry loop), so scale it with n.

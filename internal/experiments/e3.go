@@ -41,7 +41,7 @@ type E3MRow struct {
 // operations only) does not cover them, and indeed faa-phasefair beats the
 // bound — E2's table shows it.
 func E3MaxBound(ns []int) ([]E3NRow, *tablefmt.Table, error) {
-	rows, err := gridRows(AFFactories(), ns, func(fac Factory, n int) (E3NRow, error) {
+	rows, err := gridRows(AFFactories(), ns, nSquaredCost, func(fac Factory, n int) (E3NRow, error) {
 		res, err := lowerbound.Run(fac.New(), n, lowerbound.Config{})
 		if err != nil {
 			return E3NRow{}, fmt.Errorf("E3 %s n=%d: %w", fac.Name, n, err)
@@ -77,7 +77,7 @@ func e3nTable(rows []E3NRow) *tablefmt.Table {
 // log m (our WL is a Peterson tournament, Theta(log m) even solo).
 func E3WriterMutex(ms []int) ([]E3MRow, *tablefmt.Table, error) {
 	// af-1 and af-log suffice: WL dominates.
-	rows, err := gridRows(AFFactories()[:2], ms, func(fac Factory, m int) (E3MRow, error) {
+	rows, err := gridRows(AFFactories()[:2], ms, nSquaredCost, func(fac Factory, m int) (E3MRow, error) {
 		rep := spec.Run(fac.New(), spec.Scenario{
 			NReaders: 1, NWriters: m,
 			ReaderPassages: 0, WriterPassages: 2,

@@ -29,7 +29,9 @@ type E4Row struct {
 // E4Baselines runs the cross-algorithm comparison: every algorithm, every
 // mix, a fixed population, averaged over seeds under random scheduling.
 func E4Baselines(n, m int, seeds []int64, protocol sim.Protocol) ([]E4Row, *tablefmt.Table, error) {
-	rows, err := gridRows(AllFactories(), workload.Mixes, func(fac Factory, mix workload.Mix) (E4Row, error) {
+	// nil cost: every cell runs the same population over the same passage
+	// plan — the mixes axis does not change the row shape.
+	rows, err := gridRows(AllFactories(), workload.Mixes, nil, func(fac Factory, mix workload.Mix) (E4Row, error) {
 		rp, wp := workload.Plan(n, m, 8*(n+m), mix)
 		var readerRMRs, writerRMRs, totals []float64
 		for _, seed := range seeds {

@@ -55,7 +55,7 @@ func E8ModelContrast(ns []int) ([]E8Row, *tablefmt.Table, error) {
 		return rep.MaxReaderPassage.RMR(), rep.MaxWriterPassage.RMR(), nil
 	}
 
-	rows, err := gridRows(facs, ns, func(fac Factory, n int) (E8Row, error) {
+	rows, err := gridRows(facs, ns, nSquaredCost, func(fac Factory, n int) (E8Row, error) {
 		ccR, ccW, err := measure(fac, n, sim.WriteThrough)
 		if err != nil {
 			return E8Row{}, err

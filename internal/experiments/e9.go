@@ -58,7 +58,7 @@ func E9CounterAblation(ns []int) ([]E9Row, *tablefmt.Table, error) {
 			cells = append(cells, cell{f: f, name: k.name, kind: k.kind})
 		}
 	}
-	rows, err := gridRows(cells, ns, func(c cell, n int) (E9Row, error) {
+	rows, err := gridRows(cells, ns, nSquaredCost, func(c cell, n int) (E9Row, error) {
 		// Reader-side: all readers in lockstep (worst case for a
 		// shared word), no writer.
 		rep := spec.Run(core.NewWithCounter(c.f, c.kind), spec.Scenario{

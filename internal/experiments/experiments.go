@@ -34,14 +34,33 @@ import (
 // the row-major-first failing cell wins, matching a serial loop that
 // stops at its first failure. Jobs run concurrently, so they must only
 // touch per-cell state (the Factory constructors are pure and safe).
-func gridRows[A, B, R any](outer []A, inner []B, job func(a A, b B) (R, error)) ([]R, error) {
+//
+// cost, when non-nil, is the cell's scheduling hint (parwork.CostHint
+// semantics: relative magnitudes only, results never depend on it). The
+// experiment grids are wildly uneven — an adversary run over n=243
+// processes dwarfs one over n=9 by orders of magnitude — so the heavy
+// grids pass their known row shape (step budget, process count) and the
+// scheduler seeds the monster cells first instead of discovering them
+// behind a drained pool. Pass nil for uniform grids.
+func gridRows[A, B, R any](outer []A, inner []B, cost func(a A, b B) int64, job func(a A, b B) (R, error)) ([]R, error) {
 	if len(inner) == 0 || len(outer) == 0 {
 		return nil, nil
 	}
-	return parwork.DoErr(0, len(outer)*len(inner), func(i int) (R, error) {
+	var hint parwork.CostHint
+	if cost != nil {
+		hint = func(i int) int64 { return cost(outer[i/len(inner)], inner[i%len(inner)]) }
+	}
+	return parwork.DoErrCost(0, len(outer)*len(inner), hint, func(i int) (R, error) {
 		return job(outer[i/len(inner)], inner[i%len(inner)])
 	})
 }
+
+// nSquaredCost is the grid cost hint for experiments whose inner axis is
+// the process count n: a cell's work grows superlinearly with n (more
+// processes, more passages in flight, longer entry/exit protocols), and
+// the adversary-driven grids' step budgets grow ~4n^2. Exactness is
+// irrelevant — LPT only needs big cells ordered before small ones.
+func nSquaredCost[A any](_ A, n int) int64 { return int64(n) * int64(n) }
 
 // Factory creates fresh algorithm instances; algorithms are single-use
 // (one Init per execution), so experiments construct one per run.

@@ -198,6 +198,12 @@ func Algorithm(newAlg func() memmodel.Algorithm, sc spec.Scenario, cfg Config) (
 // canonical merge needs every subtree's real result, so row-failure
 // isolation would only corrupt the budget accounting. Result round-trips
 // through the checkpoint verbatim (ints, bool, string, []int).
+//
+// No cost hint: a subtree's size is the very thing exploration discovers
+// (a root choice may prune immediately or dominate the whole search), so
+// there is no known shape to seed LPT with. Work stealing is the whole
+// story here — a worker that drains its cheap subtrees steals from the
+// worker stuck under the heavy one.
 func exploreSubtrees(newAlg func() memmodel.Algorithm, sc spec.Scenario, cfg Config, workers, roots int) ([]*Result, error) {
 	ro := spec.EffectiveRobust(sc)
 	job := func(k int) *Result { return exploreSubtree(newAlg, sc, k, cfg.MaxRuns) }

@@ -8,6 +8,12 @@
 // output: job i writes exactly result slot i, no matter which worker runs
 // it or when it finishes.
 //
+// Scheduling is cost-aware and work-stealing (see steal.go): callers may
+// pass a CostHint describing each row's known shape, which seeds rows
+// largest-first across per-worker deques and sizes claim chunks so cheap
+// rows amortize claim overhead while expensive rows can be stolen
+// individually. Hints change only wall clock, never results.
+//
 // The determinism contract is the caller's side of the bargain: each job
 // must be a pure function of its index (fresh algorithm instance, fresh
 // scheduler, fresh runner per job — never shared mutable state), because
@@ -66,13 +72,20 @@ func Workers(n int) int {
 // goroutine; the output is identical either way for pure jobs. A panic in
 // any job is re-raised on the calling goroutine after all workers stop.
 func Do[T any](workers, n int, job func(i int) T) []T {
+	return DoCost(workers, n, nil, job)
+}
+
+// DoCost is Do with a CostHint: rows are seeded largest-first across the
+// worker deques and claimed in cost-sized chunks (see CostHint). The
+// results are identical to Do's; only the schedule differs.
+func DoCost[T any](workers, n int, cost CostHint, job func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	run(workers, n, func(claim func() (int, bool)) {
+	run(workers, n, cost, func(next func() (int, bool)) {
 		for {
-			i, ok := claim()
+			i, ok := next()
 			if !ok {
 				return
 			}
@@ -88,11 +101,16 @@ func Do[T any](workers, n int, job func(i int) T) []T {
 // stops at the first failure would report. On error the results are
 // discarded and nil is returned.
 func DoErr[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	return DoErrCost(workers, n, nil, job)
+}
+
+// DoErrCost is DoErr with a CostHint (see DoCost).
+func DoErrCost[T any](workers, n int, cost CostHint, job func(i int) (T, error)) ([]T, error) {
 	type slot struct {
 		v   T
 		err error
 	}
-	slots := Do(workers, n, func(i int) slot {
+	slots := DoCost(workers, n, cost, func(i int) slot {
 		v, err := job(i)
 		return slot{v, err}
 	})
@@ -113,15 +131,20 @@ func DoErr[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 // worker) uses the same enter/job/exit sequence, so resource reuse is
 // exercised identically at every worker count.
 func DoScoped[S, T any](workers, n int, enter func() S, exit func(S), job func(s S, i int) T) []T {
+	return DoScopedCost(workers, n, nil, enter, exit, job)
+}
+
+// DoScopedCost is DoScoped with a CostHint (see DoCost).
+func DoScopedCost[S, T any](workers, n int, cost CostHint, enter func() S, exit func(S), job func(s S, i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	run(workers, n, func(claim func() (int, bool)) {
+	run(workers, n, cost, func(next func() (int, bool)) {
 		s := enter()
 		defer exit(s)
 		for {
-			i, ok := claim()
+			i, ok := next()
 			if !ok {
 				return
 			}
@@ -132,39 +155,41 @@ func DoScoped[S, T any](workers, n int, enter func() S, exit func(S), job func(s
 }
 
 // run executes the worker-loop body on a bounded pool of Workers(workers)
-// goroutines (capped at n). body claims job indices from the shared
-// counter until it is exhausted; with one worker it runs on the calling
-// goroutine.
+// goroutines (capped at n), one body invocation per worker. body draws job
+// indices from its worker's claim function until it is exhausted; with one
+// worker it runs on the calling goroutine with a plain sequential claim.
 //
-// A panic in any worker poisons the claim counter: the surviving workers
+// A panic in any worker poisons the claim functions: the surviving workers
 // finish only the job they are on and then drain, rather than claiming and
 // running every outstanding index before the panic re-raises (fail-fast —
 // per-row isolation is DoRobust's KeepGoing mode). Jobs that merely return
 // errors (DoErr) do not poison anything: every job still runs, as DoErr's
 // lowest-index-error contract requires.
-func run(workers, n int, body func(claim func() (int, bool))) {
+func run(workers, n int, cost CostHint, body func(next func() (int, bool))) {
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
-	var next atomic.Int64
+	s := newScheduler(n, w, cost)
 	var poisoned atomic.Bool
-	claim := func() (int, bool) {
-		if poisoned.Load() {
-			return 0, false
+	guarded := func(k int) func() (int, bool) {
+		next := s.claimer(k)
+		return func() (int, bool) {
+			if poisoned.Load() {
+				return 0, false
+			}
+			return next()
 		}
-		i := int(next.Add(1)) - 1
-		return i, i < n
 	}
 	if w <= 1 {
-		body(claim)
+		body(guarded(0))
 		return
 	}
 	var wg sync.WaitGroup
 	var panicked atomic.Pointer[panicValue]
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(k int) {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
@@ -172,8 +197,8 @@ func run(workers, n int, body func(claim func() (int, bool))) {
 					panicked.CompareAndSwap(nil, &panicValue{v})
 				}
 			}()
-			body(claim)
-		}()
+			body(guarded(k))
+		}(k)
 	}
 	wg.Wait()
 	if pv := panicked.Load(); pv != nil {

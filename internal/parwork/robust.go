@@ -150,6 +150,12 @@ type Options struct {
 	// FlushEvery is how many newly completed rows may accumulate between
 	// periodic Sink flushes; <= 0 means 64. A final flush always happens.
 	FlushEvery int
+	// Cost, when non-nil, is the scheduling hint for row i (see
+	// CostHint): pending rows are seeded largest-first across the worker
+	// deques and claimed in cost-sized chunks. Restored rows never rerun,
+	// so on a resume the hint is consulted only for the rows still
+	// pending. Hints change the schedule, never the results.
+	Cost CostHint
 	// RowInfo, when non-nil, describes row i for failure reports (e.g.
 	// the fault point).
 	RowInfo func(i int) string
@@ -234,7 +240,6 @@ func DoRobust[S, T any](
 	}
 
 	var (
-		next       atomic.Int64 // claim counter over pending
 		computed   atomic.Int64 // rows executed this run (incl. failures)
 		succeeded  atomic.Int64 // rows that produced a durable result
 		unflushed  atomic.Int64 // successes since the last periodic flush
@@ -359,15 +364,29 @@ func DoRobust[S, T any](
 		return nil
 	}
 
-	work := func() {
+	// The pending rows run on the cost-aware work-stealing scheduler,
+	// exactly like the non-robust fan-outs: the caller's hint is composed
+	// over the pending list (a resumed run schedules only what is left).
+	w := Workers(opt.Workers)
+	if w > len(pending) {
+		w = len(pending)
+	}
+	var pendingCost CostHint
+	if opt.Cost != nil {
+		pendingCost = func(k int) int64 { return opt.Cost(pending[k]) }
+	}
+	schd := newScheduler(len(pending), w, pendingCost)
+
+	work := func(worker int) {
+		next := schd.claimer(worker)
 		scope := enter()
 		defer func() { exit(scope) }()
 		for {
 			if poisoned.Load() || opt.Stop.Stopped() {
 				return
 			}
-			k := int(next.Add(1)) - 1
-			if k >= len(pending) {
+			k, ok := next()
+			if !ok {
 				return
 			}
 			i := pending[k]
@@ -396,7 +415,7 @@ func DoRobust[S, T any](
 			return
 		}
 	}
-	runWorker := func() {
+	runWorker := func(worker int) {
 		defer func() {
 			// enter/exit are harness code and should not panic; if one
 			// does, surface it like a fail-fast row panic.
@@ -405,25 +424,21 @@ func DoRobust[S, T any](
 				poisoned.Store(true)
 			}
 		}()
-		work()
+		work(worker)
 	}
 
-	w := Workers(opt.Workers)
-	if w > len(pending) {
-		w = len(pending)
-	}
 	if w <= 1 {
 		if len(pending) > 0 {
-			runWorker()
+			runWorker(0)
 		}
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(w)
 		for k := 0; k < w; k++ {
-			go func() {
+			go func(k int) {
 				defer wg.Done()
-				runWorker()
-			}()
+				runWorker(k)
+			}(k)
 		}
 		wg.Wait()
 	}

@@ -1,0 +1,266 @@
+package parwork
+
+// Cost-aware work-stealing scheduler. The original engine claimed row
+// indices from one shared atomic counter, which is perfectly fair for
+// uniform rows but leaves workers idle behind a single monster row when
+// the grid is uneven (an E2 adversary row over n=243 processes costs
+// orders of magnitude more than a sampled sweep row). This scheduler
+// fixes both ends of that imbalance:
+//
+//   - A pluggable CostHint lets the caller describe each row's known
+//     shape (step budget, reference execution length, process count).
+//     Rows are seeded largest-processing-time-first across per-worker
+//     deques, the classic LPT makespan heuristic: every worker starts
+//     its biggest rock immediately instead of discovering it last.
+//   - Workers pop their own deque LIFO (largest seeded chunk first) and
+//     steal FIFO from a victim's deque when they run dry, so a bad or
+//     missing hint degrades into plain dynamic load balancing rather
+//     than idle workers.
+//   - Rows are claimed in chunks sized inversely to their hinted cost:
+//     expensive rows travel alone (they can be stolen individually),
+//     cheap sampled rows ride in batches so tiny rows do not pay one
+//     synchronized claim each. Within a chunk, advancing to the next
+//     row is a local increment.
+//
+// None of this changes the merge contract: row i still writes slot i,
+// so the output is byte-identical to the serial loop's at every worker
+// count, with stealing on or off, under any hint. Scheduling order is
+// free precisely because the jobs are pure functions of their index.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CostHint estimates the relative cost of row i. Only the ordering and
+// rough magnitude matter: the scheduler uses hints to seed big rows
+// first and to size claim chunks, never to decide *whether* a row runs.
+// Values <= 0 are treated as 1. A nil CostHint means uniform rows, which
+// still get chunked claiming and stealing — just no LPT seeding order.
+type CostHint func(i int) int64
+
+// stealing is the process-wide work-stealing switch, on by default. It
+// exists for the determinism gates, which must prove byte-identity both
+// with stealing (workers share the ragged tail) and without (each worker
+// drains only its seeded deque) — and for measuring what stealing buys.
+var stealingOff atomic.Bool
+
+// SetStealing enables or disables work stealing process-wide. With
+// stealing off, workers finish only the chunks seeded to their own
+// deque; every row still runs exactly once, so results are unchanged —
+// only the load balance (and therefore wall clock) differs.
+func SetStealing(enabled bool) { stealingOff.Store(!enabled) }
+
+// StealingEnabled reports the current switch.
+func StealingEnabled() bool { return !stealingOff.Load() }
+
+// chunkFactor is the target number of chunks per worker. More chunks
+// mean finer stealing granularity; fewer mean less claim overhead. At 8,
+// a uniform grid still gives every thief several chunks to take, and a
+// claim happens once per ~1/(8w) of the total work.
+const chunkFactor = 8
+
+// chunk is a half-open range [lo, hi) of positions in the scheduler's
+// seeded order (positions, not row indices: order[pos] is the row).
+type chunk struct{ lo, hi int32 }
+
+// deque is one worker's bounded chunk queue. It is seeded once before
+// the workers start and only ever shrinks afterwards, so its capacity is
+// exactly the seeded chunk count. The owner pops newest-first (LIFO:
+// popTail), thieves pop oldest-first (FIFO: popHead); chunks are pushed
+// in ascending cost order, so the owner works its largest chunks first
+// while thieves take from the cheap end. A mutex per deque is the right
+// tool here: one claim governs a whole chunk of simulator executions
+// (milliseconds each), so claim-path contention is noise.
+type deque struct {
+	mu         sync.Mutex
+	buf        []chunk
+	head, tail int // live span is buf[head:tail]
+}
+
+// push seeds one chunk. Only called before the workers start.
+func (d *deque) push(c chunk) {
+	d.buf = append(d.buf, c)
+	d.tail++
+}
+
+// popTail removes and returns the newest chunk (owner side).
+func (d *deque) popTail() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == d.tail {
+		return chunk{}, false
+	}
+	d.tail--
+	return d.buf[d.tail], true
+}
+
+// popHead removes and returns the oldest chunk (thief side).
+func (d *deque) popHead() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == d.tail {
+		return chunk{}, false
+	}
+	c := d.buf[d.head]
+	d.head++
+	return c, true
+}
+
+// scheduler hands out the row indices [0, n) to a fixed set of workers.
+// With one worker it is a plain sequential counter (no plan, no deques,
+// no stats beyond the row count); with more it is the seeded
+// work-stealing structure described at the top of this file.
+type scheduler struct {
+	n      int
+	order  []int32 // row indices in seeded (LPT) order; nil when serial
+	deques []deque
+	serial atomic.Int64
+}
+
+// newScheduler builds the schedule for n rows across workers workers.
+// cost may be nil (uniform rows).
+func newScheduler(n, workers int, cost CostHint) *scheduler {
+	statRuns.Add(1)
+	statRows.Add(int64(n))
+	s := &scheduler{n: n}
+	if workers <= 1 || n <= 1 {
+		return s
+	}
+
+	// Clamped per-row costs: hints only order and size chunks, so wild
+	// values are folded into a safe range rather than trusted blindly.
+	costs := make([]int64, n)
+	var total int64
+	for i := range costs {
+		c := int64(1)
+		if cost != nil {
+			if h := cost(i); h > 1 {
+				c = h
+				if c > 1<<40 {
+					c = 1 << 40
+				}
+			}
+		}
+		costs[i] = c
+		total += c
+	}
+
+	// LPT order: descending cost, ties by ascending index (stable, so a
+	// nil hint leaves the natural order).
+	s.order = make([]int32, n)
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return costs[s.order[a]] > costs[s.order[b]]
+	})
+
+	// Adaptive chunking over the sorted order: accumulate consecutive
+	// positions until a chunk carries ~1/(chunkFactor*workers) of the
+	// total cost or maxRows rows. Because the order is descending, any
+	// row at or above the target immediately closes its own singleton
+	// chunk — expensive rows split, cheap rows amortize.
+	targetChunks := chunkFactor * workers
+	target := total / int64(targetChunks)
+	if target < 1 {
+		target = 1
+	}
+	maxRows := n / targetChunks
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	var chunks []chunk
+	for p := 0; p < n; {
+		lo := p
+		var acc int64
+		for p < n {
+			acc += costs[s.order[p]]
+			p++
+			if acc >= target || p-lo >= maxRows {
+				break
+			}
+		}
+		chunks = append(chunks, chunk{int32(lo), int32(p)})
+	}
+	statChunks.Add(int64(len(chunks)))
+
+	// Greedy LPT assignment of chunks to workers: chunks arrive in
+	// (roughly) descending cost order and each goes to the least-loaded
+	// worker. Each worker's list is therefore descending; the deque is
+	// seeded in reverse so the owner's LIFO pops see largest-first.
+	chunkCost := func(c chunk) int64 {
+		var sum int64
+		for p := c.lo; p < c.hi; p++ {
+			sum += costs[s.order[p]]
+		}
+		return sum
+	}
+	load := make([]int64, workers)
+	assigned := make([][]chunk, workers)
+	for _, c := range chunks {
+		k := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[k] {
+				k = w
+			}
+		}
+		assigned[k] = append(assigned[k], c)
+		load[k] += chunkCost(c)
+	}
+	s.deques = make([]deque, workers)
+	for k, list := range assigned {
+		s.deques[k].buf = make([]chunk, 0, len(list))
+		for i := len(list) - 1; i >= 0; i-- {
+			s.deques[k].push(list[i])
+		}
+	}
+	return s
+}
+
+// claimer returns worker k's claim function. Each call yields the next
+// row index to run, false when the worker should drain: its own deque is
+// empty and (with stealing on) so is everyone else's. Safe only for use
+// by a single goroutine per k.
+func (s *scheduler) claimer(k int) func() (int, bool) {
+	if s.order == nil {
+		return func() (int, bool) {
+			i := int(s.serial.Add(1)) - 1
+			return i, i < s.n
+		}
+	}
+	var cur chunk
+	return func() (int, bool) {
+		for {
+			if cur.lo < cur.hi {
+				i := int(s.order[cur.lo])
+				cur.lo++
+				return i, true
+			}
+			if c, ok := s.deques[k].popTail(); ok {
+				cur = c
+				statLocalClaims.Add(1)
+				continue
+			}
+			if stealingOff.Load() {
+				return 0, false
+			}
+			stolen := false
+			for off := 1; off < len(s.deques); off++ {
+				v := (k + off) % len(s.deques)
+				if c, ok := s.deques[v].popHead(); ok {
+					cur = c
+					statSteals.Add(1)
+					stolen = true
+					break
+				}
+				statIdleProbes.Add(1)
+			}
+			if !stolen {
+				// Deques never refill, so a fully empty scan is final.
+				return 0, false
+			}
+		}
+	}
+}

@@ -134,6 +134,10 @@ func CrashSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 		[]string{"crash", rep.Algorithm, fpScenario(sc), mkSched().Name(),
 			fmt.Sprintf("victim=%d refsteps=%d", victim, rep.Steps)},
 		len(pts),
+		// Known row shape: a crash at step k replays the k-step prefix
+		// and then runs the survivors out (bounded by the reference
+		// length), so later crash points cost more.
+		func(i int) int64 { return int64(rep.Steps + pts[i].Step) },
 		func(i int) string { return pts[i].String() },
 		func(c *runnerCache, i int) CrashOutcome {
 			run := sc
@@ -164,6 +168,7 @@ func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 	type job struct {
 		seed int64
 		pt   fault.Point
+		ref  int // the seed's reference step count, the row's cost scale
 	}
 	type seedJobs struct {
 		jobs     []job
@@ -181,7 +186,7 @@ func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		pts := dedupPoints(fault.RandomPoints(seed, victims, rep.Steps+1, perSeed))
 		jobs := make([]job, len(pts))
 		for k, pt := range pts {
-			jobs[k] = job{seed: seed, pt: pt}
+			jobs[k] = job{seed: seed, pt: pt, ref: rep.Steps}
 		}
 		return seedJobs{jobs: jobs, refSteps: rep.Steps}, nil
 	})
@@ -202,6 +207,9 @@ func CrashSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		[]string{"crash-sampled", algName, fpScenario(sc), sampledSchedName(mkSched, seeds),
 			fmt.Sprintf("victims=%v seeds=%v perSeed=%d refsteps=%v", victims, seeds, perSeed, refSteps)},
 		len(jobs),
+		// Rows from different seeds have different reference lengths —
+		// the per-seed shape a flat claim counter cannot see.
+		func(i int) int64 { return int64(jobs[i].ref + jobs[i].pt.Step) },
 		func(i int) string { return fmt.Sprintf("seed=%d %s", jobs[i].seed, jobs[i].pt) },
 		func(c *runnerCache, i int) CrashOutcome {
 			run := sc

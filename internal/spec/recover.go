@@ -294,6 +294,9 @@ func RecoverySweep(newAlg func() memmodel.RecoverableAlgorithm, sc Scenario, vic
 		[]string{"recover", refOut.Algorithm, fpScenario(sc), mkSched().Name(),
 			fmt.Sprintf("victim=%d delay=%d refsteps=%d", victim, delay, refOut.Steps)},
 		n,
+		// Known row shape: replay the k-step prefix, sit out the restart
+		// delay, then run recovery plus the survivors' remainder.
+		func(k int) int64 { return int64(refOut.Steps + k + delay) },
 		func(k int) string { return fault.RestartPoint{Victim: victim, Step: k, Delay: delay}.String() },
 		func(c *runnerCache, k int) *RecoverOutcome {
 			run := sc
@@ -344,6 +347,9 @@ func RecoverySweepRecrash(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 		[]string{"recover-recrash", refOut.Algorithm, fpScenario(sc), mkSched().Name(),
 			fmt.Sprintf("victim=%d stride=%d offsets=%v refsteps=%d", victim, stride, offsets, refOut.Steps)},
 		len(pairs),
+		// The second crash lands at pairs[i][1].Step and triggers a second
+		// recovery, so it bounds the pair's replayed prefix.
+		func(i int) int64 { return int64(refOut.Steps + pairs[i][1].Step) },
 		func(i int) string { return fmt.Sprintf("%s then %s", pairs[i][0], pairs[i][1]) },
 		func(c *runnerCache, i int) *RecoverOutcome {
 			run := sc
@@ -369,6 +375,7 @@ func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 	type job struct {
 		seed int64
 		pt   fault.RestartPoint
+		ref  int // the seed's reference step count, the row's cost scale
 	}
 	type seedJobs struct {
 		jobs     []job
@@ -386,7 +393,7 @@ func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 		pts := dedupPoints(fault.RandomPoints(seed, victims, refOut.Steps+1, perSeed))
 		jobs := make([]job, len(pts))
 		for k, pt := range pts {
-			jobs[k] = job{seed: seed, pt: fault.RestartPoint{Victim: pt.Victim, Step: pt.Step, Delay: delay}}
+			jobs[k] = job{seed: seed, pt: fault.RestartPoint{Victim: pt.Victim, Step: pt.Step, Delay: delay}, ref: refOut.Steps}
 		}
 		return seedJobs{jobs: jobs, refSteps: refOut.Steps}, nil
 	})
@@ -405,6 +412,7 @@ func RecoverySweepSampled(newAlg func() memmodel.RecoverableAlgorithm, sc Scenar
 			fmt.Sprintf("victims=%v seeds=%v perSeed=%d delay=%d refsteps=%v",
 				victims, seeds, perSeed, delay, refSteps)},
 		len(jobs),
+		func(i int) int64 { return int64(jobs[i].ref + jobs[i].pt.Step + jobs[i].pt.Delay) },
 		func(i int) string { return fmt.Sprintf("seed=%d %s", jobs[i].seed, jobs[i].pt) },
 		func(c *runnerCache, i int) *RecoverOutcome {
 			run := sc

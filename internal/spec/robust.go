@@ -80,14 +80,18 @@ func EffectiveRobust(sc Scenario) *RobustOptions {
 // kind/algName/fpParts identify the sweep to the checkpoint store: kind
 // and algName name the section, fpParts fingerprint the full
 // configuration (they must determine the row set exactly and contain
-// nothing execution-dependent such as worker counts). rowInfo describes
-// row i for failure reports; onFailure builds the keep-going placeholder
-// outcome carrying the row's *parwork.RowFailure.
+// nothing execution-dependent such as worker counts). cost is the
+// scheduling hint for row i (parwork.CostHint semantics; nil when the
+// sweep's rows have no known shape and uniform chunking plus stealing is
+// the whole story — hints never affect results, only the schedule).
+// rowInfo describes row i for failure reports; onFailure builds the
+// keep-going placeholder outcome carrying the row's *parwork.RowFailure.
 func robustDo[T any](
 	sc Scenario,
 	kind, algName string,
 	fpParts []string,
 	n int,
+	cost parwork.CostHint,
 	rowInfo func(i int) string,
 	job func(c *runnerCache, i int) T,
 	onFailure func(i int, f *parwork.RowFailure) T,
@@ -95,7 +99,7 @@ func robustDo[T any](
 	workers := sweepWorkers(sc)
 	ro := EffectiveRobust(sc)
 	if !ro.active() {
-		return parwork.DoScoped(workers, n,
+		return parwork.DoScopedCost(workers, n, cost,
 			func() *runnerCache { return &runnerCache{} },
 			(*runnerCache).close,
 			job), nil
@@ -105,6 +109,7 @@ func robustDo[T any](
 		KeepGoing:  ro.KeepGoing,
 		RowTimeout: ro.RowTimeout,
 		Stop:       ro.Stop,
+		Cost:       cost,
 		RowInfo:    rowInfo,
 		AfterRow:   ro.AfterRow,
 	}

@@ -249,6 +249,10 @@ func StallSweep(newAlg func() memmodel.Algorithm, sc Scenario, victim int, mkSch
 		[]string{"stall", rep.Algorithm, fpScenario(sc), mkSched().Name(),
 			fmt.Sprintf("victim=%d refsteps=%d", victim, rep.Steps)},
 		len(pts),
+		// Known row shape: a finite stall fast-forwards Duration extra
+		// global steps on top of the replayed prefix and the survivors'
+		// remainder; an indefinite stall (Forever) adds none.
+		func(i int) int64 { return stallCost(rep.Steps, pts[i]) },
 		func(i int) string { return pts[i].String() },
 		func(c *runnerCache, i int) StallOutcome {
 			run := sc
@@ -277,6 +281,7 @@ func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 	type job struct {
 		seed int64
 		pt   fault.StallPoint
+		ref  int // the seed's reference step count, the row's cost scale
 	}
 	type seedJobs struct {
 		jobs     []job
@@ -294,7 +299,7 @@ func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		pts := fault.RandomStallPoints(seed, victims, rep.Steps+1, perSeed, rep.Steps+1)
 		jobs := make([]job, len(pts))
 		for k, pt := range pts {
-			jobs[k] = job{seed: seed, pt: pt}
+			jobs[k] = job{seed: seed, pt: pt, ref: rep.Steps}
 		}
 		return seedJobs{jobs: jobs, refSteps: rep.Steps}, nil
 	})
@@ -312,6 +317,7 @@ func StallSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, victims []
 		[]string{"stall-sampled", algName, fpScenario(sc), sampledSchedName(mkSched, seeds),
 			fmt.Sprintf("victims=%v seeds=%v perSeed=%d refsteps=%v", victims, seeds, perSeed, refSteps)},
 		len(jobs),
+		func(i int) int64 { return stallCost(jobs[i].ref, jobs[i].pt) },
 		func(i int) string { return fmt.Sprintf("seed=%d %s", jobs[i].seed, jobs[i].pt) },
 		func(c *runnerCache, i int) StallOutcome {
 			run := sc
@@ -342,6 +348,7 @@ func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVicti
 		seed  int64
 		crash fault.Point
 		stall fault.StallPoint
+		ref   int // the seed's reference step count, the row's cost scale
 	}
 	type seedJobs struct {
 		jobs     []job
@@ -364,7 +371,7 @@ func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVicti
 			if crashes[k].Victim == stalls[k].Victim {
 				continue
 			}
-			jobs = append(jobs, job{seed: seed, crash: crashes[k], stall: stalls[k]})
+			jobs = append(jobs, job{seed: seed, crash: crashes[k], stall: stalls[k], ref: rep.Steps})
 		}
 		return seedJobs{jobs: jobs, refSteps: rep.Steps}, nil
 	})
@@ -383,6 +390,7 @@ func MixedSweepSampled(newAlg func() memmodel.Algorithm, sc Scenario, crashVicti
 			fmt.Sprintf("crashVictims=%v stallVictims=%v seeds=%v perSeed=%d refsteps=%v",
 				crashVictims, stallVictims, seeds, perSeed, refSteps)},
 		len(jobs),
+		func(i int) int64 { return stallCost(jobs[i].ref, jobs[i].stall) },
 		func(i int) string {
 			return fmt.Sprintf("seed=%d %s + %s", jobs[i].seed, jobs[i].crash, jobs[i].stall)
 		},
@@ -449,4 +457,17 @@ func StallViolations(outs []StallOutcome) []string {
 		}
 	}
 	return v
+}
+
+// stallCost is the scheduling hint for a stall row: the replayed prefix
+// plus the survivors' remainder (both bounded by the reference length),
+// plus the fast-forwarded delay for a finite stall. Indefinite stalls
+// add no delay steps — they either wedge (detected early) or complete
+// without the victim.
+func stallCost(refSteps int, pt fault.StallPoint) int64 {
+	c := int64(refSteps + pt.Step)
+	if !pt.Indefinite() {
+		c += int64(pt.Duration)
+	}
+	return c
 }
